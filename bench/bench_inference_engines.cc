@@ -1,0 +1,114 @@
+// Experiment X5: inference-engine comparison on the same lineage
+// circuits (from the Theorem-1 workload): message passing (the paper's
+// method) vs BDD compilation (ProvSQL-style knowledge compilation) vs
+// Monte-Carlo sampling vs exhaustive enumeration (tiny only).
+// Counters report probabilities so agreement is visible in the output.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bdd/bdd.h"
+#include "inference/exhaustive.h"
+#include "inference/junction_tree.h"
+#include "inference/sampling.h"
+#include "queries/conjunctive_query.h"
+#include "queries/lineage.h"
+#include "uncertain/c_instance.h"
+#include "uncertain/pcc_instance.h"
+#include "util/rng.h"
+#include "workloads.h"
+
+namespace tud {
+namespace {
+
+struct Workload {
+  PccInstance pcc;
+  GateId lineage;
+};
+
+Workload MakeWorkload(uint32_t n) {
+  Rng rng(314);
+  TidInstance tid = bench::MakeKTreeTid(rng, n, 2);
+  Workload w{PccInstance::FromCInstance(tid.ToPcInstance()), kInvalidGate};
+  ConjunctiveQuery q = ConjunctiveQuery::RstPath(0, 1, 2);
+  w.lineage = ComputeCqLineage(q, w.pcc);
+  return w;
+}
+
+void BM_EngineMessagePassing(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<uint32_t>(state.range(0)));
+  double p = 0;
+  for (auto _ : state) {
+    p = JunctionTreeProbability(w.pcc.circuit(), w.lineage, w.pcc.events());
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["P"] = p;
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EngineMessagePassing)->RangeMultiplier(2)->Range(16, 512)
+    ->Complexity();
+
+void BM_EngineBddCompilation(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<uint32_t>(state.range(0)));
+  const uint32_t num_events = static_cast<uint32_t>(w.pcc.events().size());
+  std::vector<uint32_t> levels(num_events);
+  std::vector<double> probs(num_events);
+  for (uint32_t e = 0; e < num_events; ++e) {
+    levels[e] = e;
+    probs[e] = w.pcc.events().probability(e);
+  }
+  double p = 0;
+  size_t nodes = 0;
+  for (auto _ : state) {
+    BddManager mgr(num_events);
+    BddRef f = mgr.FromCircuit(w.pcc.circuit(), w.lineage, levels);
+    p = mgr.Wmc(f, probs);
+    nodes = mgr.NumNodes();
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["P"] = p;
+  state.counters["bdd_nodes"] = static_cast<double>(nodes);
+  state.SetComplexityN(state.range(0));
+}
+// Capped at 32: on the k-tree lineages the OBDD size explodes (1.6M
+// nodes at n=32, 20M at n=64 — minutes of compilation), which is the
+// knowledge-compilation failure mode the message-passing pipeline
+// avoids. See EXPERIMENTS.md X5.
+BENCHMARK(BM_EngineBddCompilation)->RangeMultiplier(2)->Range(16, 32);
+
+void BM_EngineSampling(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<uint32_t>(state.range(0)));
+  double exact =
+      JunctionTreeProbability(w.pcc.circuit(), w.lineage, w.pcc.events());
+  Rng rng(1);
+  double p = 0;
+  for (auto _ : state) {
+    p = SampleProbability(w.pcc.circuit(), w.lineage, w.pcc.events(), 10000,
+                          rng);
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["P_estimate"] = p;
+  state.counters["abs_error"] = std::abs(p - exact);
+}
+BENCHMARK(BM_EngineSampling)->RangeMultiplier(2)->Range(16, 512);
+
+void BM_EngineExhaustive(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<uint32_t>(state.range(0)));
+  if (w.pcc.events().size() > 22) {
+    state.SkipWithError("too many events");
+    return;
+  }
+  double p = 0;
+  for (auto _ : state) {
+    p = ExhaustiveProbability(w.pcc.circuit(), w.lineage, w.pcc.events());
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["P"] = p;
+}
+BENCHMARK(BM_EngineExhaustive)->DenseRange(4, 8, 2);
+
+}  // namespace
+}  // namespace tud
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Experiment X11 (Theorems 1-2 beyond CQs): lineage for s-t
+// *reachability* — MSO-definable, not CQ-expressible — over
+// bounded-treewidth TIDs, via the Courcelle-style connectivity DP.
+// Shapes: ~linear in n at fixed width; state count per node bounded;
+// exact probabilities match the CQ engines' guarantees (validated in
+// tests; counters report P and the width actually used).
+
+#include <benchmark/benchmark.h>
+
+#include "inference/junction_tree.h"
+#include "queries/reachability.h"
+#include "uncertain/c_instance.h"
+#include "uncertain/pcc_instance.h"
+#include "uncertain/tid_instance.h"
+#include "util/rng.h"
+#include "workloads.h"
+
+namespace tud {
+namespace {
+
+Schema EdgeSchema() {
+  Schema schema;
+  schema.AddRelation("E", 2);
+  return schema;
+}
+
+// Uncertain series-parallel-ish ladder: rungs make width 2.
+TidInstance LadderTid(Rng& rng, uint32_t length) {
+  TidInstance tid(EdgeSchema());
+  for (uint32_t i = 0; i + 2 < 2 * length; i += 2) {
+    tid.AddFact(0, {i, i + 2}, 0.5 + 0.4 * rng.UniformDouble());
+    tid.AddFact(0, {i + 1, i + 3}, 0.5 + 0.4 * rng.UniformDouble());
+    tid.AddFact(0, {i, i + 1}, 0.3 + 0.4 * rng.UniformDouble());
+  }
+  return tid;
+}
+
+void BM_ReachabilityLadder(benchmark::State& state) {
+  const uint32_t length = static_cast<uint32_t>(state.range(0));
+  Rng rng(8);
+  TidInstance tid = LadderTid(rng, length);
+  CInstance pc = tid.ToPcInstance();
+  double p = 0;
+  LineageStats stats;
+  for (auto _ : state) {
+    PccInstance pcc = PccInstance::FromCInstance(pc);
+    GateId lineage =
+        ComputeReachabilityLineage(pcc, 0, 0, 2 * length - 2, &stats);
+    p = JunctionTreeProbability(pcc.circuit(), lineage, pcc.events());
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["rungs"] = length;
+  state.counters["instance_width"] = stats.decomposition_width;
+  state.counters["max_states"] =
+      static_cast<double>(stats.max_states_per_node);
+  state.counters["P_connected"] = p;
+  state.SetComplexityN(length);
+}
+BENCHMARK(BM_ReachabilityLadder)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Complexity();
+
+void BM_ReachabilityKTree(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const uint32_t k = static_cast<uint32_t>(state.range(1));
+  Rng rng(99 + k);
+  TidInstance tid(EdgeSchema());
+  for (const auto& [a, b] : bench::PartialKTreeEdges(rng, n, k, 0.7)) {
+    tid.AddFact(0, {a, b}, 0.3 + 0.5 * rng.UniformDouble());
+  }
+  CInstance pc = tid.ToPcInstance();
+  double p = 0;
+  LineageStats stats;
+  for (auto _ : state) {
+    PccInstance pcc = PccInstance::FromCInstance(pc);
+    GateId lineage = ComputeReachabilityLineage(pcc, 0, 0, n - 1, &stats);
+    p = JunctionTreeProbability(pcc.circuit(), lineage, pcc.events());
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["n"] = n;
+  state.counters["k"] = k;
+  state.counters["instance_width"] = stats.decomposition_width;
+  state.counters["P_connected"] = p;
+}
+BENCHMARK(BM_ReachabilityKTree)
+    ->ArgsProduct({{64, 128, 256}, {1, 2}});
+
+}  // namespace
+}  // namespace tud
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+// Experiment X7 (§3, order uncertainty): costs of po-relation
+// reasoning. Counting linear extensions is exponential in general
+// (two parallel lists have C(2n, n) worlds); possible-world membership
+// has polynomial fast paths for unordered and total inputs versus the
+// general backtracking case; algebra operators are polynomial.
+
+#include <benchmark/benchmark.h>
+
+#include "order/partial_order.h"
+#include "order/po_relation.h"
+#include "util/rng.h"
+
+namespace tud {
+namespace {
+
+PoRelation TwoLogs(uint32_t per_log) {
+  PoRelation a(1), b(1);
+  for (uint32_t i = 0; i < per_log; ++i) {
+    a.AddTuple({i});
+    b.AddTuple({100 + i});
+  }
+  for (uint32_t i = 0; i + 1 < per_log; ++i) {
+    a.AddOrderConstraint(i, i + 1);
+    b.AddOrderConstraint(i, i + 1);
+  }
+  return PoRelation::UnionParallel(a, b);
+}
+
+void BM_CountLinearExtensionsTwoLogs(benchmark::State& state) {
+  const uint32_t per_log = static_cast<uint32_t>(state.range(0));
+  PoRelation merged = TwoLogs(per_log);
+  uint64_t count = 0;
+  for (auto _ : state) {
+    count = merged.CountWorlds();
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["tuples"] = 2.0 * per_log;
+  state.counters["worlds"] = static_cast<double>(count);
+}
+BENCHMARK(BM_CountLinearExtensionsTwoLogs)->DenseRange(2, 12, 2);
+
+void BM_CountLinearExtensionsRandom(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Rng rng(13);
+  PartialOrder order(n);
+  for (uint32_t e = 0; e < n; ++e) {
+    OrderElem a = static_cast<OrderElem>(rng.UniformInt(n));
+    OrderElem b = static_cast<OrderElem>(rng.UniformInt(n));
+    if (a != b) order.AddConstraint(a, b);
+  }
+  uint64_t count = 0;
+  for (auto _ : state) {
+    count = order.CountLinearExtensions();
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["worlds"] = static_cast<double>(count);
+}
+BENCHMARK(BM_CountLinearExtensionsRandom)->DenseRange(8, 20, 4);
+
+void BM_MembershipUnorderedFastPath(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  std::vector<PoTuple> tuples;
+  for (uint32_t i = 0; i < n; ++i) tuples.push_back({i % 7});
+  PoRelation bag = PoRelation::FromBag(1, tuples);
+  std::vector<PoTuple> world(tuples.rbegin(), tuples.rend());
+  bool member = false;
+  for (auto _ : state) {
+    member = bag.IsPossibleWorld(world);
+    benchmark::DoNotOptimize(member);
+  }
+  state.counters["member"] = member;
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MembershipUnorderedFastPath)
+    ->RangeMultiplier(2)
+    ->Range(64, 4096)
+    ->Complexity();
+
+void BM_MembershipGeneralBacktracking(benchmark::State& state) {
+  const uint32_t per_log = static_cast<uint32_t>(state.range(0));
+  // Adversarial labels: both logs carry identical label sequences, so
+  // matching must disambiguate occurrences.
+  PoRelation a(1), b(1);
+  for (uint32_t i = 0; i < per_log; ++i) {
+    a.AddTuple({i % 2});
+    b.AddTuple({i % 2});
+  }
+  for (uint32_t i = 0; i + 1 < per_log; ++i) {
+    a.AddOrderConstraint(i, i + 1);
+    b.AddOrderConstraint(i, i + 1);
+  }
+  PoRelation merged = PoRelation::UnionParallel(a, b);
+  // A valid world: perfect alternation.
+  std::vector<PoTuple> world;
+  for (uint32_t i = 0; i < 2 * per_log; ++i) world.push_back({(i / 2) % 2});
+  bool member = false;
+  for (auto _ : state) {
+    member = merged.IsPossibleWorld(world);
+    benchmark::DoNotOptimize(member);
+  }
+  state.counters["member"] = member;
+}
+BENCHMARK(BM_MembershipGeneralBacktracking)->DenseRange(4, 20, 4);
+
+void BM_AlgebraPipeline(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  PoRelation merged = TwoLogs(n);
+  size_t out = 0;
+  for (auto _ : state) {
+    PoRelation selected =
+        merged.Select([](const PoTuple& t) { return t[0] % 2 == 0; });
+    PoRelation projected = selected.Project({0});
+    out = projected.NumTuples();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["tuples_out"] = static_cast<double>(out);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AlgebraPipeline)->RangeMultiplier(2)->Range(8, 256)
+    ->Complexity();
+
+void BM_ProductLex(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  PoRelation hotels = TwoLogs(n);
+  PoRelation restaurants = TwoLogs(n);
+  size_t pairs = 0;
+  for (auto _ : state) {
+    PoRelation prod = PoRelation::ProductLex(hotels, restaurants);
+    pairs = prod.NumTuples();
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+}
+BENCHMARK(BM_ProductLex)->DenseRange(2, 6, 2);
+
+}  // namespace
+}  // namespace tud
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+#include "automata/automaton_library.h"
+
+#include <algorithm>
+
+namespace tud {
+
+TreeAutomaton MakeExistsLabel(Label alphabet_size, Label target) {
+  // State 1 = "seen target somewhere in the subtree".
+  TreeAutomaton a(2, alphabet_size);
+  for (Label l = 0; l < alphabet_size; ++l) {
+    a.AddLeafTransition(l, l == target ? 1 : 0);
+    for (State ql = 0; ql <= 1; ++ql) {
+      for (State qr = 0; qr <= 1; ++qr) {
+        State q = (l == target || ql == 1 || qr == 1) ? 1 : 0;
+        a.AddTransition(l, ql, qr, q);
+      }
+    }
+  }
+  a.SetAccepting(1);
+  return a;
+}
+
+TreeAutomaton MakeExistsLabelNondet(Label alphabet_size, Label target) {
+  // State 1 = "the guessed witness lies in this subtree". The automaton
+  // nondeterministically chooses one witness occurrence; runs where two
+  // children both claim the witness are dead ends.
+  TreeAutomaton a(2, alphabet_size);
+  for (Label l = 0; l < alphabet_size; ++l) {
+    a.AddLeafTransition(l, 0);
+    if (l == target) a.AddLeafTransition(l, 1);
+    a.AddTransition(l, 0, 0, 0);
+    if (l == target) a.AddTransition(l, 0, 0, 1);
+    a.AddTransition(l, 1, 0, 1);
+    a.AddTransition(l, 0, 1, 1);
+  }
+  a.SetAccepting(1);
+  return a;
+}
+
+TreeAutomaton MakeCountAtLeast(Label alphabet_size, Label target,
+                               uint32_t k) {
+  // State q in [0, k]: min(k, #target-labeled nodes in the subtree).
+  TreeAutomaton a(k + 1, alphabet_size);
+  for (Label l = 0; l < alphabet_size; ++l) {
+    uint32_t self = (l == target) ? 1 : 0;
+    a.AddLeafTransition(l, std::min(self, k));
+    for (State ql = 0; ql <= k; ++ql) {
+      for (State qr = 0; qr <= k; ++qr) {
+        a.AddTransition(l, ql, qr, std::min(ql + qr + self, k));
+      }
+    }
+  }
+  a.SetAccepting(k);
+  return a;
+}
+
+TreeAutomaton MakeRootHasLabel(Label alphabet_size, Label target) {
+  // State 1 = "this node is labeled target"; only the root's state
+  // matters for acceptance.
+  TreeAutomaton a(2, alphabet_size);
+  for (Label l = 0; l < alphabet_size; ++l) {
+    State q = (l == target) ? 1 : 0;
+    a.AddLeafTransition(l, q);
+    for (State ql = 0; ql <= 1; ++ql) {
+      for (State qr = 0; qr <= 1; ++qr) {
+        a.AddTransition(l, ql, qr, q);
+      }
+    }
+  }
+  a.SetAccepting(1);
+  return a;
+}
+
+TreeAutomaton MakeEveryBUnderA(Label alphabet_size, Label a_label,
+                               Label b_label) {
+  // State 1 = "some b in the subtree is exposed (no a above it within
+  // the subtree)". An a-labeled node shields everything below it.
+  TreeAutomaton a(2, alphabet_size);
+  for (Label l = 0; l < alphabet_size; ++l) {
+    a.AddLeafTransition(l, (l == b_label && l != a_label) ? 1 : 0);
+    for (State ql = 0; ql <= 1; ++ql) {
+      for (State qr = 0; qr <= 1; ++qr) {
+        State q;
+        if (l == a_label) {
+          q = 0;  // Shields exposed b's below, and itself if l == b.
+        } else {
+          q = (l == b_label || ql == 1 || qr == 1) ? 1 : 0;
+        }
+        a.AddTransition(l, ql, qr, q);
+      }
+    }
+  }
+  a.SetAccepting(0);
+  return a;
+}
+
+TreeAutomaton MakeExistsBBelowA(Label alphabet_size, Label a_label,
+                                Label b_label) {
+  // States: 0 = nothing relevant; 1 = subtree contains a b; 2 =
+  // witnessed an a with a strict b-descendant.
+  TreeAutomaton a(3, alphabet_size);
+  for (Label l = 0; l < alphabet_size; ++l) {
+    a.AddLeafTransition(l, l == b_label ? 1 : 0);
+    for (State ql = 0; ql <= 2; ++ql) {
+      for (State qr = 0; qr <= 2; ++qr) {
+        State q;
+        if (ql == 2 || qr == 2) {
+          q = 2;
+        } else if (l == a_label && (ql == 1 || qr == 1)) {
+          q = 2;
+        } else if (l == b_label || ql == 1 || qr == 1) {
+          q = 1;
+        } else {
+          q = 0;
+        }
+        a.AddTransition(l, ql, qr, q);
+      }
+    }
+  }
+  a.SetAccepting(2);
+  return a;
+}
+
+}  // namespace tud

@@ -1,0 +1,44 @@
+#ifndef TUD_AUTOMATA_AUTOMATON_LIBRARY_H_
+#define TUD_AUTOMATA_AUTOMATON_LIBRARY_H_
+
+#include <cstdint>
+
+#include "automata/tree_automaton.h"
+
+namespace tud {
+
+/// Hand-compiled tree automata for a library of MSO-definable properties
+/// of labeled binary trees.
+///
+/// Compiling arbitrary MSO to automata is non-elementary in the query
+/// (paper §2.2: "compiling MSO queries to automata is generally
+/// non-elementary"), so — like practical systems — we ship automata for
+/// a library of properties plus the Boolean closure operations of
+/// TreeAutomaton (product/union/complement), which together cover the
+/// Boolean combinations used by the examples, tests and benchmarks. The
+/// data-complexity theorems quantify over fixed automata, so any member
+/// of this library exercises the same code paths as a compiled MSO query.
+
+/// "Some node is labeled `target`." Deterministic, 2 states.
+TreeAutomaton MakeExistsLabel(Label alphabet_size, Label target);
+
+/// Same language, but nondeterministic (guesses one witness leaf-up
+/// path); used to exercise Determinize/ProvenanceRun on genuine NTAs.
+TreeAutomaton MakeExistsLabelNondet(Label alphabet_size, Label target);
+
+/// "At least `k` nodes are labeled `target`." Deterministic, k+1 states.
+TreeAutomaton MakeCountAtLeast(Label alphabet_size, Label target,
+                               uint32_t k);
+
+/// "The root is labeled `target`."
+TreeAutomaton MakeRootHasLabel(Label alphabet_size, Label target);
+
+/// "Every node labeled `b` has a (strict) ancestor labeled `a`."
+TreeAutomaton MakeEveryBUnderA(Label alphabet_size, Label a, Label b);
+
+/// "Some node labeled `a` has a (strict) descendant labeled `b`."
+TreeAutomaton MakeExistsBBelowA(Label alphabet_size, Label a, Label b);
+
+}  // namespace tud
+
+#endif  // TUD_AUTOMATA_AUTOMATON_LIBRARY_H_

@@ -1,0 +1,49 @@
+#include "automata/binary_tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tud {
+
+TreeNodeId BinaryTree::AddLeaf(Label label) {
+  TreeNodeId id = static_cast<TreeNodeId>(labels_.size());
+  labels_.push_back(label);
+  lefts_.push_back(kNoTreeNode);
+  rights_.push_back(kNoTreeNode);
+  alphabet_size_ = std::max(alphabet_size_, label + 1);
+  return id;
+}
+
+TreeNodeId BinaryTree::AddInternal(Label label, TreeNodeId left,
+                                   TreeNodeId right) {
+  TUD_CHECK_LT(left, labels_.size());
+  TUD_CHECK_LT(right, labels_.size());
+  TreeNodeId id = static_cast<TreeNodeId>(labels_.size());
+  labels_.push_back(label);
+  lefts_.push_back(left);
+  rights_.push_back(right);
+  alphabet_size_ = std::max(alphabet_size_, label + 1);
+  return id;
+}
+
+TreeNodeId BinaryTree::root() const {
+  TUD_CHECK_GT(NumNodes(), 0u);
+  return static_cast<TreeNodeId>(NumNodes() - 1);
+}
+
+std::string BinaryTree::ToString() const {
+  std::string out;
+  for (TreeNodeId n = 0; n < NumNodes(); ++n) {
+    out += "node " + std::to_string(n) + ": label " +
+           std::to_string(labels_[n]);
+    if (!IsLeaf(n)) {
+      out += " (" + std::to_string(lefts_[n]) + ", " +
+             std::to_string(rights_[n]) + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tud

@@ -1,0 +1,58 @@
+#ifndef TUD_AUTOMATA_BINARY_TREE_H_
+#define TUD_AUTOMATA_BINARY_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tud {
+
+/// Node index within a BinaryTree.
+using TreeNodeId = uint32_t;
+
+/// Node label (index into an alphabet the automaton knows about).
+using Label = uint32_t;
+
+inline constexpr TreeNodeId kNoTreeNode = UINT32_MAX;
+
+/// A full binary tree with labeled nodes: every node is a leaf or has
+/// exactly two children. This is the input shape of bottom-up tree
+/// automata; bounded-treewidth instances and unranked XML trees are
+/// encoded into such trees in the Courcelle-style pipeline (§2.2).
+///
+/// Nodes are append-only, children created before parents, so ascending
+/// id order is a valid bottom-up evaluation order. The root is the node
+/// designated by SetRoot (defaults to the last node added).
+class BinaryTree {
+ public:
+  BinaryTree() = default;
+
+  /// Adds a leaf with the given label.
+  TreeNodeId AddLeaf(Label label);
+
+  /// Adds an internal node over two existing nodes.
+  TreeNodeId AddInternal(Label label, TreeNodeId left, TreeNodeId right);
+
+  size_t NumNodes() const { return labels_.size(); }
+  TreeNodeId root() const;
+  Label label(TreeNodeId n) const { return labels_[n]; }
+  bool IsLeaf(TreeNodeId n) const { return lefts_[n] == kNoTreeNode; }
+  TreeNodeId left(TreeNodeId n) const { return lefts_[n]; }
+  TreeNodeId right(TreeNodeId n) const { return rights_[n]; }
+
+  /// Largest label used plus one.
+  Label AlphabetSize() const { return alphabet_size_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<TreeNodeId> lefts_;
+  std::vector<TreeNodeId> rights_;
+  Label alphabet_size_ = 0;
+};
+
+}  // namespace tud
+
+#endif  // TUD_AUTOMATA_BINARY_TREE_H_

@@ -1,0 +1,57 @@
+#include "automata/provenance_run.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace tud {
+
+GateId ProvenanceRun(const TreeAutomaton& automaton,
+                     UncertainBinaryTree& tree) {
+  TUD_CHECK_GT(tree.NumNodes(), 0u);
+  TUD_CHECK_LE(tree.AlphabetSize(), automaton.alphabet_size());
+  BoolCircuit& circuit = tree.circuit();
+  const uint32_t num_states = automaton.num_states();
+
+  // reach[n * num_states + q] = gate G(n, q).
+  std::vector<GateId> reach(tree.NumNodes() * num_states, kInvalidGate);
+  for (TreeNodeId n = 0; n < tree.NumNodes(); ++n) {
+    std::vector<std::vector<GateId>> disjuncts(num_states);
+    if (tree.IsLeaf(n)) {
+      for (const auto& [label, guard] : tree.alternatives(n)) {
+        for (State q : automaton.LeafStates(label)) {
+          disjuncts[q].push_back(guard);
+        }
+      }
+    } else {
+      const TreeNodeId left = tree.left(n);
+      const TreeNodeId right = tree.right(n);
+      for (const auto& [label, guard] : tree.alternatives(n)) {
+        for (State ql = 0; ql < num_states; ++ql) {
+          GateId gl = reach[left * num_states + ql];
+          for (State qr = 0; qr < num_states; ++qr) {
+            const std::vector<State>& targets =
+                automaton.Transitions(label, ql, qr);
+            if (targets.empty()) continue;
+            GateId gr = reach[right * num_states + qr];
+            GateId conj = circuit.AddAnd({guard, gl, gr});
+            for (State q : targets) disjuncts[q].push_back(conj);
+          }
+        }
+      }
+    }
+    for (State q = 0; q < num_states; ++q) {
+      reach[n * num_states + q] = circuit.AddOr(std::move(disjuncts[q]));
+    }
+  }
+
+  std::vector<GateId> accepting;
+  for (State q = 0; q < num_states; ++q) {
+    if (automaton.IsAccepting(q)) {
+      accepting.push_back(reach[tree.root() * num_states + q]);
+    }
+  }
+  return circuit.AddOr(std::move(accepting));
+}
+
+}  // namespace tud

@@ -1,0 +1,35 @@
+#ifndef TUD_AUTOMATA_PROVENANCE_RUN_H_
+#define TUD_AUTOMATA_PROVENANCE_RUN_H_
+
+#include "automata/tree_automaton.h"
+#include "automata/uncertain_tree.h"
+#include "circuits/bool_circuit.h"
+
+namespace tud {
+
+/// The provenance-circuit construction of §2.2: "we show that A can also
+/// be run on an uncertain instance I, producing a lineage circuit C that
+/// describes which possible worlds of I are accepted by A."
+///
+/// Runs NTA `automaton` symbolically over `tree`, adding gates to the
+/// tree's circuit: for each node n and state q, gate G(n, q) is true in a
+/// world iff q is reachable at n in that world:
+///
+///   G(leaf, q)     = OR over alternatives (l, guard) with q in
+///                    leaf(l): guard
+///   G(internal, q) = OR over alternatives (l, guard) and pairs
+///                    (ql, qr) with q in trans(l, ql, qr):
+///                    guard AND G(left, ql) AND G(right, qr)
+///
+/// The returned gate is OR over accepting q of G(root, q): exactly the
+/// lineage of "the automaton accepts this world". The construction adds
+/// O(|tree| * |A|) gates, and — the structural point of the paper — the
+/// gates for node n only read gates of n's children, so the lineage
+/// circuit has a tree decomposition following the tree with bag size
+/// O(num_states): bounded-width inputs yield bounded-width lineages.
+GateId ProvenanceRun(const TreeAutomaton& automaton,
+                     UncertainBinaryTree& tree);
+
+}  // namespace tud
+
+#endif  // TUD_AUTOMATA_PROVENANCE_RUN_H_

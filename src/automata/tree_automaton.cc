@@ -1,0 +1,225 @@
+#include "automata/tree_automaton.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace tud {
+
+void TreeAutomaton::AddLeafTransition(Label label, State q) {
+  TUD_CHECK_LT(label, alphabet_size_);
+  TUD_CHECK_LT(q, num_states_);
+  if (leaf_transitions_.size() < alphabet_size_) {
+    leaf_transitions_.resize(alphabet_size_);
+  }
+  leaf_transitions_[label].push_back(q);
+}
+
+void TreeAutomaton::AddTransition(Label label, State q_left, State q_right,
+                                  State q) {
+  TUD_CHECK_LT(label, alphabet_size_);
+  TUD_CHECK_LT(q_left, num_states_);
+  TUD_CHECK_LT(q_right, num_states_);
+  TUD_CHECK_LT(q, num_states_);
+  transitions_[{label, q_left, q_right}].push_back(q);
+}
+
+void TreeAutomaton::SetAccepting(State q) {
+  TUD_CHECK_LT(q, num_states_);
+  if (accepting_.size() < num_states_) accepting_.resize(num_states_, false);
+  accepting_[q] = true;
+}
+
+const std::vector<State>& TreeAutomaton::LeafStates(Label label) const {
+  if (label >= leaf_transitions_.size()) return empty_;
+  return leaf_transitions_[label];
+}
+
+const std::vector<State>& TreeAutomaton::Transitions(Label label,
+                                                     State q_left,
+                                                     State q_right) const {
+  auto it = transitions_.find({label, q_left, q_right});
+  if (it == transitions_.end()) return empty_;
+  return it->second;
+}
+
+std::vector<std::set<State>> TreeAutomaton::ReachableStates(
+    const BinaryTree& tree) const {
+  TUD_CHECK_LE(tree.AlphabetSize(), alphabet_size_);
+  std::vector<std::set<State>> reach(tree.NumNodes());
+  for (TreeNodeId n = 0; n < tree.NumNodes(); ++n) {
+    if (tree.IsLeaf(n)) {
+      for (State q : LeafStates(tree.label(n))) reach[n].insert(q);
+      continue;
+    }
+    for (State ql : reach[tree.left(n)]) {
+      for (State qr : reach[tree.right(n)]) {
+        for (State q : Transitions(tree.label(n), ql, qr)) {
+          reach[n].insert(q);
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+bool TreeAutomaton::Accepts(const BinaryTree& tree) const {
+  if (tree.NumNodes() == 0) return false;
+  std::vector<std::set<State>> reach = ReachableStates(tree);
+  for (State q : reach[tree.root()]) {
+    if (q < accepting_.size() && accepting_[q]) return true;
+  }
+  return false;
+}
+
+TreeAutomaton TreeAutomaton::Product(const TreeAutomaton& a,
+                                     const TreeAutomaton& b,
+                                     bool conjunction) {
+  TUD_CHECK_EQ(a.alphabet_size_, b.alphabet_size_);
+  const uint32_t nb = b.num_states_;
+  auto pair_state = [nb](State qa, State qb) { return qa * nb + qb; };
+  TreeAutomaton out(a.num_states_ * b.num_states_, a.alphabet_size_);
+
+  for (Label l = 0; l < a.alphabet_size_; ++l) {
+    for (State qa : a.LeafStates(l)) {
+      for (State qb : b.LeafStates(l)) {
+        out.AddLeafTransition(l, pair_state(qa, qb));
+      }
+    }
+  }
+  for (const auto& [key_a, targets_a] : a.transitions_) {
+    const auto& [label, al, ar] = key_a;
+    for (State bl = 0; bl < b.num_states_; ++bl) {
+      for (State br = 0; br < b.num_states_; ++br) {
+        const std::vector<State>& targets_b = b.Transitions(label, bl, br);
+        if (targets_b.empty()) continue;
+        for (State ta : targets_a) {
+          for (State tb : targets_b) {
+            out.AddTransition(label, pair_state(al, bl), pair_state(ar, br),
+                              pair_state(ta, tb));
+          }
+        }
+      }
+    }
+  }
+  for (State qa = 0; qa < a.num_states_; ++qa) {
+    for (State qb = 0; qb < b.num_states_; ++qb) {
+      bool acc_a = qa < a.accepting_.size() && a.accepting_[qa];
+      bool acc_b = qb < b.accepting_.size() && b.accepting_[qb];
+      if (conjunction ? (acc_a && acc_b) : (acc_a || acc_b)) {
+        out.SetAccepting(pair_state(qa, qb));
+      }
+    }
+  }
+  return out;
+}
+
+TreeAutomaton TreeAutomaton::Determinize() const {
+  // Subset construction: deterministic states are the reachable subsets
+  // of this automaton's states. The result is complete (the empty subset
+  // is a valid sink), so flipping accepting states complements.
+  std::map<std::set<State>, State> subset_id;
+  std::vector<std::set<State>> subsets;
+  auto intern = [&](const std::set<State>& s) -> State {
+    auto it = subset_id.find(s);
+    if (it != subset_id.end()) return it->second;
+    State id = static_cast<State>(subsets.size());
+    TUD_CHECK_LE(subsets.size(), 4096u) << "determinisation blow-up";
+    subset_id.emplace(s, id);
+    subsets.push_back(s);
+    return id;
+  };
+
+  // Leaf subsets per label.
+  std::vector<std::pair<Label, State>> det_leaves;
+  for (Label l = 0; l < alphabet_size_; ++l) {
+    std::set<State> s(LeafStates(l).begin(), LeafStates(l).end());
+    det_leaves.emplace_back(l, intern(s));
+  }
+
+  // Saturate: repeatedly apply every label to every pair of known
+  // subsets until no new subset appears.
+  std::vector<std::tuple<Label, State, State, State>> det_transitions;
+  std::set<std::tuple<Label, State, State>> done;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const size_t count = subsets.size();
+    for (Label l = 0; l < alphabet_size_; ++l) {
+      for (State i = 0; i < count; ++i) {
+        for (State j = 0; j < count; ++j) {
+          if (done.contains({l, i, j})) continue;
+          std::set<State> successor;
+          for (State ql : subsets[i]) {
+            for (State qr : subsets[j]) {
+              for (State q : Transitions(l, ql, qr)) successor.insert(q);
+            }
+          }
+          size_t before = subsets.size();
+          State target = intern(successor);
+          det_transitions.emplace_back(l, i, j, target);
+          done.insert({l, i, j});
+          if (subsets.size() != before) changed = true;
+        }
+      }
+    }
+    if (subsets.size() != count) changed = true;
+  }
+
+  TreeAutomaton out(static_cast<uint32_t>(subsets.size()), alphabet_size_);
+  for (const auto& [l, q] : det_leaves) out.AddLeafTransition(l, q);
+  for (const auto& [l, i, j, t] : det_transitions) {
+    out.AddTransition(l, i, j, t);
+  }
+  for (State i = 0; i < subsets.size(); ++i) {
+    for (State q : subsets[i]) {
+      if (q < accepting_.size() && accepting_[q]) {
+        out.SetAccepting(i);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+TreeAutomaton TreeAutomaton::Complement() const {
+  TreeAutomaton det = Determinize();
+  TreeAutomaton out(det.num_states_, det.alphabet_size_);
+  out.leaf_transitions_ = det.leaf_transitions_;
+  out.transitions_ = det.transitions_;
+  out.accepting_.assign(det.num_states_, false);
+  for (State q = 0; q < det.num_states_; ++q) {
+    bool acc = q < det.accepting_.size() && det.accepting_[q];
+    out.accepting_[q] = !acc;
+  }
+  return out;
+}
+
+bool TreeAutomaton::IsEmpty() const {
+  std::vector<bool> reachable(num_states_, false);
+  for (Label l = 0; l < alphabet_size_; ++l) {
+    for (State q : LeafStates(l)) reachable[q] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [key, targets] : transitions_) {
+      const auto& [label, ql, qr] = key;
+      (void)label;
+      if (!reachable[ql] || !reachable[qr]) continue;
+      for (State q : targets) {
+        if (!reachable[q]) {
+          reachable[q] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  for (State q = 0; q < num_states_; ++q) {
+    if (reachable[q] && q < accepting_.size() && accepting_[q]) return false;
+  }
+  return true;
+}
+
+}  // namespace tud

@@ -1,0 +1,86 @@
+#ifndef TUD_AUTOMATA_TREE_AUTOMATON_H_
+#define TUD_AUTOMATA_TREE_AUTOMATON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "automata/binary_tree.h"
+
+namespace tud {
+
+/// Automaton state index.
+using State = uint32_t;
+
+/// A bottom-up nondeterministic tree automaton (NTA) over labeled full
+/// binary trees.
+///
+/// Tree automata are the query-evaluation device of the paper's §2.2
+/// pipeline: "one compiles the MSO query q, in a data-independent
+/// fashion, to a tree automaton A which can read tree encodings of
+/// bounded-treewidth instances and determine whether they satisfy q"
+/// [45, 18]. This class provides runs, Boolean closure (product, union,
+/// complement via subset-construction determinisation) and emptiness —
+/// enough to combine the hand-compiled MSO-property automata of
+/// automaton_library.h into arbitrary Boolean queries.
+class TreeAutomaton {
+ public:
+  TreeAutomaton(uint32_t num_states, Label alphabet_size)
+      : num_states_(num_states), alphabet_size_(alphabet_size) {}
+
+  uint32_t num_states() const { return num_states_; }
+  Label alphabet_size() const { return alphabet_size_; }
+
+  /// Declares that a leaf labeled `label` may start in state `q`.
+  void AddLeafTransition(Label label, State q);
+
+  /// Declares transition (label, q_left, q_right) -> q.
+  void AddTransition(Label label, State q_left, State q_right, State q);
+
+  void SetAccepting(State q);
+  bool IsAccepting(State q) const {
+    return q < accepting_.size() && accepting_[q];
+  }
+  const std::vector<bool>& accepting() const { return accepting_; }
+
+  const std::vector<State>& LeafStates(Label label) const;
+  const std::vector<State>& Transitions(Label label, State q_left,
+                                        State q_right) const;
+
+  /// Set-based nondeterministic run; true iff some run reaches an
+  /// accepting state at the root.
+  bool Accepts(const BinaryTree& tree) const;
+
+  /// The set of states reachable at each node of `tree` (bottom-up).
+  std::vector<std::set<State>> ReachableStates(const BinaryTree& tree) const;
+
+  /// Product automaton: accepts the intersection (`conjunction` = true)
+  /// or union (false) of the two languages. Alphabets must agree.
+  static TreeAutomaton Product(const TreeAutomaton& a, const TreeAutomaton& b,
+                               bool conjunction);
+
+  /// Subset-construction determinisation; the result is a *complete*
+  /// deterministic automaton with at most 2^n reachable subset states.
+  TreeAutomaton Determinize() const;
+
+  /// Complement: determinise, then flip accepting states.
+  TreeAutomaton Complement() const;
+
+  /// True iff the accepted language is empty (reachability check).
+  bool IsEmpty() const;
+
+ private:
+  uint32_t num_states_;
+  Label alphabet_size_;
+  std::vector<std::vector<State>> leaf_transitions_;  // Indexed by label.
+  std::map<std::tuple<Label, State, State>, std::vector<State>> transitions_;
+  std::vector<bool> accepting_;
+  std::vector<State> empty_;
+};
+
+}  // namespace tud
+
+#endif  // TUD_AUTOMATA_TREE_AUTOMATON_H_

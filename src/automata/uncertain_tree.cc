@@ -1,0 +1,73 @@
+#include "automata/uncertain_tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tud {
+
+TreeNodeId UncertainBinaryTree::AddLeaf(
+    std::vector<std::pair<Label, GateId>> alternatives) {
+  TUD_CHECK(!alternatives.empty());
+  for (const auto& [label, gate] : alternatives) {
+    TUD_CHECK_LT(gate, circuit_.NumGates());
+    alphabet_size_ = std::max(alphabet_size_, label + 1);
+  }
+  TreeNodeId id = static_cast<TreeNodeId>(alternatives_.size());
+  alternatives_.push_back(std::move(alternatives));
+  lefts_.push_back(kNoTreeNode);
+  rights_.push_back(kNoTreeNode);
+  return id;
+}
+
+TreeNodeId UncertainBinaryTree::AddInternal(
+    std::vector<std::pair<Label, GateId>> alternatives, TreeNodeId left,
+    TreeNodeId right) {
+  TUD_CHECK_LT(left, NumNodes());
+  TUD_CHECK_LT(right, NumNodes());
+  TreeNodeId id = AddLeaf(std::move(alternatives));
+  lefts_[id] = left;
+  rights_[id] = right;
+  return id;
+}
+
+TreeNodeId UncertainBinaryTree::root() const {
+  TUD_CHECK_GT(NumNodes(), 0u);
+  return static_cast<TreeNodeId>(NumNodes() - 1);
+}
+
+BinaryTree UncertainBinaryTree::World(const Valuation& valuation) const {
+  std::vector<bool> gate_values = circuit_.EvaluateAll(valuation);
+  BinaryTree tree;
+  for (TreeNodeId n = 0; n < NumNodes(); ++n) {
+    Label chosen = 0;
+    int count = 0;
+    for (const auto& [label, gate] : alternatives_[n]) {
+      if (gate_values[gate]) {
+        chosen = label;
+        ++count;
+      }
+    }
+    TUD_CHECK_EQ(count, 1) << "node " << n << " has " << count
+                           << " active label alternatives";
+    TreeNodeId id = IsLeaf(n) ? tree.AddLeaf(chosen)
+                              : tree.AddInternal(chosen, lefts_[n], rights_[n]);
+    TUD_CHECK_EQ(id, n);
+  }
+  return tree;
+}
+
+bool UncertainBinaryTree::IsWellFormedUnder(const Valuation& valuation) const {
+  std::vector<bool> gate_values = circuit_.EvaluateAll(valuation);
+  for (TreeNodeId n = 0; n < NumNodes(); ++n) {
+    int count = 0;
+    for (const auto& [label, gate] : alternatives_[n]) {
+      (void)label;
+      if (gate_values[gate]) ++count;
+    }
+    if (count != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace tud

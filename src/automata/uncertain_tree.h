@@ -1,0 +1,71 @@
+#ifndef TUD_AUTOMATA_UNCERTAIN_TREE_H_
+#define TUD_AUTOMATA_UNCERTAIN_TREE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "automata/binary_tree.h"
+#include "circuits/bool_circuit.h"
+#include "events/event_registry.h"
+#include "events/valuation.h"
+
+namespace tud {
+
+/// A binary tree with a fixed shape but uncertain node labels: each node
+/// carries a list of (label, guard gate) alternatives over a shared
+/// Boolean circuit. A valuation of the events picks, at every node, the
+/// alternative whose guard is true — the caller must ensure that exactly
+/// one guard per node holds in every world (e.g., by guarding two
+/// alternatives with g and NOT g). IsWellFormedUnder verifies this for a
+/// given valuation; tests sweep it exhaustively.
+///
+/// This is the input of the provenance-run construction (§2.2): tree
+/// encodings of uncertain instances are trees whose node labels vary
+/// across possible worlds while the skeleton stays fixed.
+class UncertainBinaryTree {
+ public:
+  UncertainBinaryTree() = default;
+
+  /// The circuit guards live in. Register events with `events()` of the
+  /// owning context and build guard gates here.
+  BoolCircuit& circuit() { return circuit_; }
+  const BoolCircuit& circuit() const { return circuit_; }
+
+  /// Adds a leaf / internal node with the given alternatives (at least
+  /// one; pass a single alternative guarded by TRUE for a certain node).
+  TreeNodeId AddLeaf(std::vector<std::pair<Label, GateId>> alternatives);
+  TreeNodeId AddInternal(std::vector<std::pair<Label, GateId>> alternatives,
+                         TreeNodeId left, TreeNodeId right);
+
+  size_t NumNodes() const { return alternatives_.size(); }
+  TreeNodeId root() const;
+  bool IsLeaf(TreeNodeId n) const { return lefts_[n] == kNoTreeNode; }
+  TreeNodeId left(TreeNodeId n) const { return lefts_[n]; }
+  TreeNodeId right(TreeNodeId n) const { return rights_[n]; }
+  const std::vector<std::pair<Label, GateId>>& alternatives(
+      TreeNodeId n) const {
+    return alternatives_[n];
+  }
+
+  /// Largest label mentioned plus one.
+  Label AlphabetSize() const { return alphabet_size_; }
+
+  /// The concrete possible world selected by `valuation`; requires
+  /// exactly one guard true per node (checked).
+  BinaryTree World(const Valuation& valuation) const;
+
+  /// True iff exactly one guard holds at every node under `valuation`.
+  bool IsWellFormedUnder(const Valuation& valuation) const;
+
+ private:
+  BoolCircuit circuit_;
+  std::vector<std::vector<std::pair<Label, GateId>>> alternatives_;
+  std::vector<TreeNodeId> lefts_;
+  std::vector<TreeNodeId> rights_;
+  Label alphabet_size_ = 0;
+};
+
+}  // namespace tud
+
+#endif  // TUD_AUTOMATA_UNCERTAIN_TREE_H_

@@ -1,0 +1,278 @@
+#include "events/bool_formula.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/check.h"
+
+namespace tud {
+
+namespace {
+
+std::shared_ptr<const BoolFormula::Node> MakeNode(BoolFormula::Node node) {
+  return std::make_shared<const BoolFormula::Node>(std::move(node));
+}
+
+}  // namespace
+
+BoolFormula BoolFormula::Constant(bool value) {
+  Node node;
+  node.kind = Kind::kConst;
+  node.const_value = value;
+  return BoolFormula(MakeNode(std::move(node)));
+}
+
+BoolFormula BoolFormula::Var(EventId event) {
+  TUD_CHECK_NE(event, kInvalidEvent);
+  Node node;
+  node.kind = Kind::kVar;
+  node.var = event;
+  return BoolFormula(MakeNode(std::move(node)));
+}
+
+BoolFormula BoolFormula::Not(const BoolFormula& f) {
+  if (f.kind() == Kind::kConst) return Constant(!f.const_value());
+  if (f.kind() == Kind::kNot) return f.children()[0];
+  Node node;
+  node.kind = Kind::kNot;
+  node.children = {f};
+  return BoolFormula(MakeNode(std::move(node)));
+}
+
+BoolFormula BoolFormula::And(const std::vector<BoolFormula>& fs) {
+  std::vector<BoolFormula> kept;
+  for (const BoolFormula& f : fs) {
+    if (f.kind() == Kind::kConst) {
+      if (!f.const_value()) return Constant(false);
+      continue;  // Drop neutral element.
+    }
+    kept.push_back(f);
+  }
+  if (kept.empty()) return Constant(true);
+  if (kept.size() == 1) return kept[0];
+  Node node;
+  node.kind = Kind::kAnd;
+  node.children = std::move(kept);
+  return BoolFormula(MakeNode(std::move(node)));
+}
+
+BoolFormula BoolFormula::Or(const std::vector<BoolFormula>& fs) {
+  std::vector<BoolFormula> kept;
+  for (const BoolFormula& f : fs) {
+    if (f.kind() == Kind::kConst) {
+      if (f.const_value()) return Constant(true);
+      continue;
+    }
+    kept.push_back(f);
+  }
+  if (kept.empty()) return Constant(false);
+  if (kept.size() == 1) return kept[0];
+  Node node;
+  node.kind = Kind::kOr;
+  node.children = std::move(kept);
+  return BoolFormula(MakeNode(std::move(node)));
+}
+
+BoolFormula BoolFormula::And(const BoolFormula& a, const BoolFormula& b) {
+  return And(std::vector<BoolFormula>{a, b});
+}
+
+BoolFormula BoolFormula::Or(const BoolFormula& a, const BoolFormula& b) {
+  return Or(std::vector<BoolFormula>{a, b});
+}
+
+bool BoolFormula::const_value() const {
+  TUD_CHECK(kind() == Kind::kConst);
+  return node_->const_value;
+}
+
+EventId BoolFormula::var() const {
+  TUD_CHECK(kind() == Kind::kVar);
+  return node_->var;
+}
+
+const std::vector<BoolFormula>& BoolFormula::children() const {
+  return node_->children;
+}
+
+bool BoolFormula::Evaluate(const Valuation& valuation) const {
+  switch (kind()) {
+    case Kind::kConst:
+      return node_->const_value;
+    case Kind::kVar:
+      return valuation.value(node_->var);
+    case Kind::kNot:
+      return !node_->children[0].Evaluate(valuation);
+    case Kind::kAnd:
+      for (const BoolFormula& child : node_->children) {
+        if (!child.Evaluate(valuation)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const BoolFormula& child : node_->children) {
+        if (child.Evaluate(valuation)) return true;
+      }
+      return false;
+  }
+  TUD_CHECK(false) << "unreachable";
+  return false;
+}
+
+namespace {
+
+void CollectEvents(const BoolFormula& f, std::vector<EventId>& out) {
+  switch (f.kind()) {
+    case BoolFormula::Kind::kConst:
+      return;
+    case BoolFormula::Kind::kVar:
+      out.push_back(f.var());
+      return;
+    default:
+      for (const BoolFormula& child : f.children()) {
+        CollectEvents(child, out);
+      }
+  }
+}
+
+}  // namespace
+
+std::vector<EventId> BoolFormula::Events() const {
+  std::vector<EventId> events;
+  CollectEvents(*this, events);
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+  return events;
+}
+
+bool BoolFormula::IsPositive() const {
+  if (kind() == Kind::kNot) return false;
+  for (const BoolFormula& child : children()) {
+    if (!child.IsPositive()) return false;
+  }
+  return true;
+}
+
+std::string BoolFormula::ToString(const EventRegistry& registry) const {
+  switch (kind()) {
+    case Kind::kConst:
+      return node_->const_value ? "true" : "false";
+    case Kind::kVar:
+      return registry.name(node_->var);
+    case Kind::kNot:
+      return "!" + node_->children[0].ToString(registry);
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind() == Kind::kAnd ? " & " : " | ";
+      std::string out = "(";
+      for (size_t i = 0; i < node_->children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += node_->children[i].ToString(registry);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  TUD_CHECK(false) << "unreachable";
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Recursive-descent parser: or := and ('|' and)*, and := unary ('&' unary)*,
+// unary := '!' unary | '(' or ')' | ident | 'true' | 'false'.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const EventRegistry& registry)
+      : text_(text), registry_(registry) {}
+
+  std::optional<BoolFormula> Run() {
+    auto f = ParseOr();
+    SkipSpace();
+    if (!f.has_value() || pos_ != text_.size()) return std::nullopt;
+    return f;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<BoolFormula> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.has_value()) return std::nullopt;
+    std::vector<BoolFormula> parts = {*lhs};
+    while (Consume('|')) {
+      auto rhs = ParseAnd();
+      if (!rhs.has_value()) return std::nullopt;
+      parts.push_back(*rhs);
+    }
+    return BoolFormula::Or(parts);
+  }
+
+  std::optional<BoolFormula> ParseAnd() {
+    auto lhs = ParseUnary();
+    if (!lhs.has_value()) return std::nullopt;
+    std::vector<BoolFormula> parts = {*lhs};
+    while (Consume('&')) {
+      auto rhs = ParseUnary();
+      if (!rhs.has_value()) return std::nullopt;
+      parts.push_back(*rhs);
+    }
+    return BoolFormula::And(parts);
+  }
+
+  std::optional<BoolFormula> ParseUnary() {
+    SkipSpace();
+    if (Consume('!')) {
+      auto inner = ParseUnary();
+      if (!inner.has_value()) return std::nullopt;
+      return BoolFormula::Not(*inner);
+    }
+    if (Consume('(')) {
+      auto inner = ParseOr();
+      if (!inner.has_value() || !Consume(')')) return std::nullopt;
+      return inner;
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    std::string_view ident = text_.substr(start, pos_ - start);
+    if (ident == "true") return BoolFormula::True();
+    if (ident == "false") return BoolFormula::False();
+    auto id = registry_.Find(ident);
+    if (!id.has_value()) return std::nullopt;
+    return BoolFormula::Var(*id);
+  }
+
+  std::string_view text_;
+  const EventRegistry& registry_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<BoolFormula> BoolFormula::Parse(std::string_view text,
+                                              const EventRegistry& registry) {
+  return Parser(text, registry).Run();
+}
+
+}  // namespace tud

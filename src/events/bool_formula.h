@@ -1,0 +1,86 @@
+#ifndef TUD_EVENTS_BOOL_FORMULA_H_
+#define TUD_EVENTS_BOOL_FORMULA_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "events/event_registry.h"
+#include "events/valuation.h"
+
+namespace tud {
+
+/// A propositional formula over events. This is the annotation language of
+/// c-instances (Imielinski-Lipski): each fact of a c-instance carries a
+/// BoolFormula, and a possible world keeps exactly the facts whose formula
+/// evaluates to true under the chosen valuation.
+///
+/// Formulas are immutable trees shared via shared_ptr; all constructors
+/// perform light simplification against constants.
+class BoolFormula {
+ public:
+  enum class Kind { kConst, kVar, kNot, kAnd, kOr };
+
+  /// The constant true / false formula.
+  static BoolFormula Constant(bool value);
+  static BoolFormula True() { return Constant(true); }
+  static BoolFormula False() { return Constant(false); }
+
+  /// The formula consisting of a single event.
+  static BoolFormula Var(EventId event);
+
+  /// Negation, conjunction, disjunction. And/Or of an empty list are the
+  /// neutral elements (true / false respectively).
+  static BoolFormula Not(const BoolFormula& f);
+  static BoolFormula And(const std::vector<BoolFormula>& fs);
+  static BoolFormula Or(const std::vector<BoolFormula>& fs);
+  static BoolFormula And(const BoolFormula& a, const BoolFormula& b);
+  static BoolFormula Or(const BoolFormula& a, const BoolFormula& b);
+
+  /// Parses a formula like "pods & !stoc | (x & y)" against `registry`.
+  /// Operators: ! (not), & (and), | (or), parentheses; '&' binds tighter
+  /// than '|'. Identifiers must already be registered. Returns nullopt on
+  /// syntax errors or unknown events.
+  static std::optional<BoolFormula> Parse(std::string_view text,
+                                          const EventRegistry& registry);
+
+  Kind kind() const { return node_->kind; }
+  bool const_value() const;
+  EventId var() const;
+  const std::vector<BoolFormula>& children() const;
+
+  /// Truth value under a total valuation.
+  bool Evaluate(const Valuation& valuation) const;
+
+  /// All events occurring in the formula, deduplicated, ascending.
+  std::vector<EventId> Events() const;
+
+  /// True if the formula contains no negation (monotone annotations keep
+  /// possible worlds closed under adding events; TIDs are the special case
+  /// of a single positive literal per fact).
+  bool IsPositive() const;
+
+  /// Renders with registry names, fully parenthesised.
+  std::string ToString(const EventRegistry& registry) const;
+
+  /// Internal node representation; public only so the implementation's
+  /// file-local helpers can allocate nodes. Not part of the stable API.
+  struct Node {
+    Kind kind;
+    bool const_value = false;
+    EventId var = kInvalidEvent;
+    std::vector<BoolFormula> children;
+  };
+
+ private:
+  explicit BoolFormula(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace tud
+
+#endif  // TUD_EVENTS_BOOL_FORMULA_H_

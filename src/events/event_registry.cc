@@ -1,0 +1,45 @@
+#include "events/event_registry.h"
+
+#include "util/check.h"
+
+namespace tud {
+
+EventId EventRegistry::Register(std::string name, double probability) {
+  TUD_CHECK(probability >= 0.0 && probability <= 1.0)
+      << "event '" << name << "' has probability " << probability;
+  TUD_CHECK(index_.find(name) == index_.end())
+      << "duplicate event name '" << name << "'";
+  EventId id = static_cast<EventId>(probabilities_.size());
+  index_.emplace(name, id);
+  names_.push_back(std::move(name));
+  probabilities_.push_back(probability);
+  return id;
+}
+
+EventId EventRegistry::RegisterAnonymous(double probability) {
+  return Register("_e" + std::to_string(probabilities_.size()), probability);
+}
+
+std::optional<EventId> EventRegistry::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& EventRegistry::name(EventId id) const {
+  TUD_CHECK_LT(id, names_.size());
+  return names_[id];
+}
+
+double EventRegistry::probability(EventId id) const {
+  TUD_CHECK_LT(id, probabilities_.size());
+  return probabilities_[id];
+}
+
+void EventRegistry::set_probability(EventId id, double probability) {
+  TUD_CHECK_LT(id, probabilities_.size());
+  TUD_CHECK(probability >= 0.0 && probability <= 1.0);
+  probabilities_[id] = probability;
+}
+
+}  // namespace tud

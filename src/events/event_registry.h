@@ -1,0 +1,61 @@
+#ifndef TUD_EVENTS_EVENT_REGISTRY_H_
+#define TUD_EVENTS_EVENT_REGISTRY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tud {
+
+/// Identifier of a Boolean event. Events are the atomic sources of
+/// uncertainty: independent Boolean random variables in pc/pcc-instances
+/// and PrXML documents, plain unknowns in c-instances.
+using EventId = uint32_t;
+
+/// Sentinel for "no event".
+inline constexpr EventId kInvalidEvent = UINT32_MAX;
+
+/// Registry of named Boolean events with optional probabilities.
+///
+/// A c-instance only needs the event names; a pc-instance additionally
+/// assigns each event an independent probability of being true. The
+/// registry is shared by an uncertain instance and all annotations,
+/// lineage circuits, and inference engines derived from it.
+class EventRegistry {
+ public:
+  EventRegistry() = default;
+
+  /// Registers a new event with the given name and probability of being
+  /// true. Names must be unique; probability must lie in [0, 1].
+  EventId Register(std::string name, double probability = 0.5);
+
+  /// Registers an anonymous event (name auto-generated as "_e<id>").
+  EventId RegisterAnonymous(double probability = 0.5);
+
+  /// Returns the id of the event named `name`, if registered.
+  std::optional<EventId> Find(std::string_view name) const;
+
+  /// Number of registered events.
+  size_t size() const { return probabilities_.size(); }
+
+  /// Name of event `id`.
+  const std::string& name(EventId id) const;
+
+  /// Probability that event `id` is true.
+  double probability(EventId id) const;
+
+  /// Overwrites the probability of event `id` (used by conditioning).
+  void set_probability(EventId id, double probability);
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> probabilities_;
+  std::unordered_map<std::string, EventId> index_;
+};
+
+}  // namespace tud
+
+#endif  // TUD_EVENTS_EVENT_REGISTRY_H_

@@ -1,0 +1,44 @@
+#include "events/valuation.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace tud {
+
+Valuation Valuation::FromMask(uint64_t mask, size_t num_events) {
+  TUD_CHECK_LE(num_events, 64u);
+  std::vector<bool> bits(num_events);
+  for (size_t i = 0; i < num_events; ++i) bits[i] = (mask >> i) & 1;
+  return Valuation(std::move(bits));
+}
+
+Valuation Valuation::Sample(const EventRegistry& registry, Rng& rng) {
+  std::vector<bool> bits(registry.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = rng.Bernoulli(registry.probability(static_cast<EventId>(i)));
+  }
+  return Valuation(std::move(bits));
+}
+
+double Valuation::Probability(const EventRegistry& registry) const {
+  TUD_CHECK_EQ(bits_.size(), registry.size());
+  double p = 1.0;
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    double pe = registry.probability(static_cast<EventId>(i));
+    p *= bits_[i] ? pe : (1.0 - pe);
+  }
+  return p;
+}
+
+std::string Valuation::ToString(const EventRegistry& registry) const {
+  std::string out = "{";
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (!bits_[i]) out += "!";
+    out += registry.name(static_cast<EventId>(i));
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace tud

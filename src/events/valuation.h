@@ -1,0 +1,51 @@
+#ifndef TUD_EVENTS_VALUATION_H_
+#define TUD_EVENTS_VALUATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "events/event_registry.h"
+
+namespace tud {
+
+class Rng;
+
+/// A total truth assignment to the events of a registry. A valuation
+/// selects one possible world of an uncertain instance.
+class Valuation {
+ public:
+  /// All-false valuation over `num_events` events.
+  explicit Valuation(size_t num_events) : bits_(num_events, false) {}
+
+  /// Builds a valuation from explicit bits.
+  explicit Valuation(std::vector<bool> bits) : bits_(std::move(bits)) {}
+
+  /// Decodes the `num_events` low bits of `mask` (event 0 = bit 0).
+  /// Convenient for exhaustive enumeration over 2^n worlds.
+  static Valuation FromMask(uint64_t mask, size_t num_events);
+
+  /// Samples each event independently with its registry probability.
+  static Valuation Sample(const EventRegistry& registry, Rng& rng);
+
+  size_t size() const { return bits_.size(); }
+  bool value(EventId id) const { return bits_[id]; }
+  void set_value(EventId id, bool value) { bits_[id] = value; }
+
+  /// Probability of this exact valuation under independent events.
+  double Probability(const EventRegistry& registry) const;
+
+  /// Renders as e.g. "{e1, !e2, e3}" using registry names.
+  std::string ToString(const EventRegistry& registry) const;
+
+  friend bool operator==(const Valuation& a, const Valuation& b) {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  std::vector<bool> bits_;
+};
+
+}  // namespace tud
+
+#endif  // TUD_EVENTS_VALUATION_H_

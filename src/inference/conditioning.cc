@@ -1,0 +1,89 @@
+#include "inference/conditioning.h"
+
+#include <cmath>
+
+#include "inference/junction_tree.h"
+#include "util/check.h"
+
+namespace tud {
+
+std::optional<double> ConditionalProbability(BoolCircuit& circuit,
+                                             GateId query, GateId observation,
+                                             const EventRegistry& registry) {
+  double p_obs = JunctionTreeProbability(circuit, observation, registry);
+  if (p_obs <= 0.0) return std::nullopt;
+  GateId both = circuit.AddAnd(query, observation);
+  double p_both = JunctionTreeProbability(circuit, both, registry);
+  return p_both / p_obs;
+}
+
+BoolFormula SubstituteEvent(const BoolFormula& formula, EventId event,
+                            bool value) {
+  switch (formula.kind()) {
+    case BoolFormula::Kind::kConst:
+      return formula;
+    case BoolFormula::Kind::kVar:
+      return formula.var() == event ? BoolFormula::Constant(value) : formula;
+    case BoolFormula::Kind::kNot:
+      return BoolFormula::Not(
+          SubstituteEvent(formula.children()[0], event, value));
+    case BoolFormula::Kind::kAnd:
+    case BoolFormula::Kind::kOr: {
+      std::vector<BoolFormula> parts;
+      parts.reserve(formula.children().size());
+      for (const BoolFormula& child : formula.children()) {
+        parts.push_back(SubstituteEvent(child, event, value));
+      }
+      return formula.kind() == BoolFormula::Kind::kAnd
+                 ? BoolFormula::And(parts)
+                 : BoolFormula::Or(parts);
+    }
+  }
+  TUD_CHECK(false) << "unreachable";
+  return formula;
+}
+
+CInstance ConditionOnEventLiteral(const CInstance& instance, EventId event,
+                                  bool value) {
+  CInstance out(instance.instance().schema());
+  for (EventId e = 0; e < instance.events().size(); ++e) {
+    double p = instance.events().probability(e);
+    if (e == event) p = value ? 1.0 : 0.0;
+    out.events().Register(instance.events().name(e), p);
+  }
+  for (FactId f = 0; f < instance.NumFacts(); ++f) {
+    out.AddFact(instance.instance().fact(f).relation,
+                instance.instance().fact(f).args,
+                SubstituteEvent(instance.annotation(f), event, value));
+  }
+  return out;
+}
+
+double BinaryEntropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+std::optional<QuestionChoice> SelectBestQuestion(
+    BoolCircuit& circuit, GateId query, const EventRegistry& registry,
+    const std::vector<EventId>& candidates) {
+  if (candidates.empty()) return std::nullopt;
+  double current = BinaryEntropy(
+      JunctionTreeProbability(circuit, query, registry));
+  std::optional<QuestionChoice> best;
+  for (EventId e : candidates) {
+    double pe = registry.probability(e);
+    double p_true = JunctionTreeProbabilityWithEvidence(
+        circuit, query, registry, {{e, true}});
+    double p_false = JunctionTreeProbabilityWithEvidence(
+        circuit, query, registry, {{e, false}});
+    double expected =
+        pe * BinaryEntropy(p_true) + (1.0 - pe) * BinaryEntropy(p_false);
+    if (!best.has_value() || expected < best->expected_entropy) {
+      best = QuestionChoice{e, expected, current};
+    }
+  }
+  return best;
+}
+
+}  // namespace tud

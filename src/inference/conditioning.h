@@ -1,0 +1,58 @@
+#ifndef TUD_INFERENCE_CONDITIONING_H_
+#define TUD_INFERENCE_CONDITIONING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "circuits/bool_circuit.h"
+#include "events/event_registry.h"
+#include "uncertain/c_instance.h"
+
+namespace tud {
+
+/// Conditioning (paper §4): revising uncertain data to force the outcome
+/// of probabilistic events given observations, and choosing which
+/// question to ask next to reduce uncertainty.
+
+/// Conditional probability P(query | observation) where both are gates of
+/// the same circuit, computed exactly by two message-passing runs
+/// (P(q ∧ o) / P(o)). Returns nullopt if P(observation) = 0.
+std::optional<double> ConditionalProbability(BoolCircuit& circuit,
+                                             GateId query, GateId observation,
+                                             const EventRegistry& registry);
+
+/// Materialises conditioning of a c-instance on an event literal: the
+/// paper notes that "we can easily condition a c-instance to indicate
+/// that an event is true" — each annotation is specialised by
+/// substituting the literal, and the event's probability is set to 0/1 in
+/// the returned instance's registry. (Forcing an arbitrary *fact
+/// annotation* to be true is the hard direction and is intentionally not
+/// offered as a materialisation; use ConditionalProbability instead.)
+CInstance ConditionOnEventLiteral(const CInstance& instance, EventId event,
+                                  bool value);
+
+/// Specialises formula annotations by substituting a literal.
+BoolFormula SubstituteEvent(const BoolFormula& formula, EventId event,
+                            bool value);
+
+/// Binary entropy (in bits) of a probability.
+double BinaryEntropy(double p);
+
+/// Value-of-information question selection: among `candidates` (events we
+/// may ask an oracle about, e.g., crowd workers), picks the one whose
+/// answer minimises the expected posterior entropy of P(query), i.e.,
+/// maximises expected information gain. Returns nullopt if `candidates`
+/// is empty. Greedy one-step lookahead, as in crowd data sourcing [9].
+struct QuestionChoice {
+  EventId event;
+  double expected_entropy;   ///< E[H(P(query | answer))].
+  double current_entropy;    ///< H(P(query)) before asking.
+};
+std::optional<QuestionChoice> SelectBestQuestion(
+    BoolCircuit& circuit, GateId query, const EventRegistry& registry,
+    const std::vector<EventId>& candidates);
+
+}  // namespace tud
+
+#endif  // TUD_INFERENCE_CONDITIONING_H_

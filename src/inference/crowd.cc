@@ -1,0 +1,40 @@
+#include "inference/crowd.h"
+
+#include "util/check.h"
+
+namespace tud {
+
+double UpdateEventPosterior(double prior, bool answer, double reliability) {
+  TUD_CHECK(reliability > 0.0 && reliability <= 1.0);
+  // P(answer | e) = reliability if answer agrees with e, else 1 - r.
+  double like_true = answer ? reliability : 1.0 - reliability;
+  double like_false = answer ? 1.0 - reliability : reliability;
+  double numerator = like_true * prior;
+  double denominator = numerator + like_false * (1.0 - prior);
+  if (denominator <= 0.0) return prior;  // Degenerate prior: unchanged.
+  return numerator / denominator;
+}
+
+NoisyOracle::NoisyOracle(Valuation truth, double reliability, uint64_t seed)
+    : truth_(std::move(truth)), reliability_(reliability), rng_(seed) {
+  TUD_CHECK(reliability > 0.5 && reliability <= 1.0)
+      << "workers must beat coin flips";
+}
+
+bool NoisyOracle::Ask(EventId event) {
+  bool truth = truth_.value(event);
+  return rng_.Bernoulli(reliability_) ? truth : !truth;
+}
+
+double AskAndUpdate(EventRegistry& registry, EventId event,
+                    NoisyOracle& oracle, uint32_t num_askers) {
+  double posterior = registry.probability(event);
+  for (uint32_t i = 0; i < num_askers; ++i) {
+    posterior = UpdateEventPosterior(posterior, oracle.Ask(event),
+                                     oracle.reliability());
+  }
+  registry.set_probability(event, posterior);
+  return posterior;
+}
+
+}  // namespace tud

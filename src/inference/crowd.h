@@ -1,0 +1,50 @@
+#ifndef TUD_INFERENCE_CROWD_H_
+#define TUD_INFERENCE_CROWD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "circuits/bool_circuit.h"
+#include "events/event_registry.h"
+#include "util/rng.h"
+
+namespace tud {
+
+/// Noisy crowd answers (§4): "we can never fully trust the answers that
+/// have been produced by the crowd workers". A worker asked about event
+/// e reports its true value with probability `reliability` (> 0.5) and
+/// the opposite otherwise, independently across asks. Conditioning on
+/// such answers is a Bayesian update of the event's probability rather
+/// than pinning it to 0/1.
+
+/// Posterior P(e = true | one answer): Bayes update of `prior` given a
+/// worker of the given reliability answered `answer`.
+double UpdateEventPosterior(double prior, bool answer, double reliability);
+
+/// A simulated noisy worker pool over a hidden ground-truth valuation.
+class NoisyOracle {
+ public:
+  /// `reliability` in (0.5, 1]: probability a worker reports the truth.
+  NoisyOracle(Valuation truth, double reliability, uint64_t seed);
+
+  /// One worker's (noisy) answer about `event`.
+  bool Ask(EventId event);
+
+  double reliability() const { return reliability_; }
+
+ private:
+  Valuation truth_;
+  double reliability_;
+  Rng rng_;
+};
+
+/// Asks `num_askers` workers about `event` and folds all answers into
+/// the registry's probability for the event (repeated Bayes updates);
+/// returns the posterior. With reliability > 0.5 the posterior
+/// concentrates on the truth as askers grow.
+double AskAndUpdate(EventRegistry& registry, EventId event,
+                    NoisyOracle& oracle, uint32_t num_askers);
+
+}  // namespace tud
+
+#endif  // TUD_INFERENCE_CROWD_H_

@@ -1,0 +1,18 @@
+#ifndef TUD_INFERENCE_EXHAUSTIVE_H_
+#define TUD_INFERENCE_EXHAUSTIVE_H_
+
+#include "circuits/bool_circuit.h"
+#include "events/event_registry.h"
+
+namespace tud {
+
+/// Exact probability that gate `root` is true, by enumerating all 2^n
+/// valuations of the events appearing under `root` (not all registry
+/// events, so this scales with the *cone*). Requires at most 30 such
+/// events. This is the naive baseline and the ground truth for tests.
+double ExhaustiveProbability(const BoolCircuit& circuit, GateId root,
+                             const EventRegistry& registry);
+
+}  // namespace tud
+
+#endif  // TUD_INFERENCE_EXHAUSTIVE_H_

@@ -1,0 +1,243 @@
+#include "inference/junction_tree.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "treedec/elimination.h"
+#include "treedec/graph.h"
+#include "treedec/tree_decomposition.h"
+#include "util/check.h"
+
+namespace tud {
+
+namespace {
+
+// A local factor: a table over the Boolean assignments of `scope`
+// (scope[0] is the least significant bit of the table index).
+struct Factor {
+  std::vector<VertexId> scope;
+  std::vector<double> table;
+};
+
+// Builds the consistency factor of gate `g` (vertex ids are the dense
+// reindexing of gates given by `vertex_of`).
+Factor GateFactor(const BoolCircuit& circuit, GateId g,
+                  const std::vector<VertexId>& vertex_of) {
+  Factor factor;
+  factor.scope.push_back(vertex_of[g]);
+  for (GateId in : circuit.inputs(g)) factor.scope.push_back(vertex_of[in]);
+  const size_t k = factor.scope.size();
+  TUD_CHECK_LE(k, 3u) << "gate fan-in must be binarised first";
+  factor.table.assign(size_t{1} << k, 0.0);
+  for (size_t idx = 0; idx < factor.table.size(); ++idx) {
+    const bool out = idx & 1;
+    bool expected = false;
+    switch (circuit.kind(g)) {
+      case GateKind::kNot:
+        expected = !((idx >> 1) & 1);
+        break;
+      case GateKind::kAnd:
+        expected = ((idx >> 1) & 1) && (k < 3 || ((idx >> 2) & 1));
+        break;
+      case GateKind::kOr:
+        expected = ((idx >> 1) & 1) || (k >= 3 && ((idx >> 2) & 1));
+        break;
+      default:
+        TUD_CHECK(false) << "not a logic gate";
+    }
+    factor.table[idx] = (out == expected) ? 1.0 : 0.0;
+  }
+  return factor;
+}
+
+double Run(const BoolCircuit& input, GateId input_root,
+           const EventRegistry& registry,
+           const std::vector<std::pair<EventId, bool>>& evidence,
+           JunctionTreeStats* stats) {
+  // 1. Work on the binarised cone of the root.
+  auto [cone, cone_root] = input.ExtractCone(input_root);
+  auto [circuit, remap] = cone.Binarize();
+  GateId root = remap[cone_root];
+
+  if (circuit.kind(root) == GateKind::kConst) {
+    if (stats != nullptr) *stats = JunctionTreeStats{0, 0, 1};
+    return circuit.const_value(root) ? 1.0 : 0.0;
+  }
+
+  std::unordered_map<EventId, bool> pinned;
+  for (const auto& [e, v] : evidence) pinned[e] = v;
+
+  // 2. Dense vertex ids for the gates reachable from the root.
+  std::vector<GateId> gates = circuit.ReachableFrom(root);
+  std::vector<VertexId> vertex_of(circuit.NumGates(), UINT32_MAX);
+  for (uint32_t i = 0; i < gates.size(); ++i) vertex_of[gates[i]] = i;
+  const uint32_t n = static_cast<uint32_t>(gates.size());
+
+  // 3. Factors: one per gate, plus the root evidence.
+  std::vector<Factor> factors;
+  factors.reserve(gates.size() + 1);
+  for (GateId g : gates) {
+    switch (circuit.kind(g)) {
+      case GateKind::kConst: {
+        Factor f;
+        f.scope = {vertex_of[g]};
+        f.table = circuit.const_value(g) ? std::vector<double>{0.0, 1.0}
+                                         : std::vector<double>{1.0, 0.0};
+        factors.push_back(std::move(f));
+        break;
+      }
+      case GateKind::kVar: {
+        Factor f;
+        f.scope = {vertex_of[g]};
+        EventId e = circuit.var(g);
+        auto it = pinned.find(e);
+        if (it != pinned.end()) {
+          f.table = it->second ? std::vector<double>{0.0, 1.0}
+                               : std::vector<double>{1.0, 0.0};
+        } else {
+          double p = registry.probability(e);
+          f.table = {1.0 - p, p};
+        }
+        factors.push_back(std::move(f));
+        break;
+      }
+      default:
+        factors.push_back(GateFactor(circuit, g, vertex_of));
+    }
+  }
+  {
+    Factor evidence_factor;
+    evidence_factor.scope = {vertex_of[root]};
+    evidence_factor.table = {0.0, 1.0};
+    factors.push_back(std::move(evidence_factor));
+  }
+
+  // 4. Primal graph: a clique per factor scope.
+  Graph graph(n);
+  for (const Factor& f : factors) {
+    for (size_t i = 0; i < f.scope.size(); ++i) {
+      for (size_t j = i + 1; j < f.scope.size(); ++j) {
+        graph.AddEdge(f.scope[i], f.scope[j]);
+      }
+    }
+  }
+
+  // 5. Tree decomposition via min-fill.
+  std::vector<VertexId> order = MinFillOrder(graph);
+  std::vector<uint32_t> position(n);
+  for (uint32_t i = 0; i < n; ++i) position[order[i]] = i;
+  std::vector<BagId> bag_of_vertex;
+  TreeDecomposition td =
+      TreeDecomposition::FromEliminationOrder(graph, order, &bag_of_vertex);
+  if (stats != nullptr) {
+    stats->width = td.Width();
+    stats->num_bags = td.NumBags();
+    stats->num_gates = gates.size();
+  }
+  TUD_CHECK_LE(td.Width(), 25)
+      << "decomposition too wide for exact message passing";
+
+  // 6. Assign each factor to the bag of the earliest-eliminated vertex of
+  // its scope (that bag contains the whole scope: the scope is a clique).
+  std::vector<std::vector<const Factor*>> factors_at(td.NumBags());
+  for (const Factor& f : factors) {
+    VertexId earliest = f.scope[0];
+    for (VertexId v : f.scope) {
+      if (position[v] < position[earliest]) earliest = v;
+    }
+    factors_at[bag_of_vertex[earliest]].push_back(&f);
+  }
+
+  // 7. One bottom-up sum-product pass. Children have larger BagIds than
+  // parents, so descending id order is bottom-up.
+  std::vector<std::vector<double>> message(td.NumBags());
+  for (BagId b = static_cast<BagId>(td.NumBags()); b-- > 0;) {
+    const std::vector<VertexId>& bag = td.bag(b);
+    const size_t k = bag.size();
+    std::vector<double> table(size_t{1} << k, 1.0);
+
+    // Position of each bag vertex (vertex id -> bit index in `table`).
+    auto bit_of = [&bag](VertexId v) {
+      auto it = std::lower_bound(bag.begin(), bag.end(), v);
+      TUD_CHECK(it != bag.end() && *it == v);
+      return static_cast<size_t>(it - bag.begin());
+    };
+
+    // Multiply assigned factors in.
+    for (const Factor* f : factors_at[b]) {
+      std::vector<size_t> bits;
+      bits.reserve(f->scope.size());
+      for (VertexId v : f->scope) bits.push_back(bit_of(v));
+      for (size_t idx = 0; idx < table.size(); ++idx) {
+        size_t fidx = 0;
+        for (size_t i = 0; i < bits.size(); ++i) {
+          fidx |= ((idx >> bits[i]) & 1) << i;
+        }
+        table[idx] *= f->table[fidx];
+      }
+    }
+
+    // Multiply child messages in (each message is over the separator,
+    // which is a subset of both bags).
+    for (BagId c : td.children(b)) {
+      const std::vector<VertexId>& child_bag = td.bag(c);
+      std::vector<VertexId> separator;
+      std::set_intersection(bag.begin(), bag.end(), child_bag.begin(),
+                            child_bag.end(), std::back_inserter(separator));
+      std::vector<size_t> bits;
+      bits.reserve(separator.size());
+      for (VertexId v : separator) bits.push_back(bit_of(v));
+      const std::vector<double>& msg = message[c];
+      TUD_CHECK_EQ(msg.size(), size_t{1} << separator.size());
+      for (size_t idx = 0; idx < table.size(); ++idx) {
+        size_t midx = 0;
+        for (size_t i = 0; i < bits.size(); ++i) {
+          midx |= ((idx >> bits[i]) & 1) << i;
+        }
+        table[idx] *= msg[midx];
+      }
+    }
+
+    // Produce the message to the parent: marginalise onto the separator.
+    if (td.parent(b) == kInvalidBag) {
+      double total = 0.0;
+      for (double v : table) total += v;
+      return total;
+    }
+    const std::vector<VertexId>& parent_bag = td.bag(td.parent(b));
+    std::vector<VertexId> separator;
+    std::set_intersection(bag.begin(), bag.end(), parent_bag.begin(),
+                          parent_bag.end(), std::back_inserter(separator));
+    std::vector<size_t> bits;
+    bits.reserve(separator.size());
+    for (VertexId v : separator) bits.push_back(bit_of(v));
+    std::vector<double> out(size_t{1} << separator.size(), 0.0);
+    for (size_t idx = 0; idx < table.size(); ++idx) {
+      size_t midx = 0;
+      for (size_t i = 0; i < bits.size(); ++i) {
+        midx |= ((idx >> bits[i]) & 1) << i;
+      }
+      out[midx] += table[idx];
+    }
+    message[b] = std::move(out);
+  }
+  TUD_CHECK(false) << "tree decomposition had no root bag";
+  return 0.0;
+}
+
+}  // namespace
+
+double JunctionTreeProbability(const BoolCircuit& circuit, GateId root,
+                               const EventRegistry& registry,
+                               JunctionTreeStats* stats) {
+  return Run(circuit, root, registry, {}, stats);
+}
+
+double JunctionTreeProbabilityWithEvidence(
+    const BoolCircuit& circuit, GateId root, const EventRegistry& registry,
+    const std::vector<std::pair<EventId, bool>>& evidence,
+    JunctionTreeStats* stats) {
+  return Run(circuit, root, registry, evidence, stats);
+}
+
+}  // namespace tud

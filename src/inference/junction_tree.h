@@ -1,0 +1,53 @@
+#ifndef TUD_INFERENCE_JUNCTION_TREE_H_
+#define TUD_INFERENCE_JUNCTION_TREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "circuits/bool_circuit.h"
+#include "events/event_registry.h"
+
+namespace tud {
+
+/// Diagnostics of one junction-tree run.
+struct JunctionTreeStats {
+  int width = -1;          ///< Width of the decomposition actually used.
+  size_t num_bags = 0;     ///< Bags in the decomposition.
+  size_t num_gates = 0;    ///< Gates of the (binarised) cone processed.
+};
+
+/// Exact probability that gate `root` of `circuit` is true, by message
+/// passing over a tree decomposition of the circuit — the paper's
+/// inference method ("the probability that I satisfies q can be computed
+/// from C via standard message passing techniques [37]", §2.2).
+///
+/// Pipeline: extract the cone of `root`, binarise it, tree-decompose its
+/// primal graph with min-fill, attach one local factor per gate (variable
+/// gates weighted by their event probability, other gates as 0/1
+/// consistency indicators, plus the root-is-true evidence indicator), and
+/// run one bottom-up sum-product pass. Cost O(2^{w+1}) per bag: PTIME
+/// whenever the lineage has bounded treewidth, which Theorems 1-2
+/// guarantee for bounded-treewidth instances. Bags are capped at 26
+/// vertices (checked) — beyond that the decomposition is too wide for
+/// exact message passing and callers should fall back to sampling.
+///
+/// If `stats` is non-null it receives run diagnostics.
+double JunctionTreeProbability(const BoolCircuit& circuit, GateId root,
+                               const EventRegistry& registry,
+                               JunctionTreeStats* stats = nullptr);
+
+/// As above, but events listed in `evidence` are *pinned* to the given
+/// truth value: the result is the conditional probability
+/// P(root = true | pinned values), with pinned events contributing no
+/// probability weight. Used by conditioning and by the hybrid
+/// core/tentacle engine.
+double JunctionTreeProbabilityWithEvidence(
+    const BoolCircuit& circuit, GateId root, const EventRegistry& registry,
+    const std::vector<std::pair<EventId, bool>>& evidence,
+    JunctionTreeStats* stats = nullptr);
+
+}  // namespace tud
+
+#endif  // TUD_INFERENCE_JUNCTION_TREE_H_

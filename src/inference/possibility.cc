@@ -1,0 +1,30 @@
+#include "inference/possibility.h"
+
+#include <vector>
+
+#include "bdd/bdd.h"
+
+namespace tud {
+
+namespace {
+
+BddRef Compile(const BoolCircuit& circuit, GateId root) {
+  // Levels: identity over the events of the cone.
+  uint32_t num_levels = static_cast<uint32_t>(circuit.NumEvents());
+  BddManager mgr(num_levels == 0 ? 1 : num_levels);
+  std::vector<uint32_t> levels(num_levels);
+  for (uint32_t i = 0; i < num_levels; ++i) levels[i] = i;
+  return mgr.FromCircuit(circuit, root, levels);
+}
+
+}  // namespace
+
+bool IsSatisfiable(const BoolCircuit& circuit, GateId root) {
+  return Compile(circuit, root) != kBddFalse;
+}
+
+bool IsValid(const BoolCircuit& circuit, GateId root) {
+  return Compile(circuit, root) == kBddTrue;
+}
+
+}  // namespace tud

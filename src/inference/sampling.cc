@@ -1,0 +1,20 @@
+#include "inference/sampling.h"
+
+#include "events/valuation.h"
+#include "util/check.h"
+
+namespace tud {
+
+double SampleProbability(const BoolCircuit& circuit, GateId root,
+                         const EventRegistry& registry, uint32_t num_samples,
+                         Rng& rng) {
+  TUD_CHECK_GT(num_samples, 0u);
+  uint32_t hits = 0;
+  for (uint32_t s = 0; s < num_samples; ++s) {
+    Valuation valuation = Valuation::Sample(registry, rng);
+    if (circuit.Evaluate(root, valuation)) ++hits;
+  }
+  return static_cast<double>(hits) / num_samples;
+}
+
+}  // namespace tud

@@ -1,0 +1,23 @@
+#ifndef TUD_INFERENCE_SAMPLING_H_
+#define TUD_INFERENCE_SAMPLING_H_
+
+#include <cstdint>
+
+#include "circuits/bool_circuit.h"
+#include "events/event_registry.h"
+#include "util/rng.h"
+
+namespace tud {
+
+/// Monte-Carlo estimate of P(root = true): samples `num_samples` event
+/// valuations and returns the fraction satisfying the circuit. This is
+/// the approximation method the paper says practitioners must fall back
+/// to on unrestricted instances ("makes it necessary in practice to
+/// approximate query results via sampling", §1).
+double SampleProbability(const BoolCircuit& circuit, GateId root,
+                         const EventRegistry& registry, uint32_t num_samples,
+                         Rng& rng);
+
+}  // namespace tud
+
+#endif  // TUD_INFERENCE_SAMPLING_H_

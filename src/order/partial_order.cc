@@ -1,0 +1,267 @@
+#include "order/partial_order.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace tud {
+
+PartialOrder PartialOrder::Chain(uint32_t n) {
+  PartialOrder order(n);
+  for (uint32_t i = 0; i + 1 < n; ++i) {
+    TUD_CHECK(order.AddConstraint(i, i + 1));
+  }
+  return order;
+}
+
+OrderElem PartialOrder::AddElement() {
+  for (auto& row : closure_) row.push_back(false);
+  ++n_;
+  closure_.emplace_back(n_, false);
+  return n_ - 1;
+}
+
+bool PartialOrder::AddConstraint(OrderElem a, OrderElem b) {
+  TUD_CHECK_LT(a, n_);
+  TUD_CHECK_LT(b, n_);
+  if (a == b || closure_[b][a]) return false;  // Would create a cycle.
+  if (closure_[a][b]) return true;             // Already implied.
+  // New pairs: everything <= a precedes everything >= b.
+  std::vector<OrderElem> ups = {a};
+  std::vector<OrderElem> downs = {b};
+  for (OrderElem x = 0; x < n_; ++x) {
+    if (closure_[x][a]) ups.push_back(x);
+    if (closure_[b][x]) downs.push_back(x);
+  }
+  for (OrderElem x : ups) {
+    for (OrderElem y : downs) {
+      closure_[x][y] = true;
+    }
+  }
+  return true;
+}
+
+bool PartialOrder::Precedes(OrderElem a, OrderElem b) const {
+  TUD_CHECK_LT(a, n_);
+  TUD_CHECK_LT(b, n_);
+  return closure_[a][b];
+}
+
+bool PartialOrder::Incomparable(OrderElem a, OrderElem b) const {
+  return a != b && !Precedes(a, b) && !Precedes(b, a);
+}
+
+std::vector<std::pair<OrderElem, OrderElem>> PartialOrder::CoverEdges()
+    const {
+  std::vector<std::pair<OrderElem, OrderElem>> covers;
+  for (OrderElem a = 0; a < n_; ++a) {
+    for (OrderElem b = 0; b < n_; ++b) {
+      if (!closure_[a][b]) continue;
+      bool direct = true;
+      for (OrderElem m = 0; m < n_; ++m) {
+        if (closure_[a][m] && closure_[m][b]) {
+          direct = false;
+          break;
+        }
+      }
+      if (direct) covers.emplace_back(a, b);
+    }
+  }
+  return covers;
+}
+
+size_t PartialOrder::NumRelations() const {
+  size_t count = 0;
+  for (OrderElem a = 0; a < n_; ++a) {
+    for (OrderElem b = 0; b < n_; ++b) {
+      if (closure_[a][b]) ++count;
+    }
+  }
+  return count;
+}
+
+bool PartialOrder::IsTotal() const {
+  return NumRelations() == static_cast<size_t>(n_) * (n_ - 1) / 2;
+}
+
+uint64_t PartialOrder::CountLinearExtensions() const {
+  TUD_CHECK_LE(n_, 62u);
+  // Precompute predecessor masks.
+  std::vector<uint64_t> pred(n_, 0);
+  for (OrderElem a = 0; a < n_; ++a) {
+    for (OrderElem b = 0; b < n_; ++b) {
+      if (closure_[a][b]) pred[b] |= (1ULL << a);
+    }
+  }
+  // count(S) = number of linear extensions of the elements in S placed
+  // first (S must be a downset). count(∅) = 1.
+  std::unordered_map<uint64_t, uint64_t> memo;
+  memo.reserve(1024);
+  const uint64_t full = (n_ == 0) ? 0 : ((n_ == 64) ? ~0ULL
+                                                    : (1ULL << n_) - 1);
+  std::function<uint64_t(uint64_t)> count = [&](uint64_t placed) -> uint64_t {
+    if (placed == full) return 1;
+    auto it = memo.find(placed);
+    if (it != memo.end()) return it->second;
+    uint64_t total = 0;
+    for (OrderElem x = 0; x < n_; ++x) {
+      if ((placed >> x) & 1) continue;
+      if ((pred[x] & ~placed) != 0) continue;  // A predecessor remains.
+      total += count(placed | (1ULL << x));
+    }
+    memo.emplace(placed, total);
+    return total;
+  };
+  return count(0);
+}
+
+namespace {
+
+void EnumerateRec(const std::vector<uint64_t>& pred, uint32_t n,
+                  uint64_t placed, std::vector<OrderElem>& prefix,
+                  const std::function<void(const std::vector<OrderElem>&)>& fn,
+                  size_t limit, size_t& produced) {
+  if (limit != 0 && produced >= limit) return;
+  if (prefix.size() == n) {
+    fn(prefix);
+    ++produced;
+    return;
+  }
+  for (OrderElem x = 0; x < n; ++x) {
+    if ((placed >> x) & 1) continue;
+    if ((pred[x] & ~placed) != 0) continue;
+    prefix.push_back(x);
+    EnumerateRec(pred, n, placed | (1ULL << x), prefix, fn, limit, produced);
+    prefix.pop_back();
+    if (limit != 0 && produced >= limit) return;
+  }
+}
+
+}  // namespace
+
+size_t PartialOrder::EnumerateLinearExtensions(
+    const std::function<void(const std::vector<OrderElem>&)>& fn,
+    size_t limit) const {
+  TUD_CHECK_LE(n_, 62u);
+  std::vector<uint64_t> pred(n_, 0);
+  for (OrderElem a = 0; a < n_; ++a) {
+    for (OrderElem b = 0; b < n_; ++b) {
+      if (closure_[a][b]) pred[b] |= (1ULL << a);
+    }
+  }
+  std::vector<OrderElem> prefix;
+  size_t produced = 0;
+  EnumerateRec(pred, n_, 0, prefix, fn, limit, produced);
+  return produced;
+}
+
+bool PartialOrder::IsLinearExtension(
+    const std::vector<OrderElem>& sequence) const {
+  if (sequence.size() != n_) return false;
+  std::vector<bool> seen(n_, false);
+  std::vector<uint32_t> position(n_, 0);
+  for (uint32_t i = 0; i < sequence.size(); ++i) {
+    OrderElem x = sequence[i];
+    if (x >= n_ || seen[x]) return false;
+    seen[x] = true;
+    position[x] = i;
+  }
+  for (OrderElem a = 0; a < n_; ++a) {
+    for (OrderElem b = 0; b < n_; ++b) {
+      if (closure_[a][b] && position[a] >= position[b]) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<double> PartialOrder::RankDistribution(OrderElem element) const {
+  TUD_CHECK_LT(element, n_);
+  TUD_CHECK_LE(n_, 62u);
+  std::vector<uint64_t> pred(n_, 0), succ(n_, 0);
+  for (OrderElem a = 0; a < n_; ++a) {
+    for (OrderElem b = 0; b < n_; ++b) {
+      if (closure_[a][b]) {
+        pred[b] |= (1ULL << a);
+        succ[a] |= (1ULL << b);
+      }
+    }
+  }
+  const uint64_t full = (n_ == 0) ? 0 : ((1ULL << n_) - 1);
+
+  // prefix(S) = number of linear orders of the downset S; computed over
+  // all reachable downsets by BFS from the empty set.
+  std::unordered_map<uint64_t, double> prefix;
+  prefix[0] = 1.0;
+  std::vector<std::vector<uint64_t>> downsets_by_size(n_ + 1);
+  downsets_by_size[0].push_back(0);
+  std::unordered_map<uint64_t, bool> seen;
+  seen[0] = true;
+  for (uint32_t size = 0; size < n_; ++size) {
+    for (uint64_t s : downsets_by_size[size]) {
+      for (OrderElem x = 0; x < n_; ++x) {
+        if ((s >> x) & 1) continue;
+        if ((pred[x] & ~s) != 0) continue;
+        uint64_t t = s | (1ULL << x);
+        prefix[t] += prefix[s];
+        if (!seen[t]) {
+          seen[t] = true;
+          downsets_by_size[size + 1].push_back(t);
+        }
+      }
+    }
+  }
+
+  // suffix(S) = number of ways to complete a prefix occupying downset S.
+  std::unordered_map<uint64_t, double> suffix;
+  suffix[full] = 1.0;
+  for (uint32_t size = n_; size-- > 0;) {
+    for (uint64_t s : downsets_by_size[size]) {
+      double total = 0.0;
+      for (OrderElem x = 0; x < n_; ++x) {
+        if ((s >> x) & 1) continue;
+        if ((pred[x] & ~s) != 0) continue;
+        total += suffix[s | (1ULL << x)];
+      }
+      suffix[s] = total;
+    }
+  }
+  const double all = suffix[0];
+  TUD_CHECK_GT(all, 0.0);
+
+  // element lands at position |S| when placed right after downset S:
+  // requires S ⊇ pred(element), S ∩ ({element} ∪ succ(element)) = ∅.
+  std::vector<double> distribution(n_, 0.0);
+  for (uint32_t size = 0; size < n_; ++size) {
+    for (uint64_t s : downsets_by_size[size]) {
+      if ((s >> element) & 1) continue;
+      if ((pred[element] & ~s) != 0) continue;
+      distribution[size] +=
+          prefix[s] * suffix[s | (1ULL << element)] / all;
+    }
+  }
+  return distribution;
+}
+
+double PartialOrder::ExpectedRank(OrderElem element) const {
+  std::vector<double> distribution = RankDistribution(element);
+  double expectation = 0.0;
+  for (size_t i = 0; i < distribution.size(); ++i) {
+    expectation += static_cast<double>(i) * distribution[i];
+  }
+  return expectation;
+}
+
+PartialOrder PartialOrder::Induced(const std::vector<OrderElem>& kept) const {
+  PartialOrder out(static_cast<uint32_t>(kept.size()));
+  for (uint32_t i = 0; i < kept.size(); ++i) {
+    for (uint32_t j = 0; j < kept.size(); ++j) {
+      if (i != j && Precedes(kept[i], kept[j])) {
+        out.closure_[i][j] = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tud

@@ -1,0 +1,264 @@
+#include "order/po_relation.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/check.h"
+
+namespace tud {
+
+PoRelation PoRelation::FromList(uint32_t arity,
+                                std::vector<PoTuple> tuples) {
+  PoRelation out(arity);
+  OrderElem prev = 0;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    OrderElem e = out.AddTuple(std::move(tuples[i]));
+    if (i > 0) TUD_CHECK(out.AddOrderConstraint(prev, e));
+    prev = e;
+  }
+  return out;
+}
+
+PoRelation PoRelation::FromBag(uint32_t arity, std::vector<PoTuple> tuples) {
+  PoRelation out(arity);
+  for (auto& t : tuples) out.AddTuple(std::move(t));
+  return out;
+}
+
+OrderElem PoRelation::AddTuple(PoTuple tuple) {
+  TUD_CHECK_EQ(tuple.size(), arity_);
+  tuples_.push_back(std::move(tuple));
+  return order_.AddElement();
+}
+
+bool PoRelation::AddOrderConstraint(OrderElem a, OrderElem b) {
+  return order_.AddConstraint(a, b);
+}
+
+PoRelation PoRelation::Select(
+    const std::function<bool(const PoTuple&)>& predicate) const {
+  std::vector<OrderElem> kept;
+  PoRelation out(arity_);
+  for (OrderElem i = 0; i < tuples_.size(); ++i) {
+    if (predicate(tuples_[i])) {
+      kept.push_back(i);
+      out.tuples_.push_back(tuples_[i]);
+    }
+  }
+  out.order_ = order_.Induced(kept);
+  return out;
+}
+
+PoRelation PoRelation::Project(const std::vector<uint32_t>& columns) const {
+  for (uint32_t c : columns) TUD_CHECK_LT(c, arity_);
+  PoRelation out(static_cast<uint32_t>(columns.size()));
+  for (const PoTuple& t : tuples_) {
+    PoTuple projected;
+    projected.reserve(columns.size());
+    for (uint32_t c : columns) projected.push_back(t[c]);
+    out.tuples_.push_back(std::move(projected));
+  }
+  out.order_ = order_;
+  return out;
+}
+
+PoRelation PoRelation::UnionParallel(const PoRelation& a,
+                                     const PoRelation& b) {
+  TUD_CHECK_EQ(a.arity_, b.arity_);
+  PoRelation out(a.arity_);
+  for (const PoTuple& t : a.tuples_) out.AddTuple(t);
+  for (const PoTuple& t : b.tuples_) out.AddTuple(t);
+  const uint32_t na = static_cast<uint32_t>(a.tuples_.size());
+  for (OrderElem i = 0; i < a.order_.size(); ++i) {
+    for (OrderElem j = 0; j < a.order_.size(); ++j) {
+      if (a.order_.Precedes(i, j)) out.order_.AddConstraint(i, j);
+    }
+  }
+  for (OrderElem i = 0; i < b.order_.size(); ++i) {
+    for (OrderElem j = 0; j < b.order_.size(); ++j) {
+      if (b.order_.Precedes(i, j)) out.order_.AddConstraint(na + i, na + j);
+    }
+  }
+  return out;
+}
+
+PoRelation PoRelation::Concatenate(const PoRelation& a, const PoRelation& b) {
+  PoRelation out = UnionParallel(a, b);
+  const uint32_t na = static_cast<uint32_t>(a.tuples_.size());
+  for (OrderElem i = 0; i < na; ++i) {
+    for (OrderElem j = 0; j < b.tuples_.size(); ++j) {
+      TUD_CHECK(out.order_.AddConstraint(i, na + j));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+PoTuple ConcatTuples(const PoTuple& a, const PoTuple& b) {
+  PoTuple out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace
+
+PoRelation PoRelation::ProductLex(const PoRelation& a, const PoRelation& b) {
+  PoRelation out(a.arity_ + b.arity_);
+  const uint32_t nb = static_cast<uint32_t>(b.tuples_.size());
+  for (OrderElem i = 0; i < a.tuples_.size(); ++i) {
+    for (OrderElem j = 0; j < nb; ++j) {
+      out.AddTuple(ConcatTuples(a.tuples_[i], b.tuples_[j]));
+    }
+  }
+  for (OrderElem i = 0; i < a.tuples_.size(); ++i) {
+    for (OrderElem j = 0; j < nb; ++j) {
+      for (OrderElem i2 = 0; i2 < a.tuples_.size(); ++i2) {
+        for (OrderElem j2 = 0; j2 < nb; ++j2) {
+          bool before = a.order_.Precedes(i, i2) ||
+                        (i == i2 && b.order_.Precedes(j, j2));
+          if (before) {
+            TUD_CHECK(out.order_.AddConstraint(i * nb + j, i2 * nb + j2));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+PoRelation PoRelation::ProductDirect(const PoRelation& a,
+                                     const PoRelation& b) {
+  PoRelation out(a.arity_ + b.arity_);
+  const uint32_t nb = static_cast<uint32_t>(b.tuples_.size());
+  for (OrderElem i = 0; i < a.tuples_.size(); ++i) {
+    for (OrderElem j = 0; j < nb; ++j) {
+      out.AddTuple(ConcatTuples(a.tuples_[i], b.tuples_[j]));
+    }
+  }
+  // (i, j) precedes (i2, j2) iff i <= i2 and j <= j2 componentwise (with
+  // <= the reflexive closure) and the pairs differ: the grid poset.
+  for (OrderElem i = 0; i < a.tuples_.size(); ++i) {
+    for (OrderElem j = 0; j < nb; ++j) {
+      for (OrderElem i2 = 0; i2 < a.tuples_.size(); ++i2) {
+        for (OrderElem j2 = 0; j2 < nb; ++j2) {
+          if (i == i2 && j == j2) continue;
+          bool le_a = (i == i2) || a.order_.Precedes(i, i2);
+          bool le_b = (j == j2) || b.order_.Precedes(j, j2);
+          if (le_a && le_b) {
+            TUD_CHECK(out.order_.AddConstraint(i * nb + j, i2 * nb + j2));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+size_t PoRelation::EnumerateWorlds(
+    const std::function<void(const std::vector<PoTuple>&)>& fn,
+    size_t limit) const {
+  return order_.EnumerateLinearExtensions(
+      [&](const std::vector<OrderElem>& extension) {
+        std::vector<PoTuple> world;
+        world.reserve(extension.size());
+        for (OrderElem e : extension) world.push_back(tuples_[e]);
+        fn(world);
+      },
+      limit);
+}
+
+bool PoRelation::IsPossibleWorld(const std::vector<PoTuple>& world) const {
+  if (world.size() != tuples_.size()) return false;
+
+  // Tractable case 1: no order constraints — multiset equality.
+  if (order_.IsEmptyOrder()) {
+    std::multiset<PoTuple> a(tuples_.begin(), tuples_.end());
+    std::multiset<PoTuple> b(world.begin(), world.end());
+    return a == b;
+  }
+  // Tractable case 2: total order — unique world, direct comparison.
+  if (order_.IsTotal()) {
+    bool equal = true;
+    size_t checked = 0;
+    order_.EnumerateLinearExtensions(
+        [&](const std::vector<OrderElem>& extension) {
+          for (size_t i = 0; i < extension.size(); ++i) {
+            if (tuples_[extension[i]] != world[i]) equal = false;
+          }
+          ++checked;
+        },
+        1);
+    return checked == 1 && equal;
+  }
+
+  // General case (NP-hard): backtracking — greedily match world[k]
+  // against a minimal unplaced occurrence with the right label, with
+  // memoisation on the set of placed occurrences.
+  TUD_CHECK_LE(tuples_.size(), 62u);
+  const uint32_t n = static_cast<uint32_t>(tuples_.size());
+  std::vector<uint64_t> pred(n, 0);
+  for (OrderElem a = 0; a < n; ++a) {
+    for (OrderElem b = 0; b < n; ++b) {
+      if (order_.Precedes(a, b)) pred[b] |= (1ULL << a);
+    }
+  }
+  std::set<uint64_t> failed;
+  std::function<bool(uint64_t, size_t)> match = [&](uint64_t placed,
+                                                    size_t k) -> bool {
+    if (k == world.size()) return true;
+    if (failed.contains(placed)) return false;
+    for (OrderElem x = 0; x < n; ++x) {
+      if ((placed >> x) & 1) continue;
+      if ((pred[x] & ~placed) != 0) continue;
+      if (tuples_[x] != world[k]) continue;
+      if (match(placed | (1ULL << x), k + 1)) return true;
+    }
+    failed.insert(placed);
+    return false;
+  };
+  return match(0, 0);
+}
+
+
+bool PoRelation::CertainlyInTopK(OrderElem t, uint32_t k) const {
+  TUD_CHECK_LT(t, tuples_.size());
+  // Worst case: every element not known to come after t is placed
+  // before it; t's worst rank is n - 1 - #successors.
+  uint32_t successors = 0;
+  for (OrderElem u = 0; u < tuples_.size(); ++u) {
+    if (order_.Precedes(t, u)) ++successors;
+  }
+  return tuples_.size() - successors <= k;
+}
+
+bool PoRelation::PossiblyInTopK(OrderElem t, uint32_t k) const {
+  TUD_CHECK_LT(t, tuples_.size());
+  // Best case: only t's (transitive) predecessors come before it.
+  uint32_t predecessors = 0;
+  for (OrderElem u = 0; u < tuples_.size(); ++u) {
+    if (order_.Precedes(u, t)) ++predecessors;
+  }
+  return predecessors < k;
+}
+
+std::string PoRelation::ToString(const Dictionary& dictionary) const {
+  std::string out;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    out += "t" + std::to_string(i) + " = (";
+    for (size_t j = 0; j < tuples_[i].size(); ++j) {
+      if (j > 0) out += ", ";
+      out += dictionary.name(tuples_[i][j]);
+    }
+    out += ")\n";
+  }
+  out += "order: ";
+  for (const auto& [a, b] : order_.CoverEdges()) {
+    out += "t" + std::to_string(a) + "<t" + std::to_string(b) + " ";
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace tud

@@ -1,0 +1,128 @@
+#ifndef TUD_ORDER_PO_RELATION_H_
+#define TUD_ORDER_PO_RELATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "order/partial_order.h"
+#include "relational/dictionary.h"
+
+namespace tud {
+
+/// A tuple of a po-relation (dictionary-encoded values).
+using PoTuple = std::vector<Value>;
+
+/// A po-relation (labeled partial order): a bag of tuples together with
+/// a strict partial order on the tuple *occurrences*. This is the
+/// representation system for order-incomplete data of §3 / [6]: the
+/// possible worlds are the linear extensions, read as ordered lists of
+/// (possibly duplicate) tuples — an uncertain ordered relation under bag
+/// semantics.
+class PoRelation {
+ public:
+  /// An empty relation with the given arity.
+  explicit PoRelation(uint32_t arity)
+      : arity_(arity), order_(0) {}
+
+  /// A totally ordered relation from a list (list semantics).
+  static PoRelation FromList(uint32_t arity, std::vector<PoTuple> tuples);
+
+  /// An unordered bag of tuples.
+  static PoRelation FromBag(uint32_t arity, std::vector<PoTuple> tuples);
+
+  uint32_t arity() const { return arity_; }
+  size_t NumTuples() const { return tuples_.size(); }
+  const PoTuple& tuple(size_t i) const { return tuples_[i]; }
+  const PartialOrder& order() const { return order_; }
+
+  /// Adds a tuple occurrence (initially incomparable to everything).
+  OrderElem AddTuple(PoTuple tuple);
+
+  /// Asserts that occurrence a comes before occurrence b. Returns false
+  /// if that would contradict the existing order.
+  bool AddOrderConstraint(OrderElem a, OrderElem b);
+
+  // -- Positive relational algebra (bag semantics, [6]) --
+
+  /// σ: keeps the tuples satisfying `predicate`, with the induced order.
+  PoRelation Select(const std::function<bool(const PoTuple&)>& predicate)
+      const;
+
+  /// π: projects every tuple onto `columns` (duplicates preserved), with
+  /// the same underlying order.
+  PoRelation Project(const std::vector<uint32_t>& columns) const;
+
+  /// ∪ as *parallel composition*: tuples of both inputs, no order across
+  /// inputs — all interleavings compatible with both are possible.
+  static PoRelation UnionParallel(const PoRelation& a, const PoRelation& b);
+
+  /// Ordered concatenation (series composition): every tuple of `a`
+  /// precedes every tuple of `b` — the "UNION ALL of two lists" reading.
+  static PoRelation Concatenate(const PoRelation& a, const PoRelation& b);
+
+  /// × with lexicographic semantics: pairs (i, j) ordered by the order
+  /// on `a`, ties broken by the order on `b` (the nested-loop reading of
+  /// a product of ordered relations).
+  static PoRelation ProductLex(const PoRelation& a, const PoRelation& b);
+
+  /// × with direct (pointwise) semantics: (i, j) precedes (i', j') iff
+  /// i precedes i' in `a` *and* j precedes j' in `b`.
+  static PoRelation ProductDirect(const PoRelation& a, const PoRelation& b);
+
+  // -- Possible-world reasoning --
+
+  /// Enumerates possible worlds (ordered lists of tuples); stops after
+  /// `limit` if non-zero. Returns the number produced.
+  size_t EnumerateWorlds(
+      const std::function<void(const std::vector<PoTuple>&)>& fn,
+      size_t limit = 0) const;
+
+  /// Exact number of possible worlds as *linear extensions* (duplicate
+  /// tuples make distinct extensions that read identically; this counts
+  /// extensions, the representation-level notion).
+  uint64_t CountWorlds() const { return order_.CountLinearExtensions(); }
+
+  /// Whether `world` (a list of tuples) is a possible world: is there a
+  /// linear extension whose label sequence equals it? NP-hard in general
+  /// (§3: "given a labeled partial order, we cannot tractably determine
+  /// whether an input total order is one of its possible worlds");
+  /// solved by backtracking with memoisation here, with polynomial
+  /// fast paths when the order is empty (multiset equality) or total
+  /// (direct comparison) — the tractable special cases the paper names.
+  bool IsPossibleWorld(const std::vector<PoTuple>& world) const;
+
+  /// True iff tuple occurrence a precedes b in *every* possible world.
+  bool CertainlyPrecedes(OrderElem a, OrderElem b) const {
+    return order_.Precedes(a, b);
+  }
+
+  /// True iff a precedes b in *some* possible world.
+  bool PossiblyPrecedes(OrderElem a, OrderElem b) const {
+    return a != b && !order_.Precedes(b, a);
+  }
+
+  /// True iff occurrence `t` lands among the first k tuples in *every*
+  /// world: its worst-case rank (elements not after it) is below k.
+  bool CertainlyInTopK(OrderElem t, uint32_t k) const;
+
+  /// True iff `t` lands among the first k tuples in *some* world: its
+  /// best-case rank (number of elements that must precede it) is below
+  /// k. Both run in O(n) over the closure — top-k under order
+  /// uncertainty is one of the §3 motivations (frequent itemsets with
+  /// incomplete support order).
+  bool PossiblyInTopK(OrderElem t, uint32_t k) const;
+
+  std::string ToString(const Dictionary& dictionary) const;
+
+ private:
+  uint32_t arity_;
+  std::vector<PoTuple> tuples_;
+  PartialOrder order_;
+};
+
+}  // namespace tud
+
+#endif  // TUD_ORDER_PO_RELATION_H_

@@ -1,0 +1,88 @@
+#include "prxml/fcns.h"
+
+#include <functional>
+
+#include "util/check.h"
+
+namespace tud {
+
+Label XmlLabelMap::Intern(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  Label label = static_cast<Label>(names_.size() + 1);  // 0 is nil.
+  names_.push_back(name);
+  index_.emplace(name, label);
+  return label;
+}
+
+Label XmlLabelMap::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kNil : it->second;
+}
+
+BinaryTree FcnsEncode(const XmlTree& tree, XmlLabelMap& labels) {
+  TUD_CHECK_GT(tree.NumNodes(), 0u);
+  BinaryTree out;
+  // EncodeList(children, i): binary encoding of the sibling chain
+  // children[i..]; nil leaf past the end. Children must be created
+  // before parents, so recurse first.
+  std::function<TreeNodeId(const std::vector<XmlNodeId>&, size_t)>
+      encode_list = [&](const std::vector<XmlNodeId>& siblings,
+                        size_t i) -> TreeNodeId {
+    if (i >= siblings.size()) return out.AddLeaf(XmlLabelMap::kNil);
+    XmlNodeId node = siblings[i];
+    TreeNodeId left = encode_list(tree.children(node), 0);
+    TreeNodeId right = encode_list(siblings, i + 1);
+    return out.AddInternal(labels.Intern(tree.label(node)), left, right);
+  };
+  encode_list({tree.root()}, 0);
+  return out;
+}
+
+TreeAutomaton MakeFcnsExistsLabel(Label alphabet_size, Label target) {
+  // Same as the generic existence automaton: FCNS preserves the node
+  // set, so label existence needs no axis awareness.
+  TreeAutomaton a(2, alphabet_size);
+  for (Label l = 0; l < alphabet_size; ++l) {
+    a.AddLeafTransition(l, l == target ? 1 : 0);
+    for (State ql = 0; ql <= 1; ++ql) {
+      for (State qr = 0; qr <= 1; ++qr) {
+        a.AddTransition(l, ql, qr,
+                        (l == target || ql == 1 || qr == 1) ? 1 : 0);
+      }
+    }
+  }
+  a.SetAccepting(1);
+  return a;
+}
+
+TreeAutomaton MakeFcnsExistsBBelowA(Label alphabet_size, Label a_label,
+                                    Label b_label) {
+  // State encodes (found, has_b) where `has_b` means "some node in this
+  // FCNS subtree is labeled b" and `found` means "the witness pair was
+  // seen". The XML-descendants of a node are exactly the FCNS subtree
+  // of its *left* child, so an a-labeled node fires when its left
+  // subtree has_b.
+  auto state = [](bool found, bool has_b) -> State {
+    return (found ? 2 : 0) | (has_b ? 1 : 0);
+  };
+  TreeAutomaton a(4, alphabet_size);
+  for (Label l = 0; l < alphabet_size; ++l) {
+    a.AddLeafTransition(l, state(false, l == b_label));
+    for (State ql = 0; ql < 4; ++ql) {
+      for (State qr = 0; qr < 4; ++qr) {
+        bool left_found = ql & 2, left_b = ql & 1;
+        bool right_found = qr & 2, right_b = qr & 1;
+        bool has_b = (l == b_label) || left_b || right_b;
+        bool found = left_found || right_found ||
+                     (l == a_label && left_b);
+        a.AddTransition(l, ql, qr, state(found, has_b));
+      }
+    }
+  }
+  a.SetAccepting(state(true, false));
+  a.SetAccepting(state(true, true));
+  return a;
+}
+
+}  // namespace tud

@@ -1,0 +1,66 @@
+#ifndef TUD_PRXML_FCNS_H_
+#define TUD_PRXML_FCNS_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "automata/binary_tree.h"
+#include "automata/tree_automaton.h"
+#include "prxml/xml_tree.h"
+
+namespace tud {
+
+/// First-child / next-sibling encoding: the classic bijection between
+/// unranked labeled trees and full binary trees that lets binary-tree
+/// automata (and hence the §2.2 pipeline) evaluate queries over XML.
+/// Every XML node becomes an internal binary node whose left child
+/// encodes its first XML child (children chain) and whose right child
+/// encodes its next sibling; absent positions become leaves labeled with
+/// the reserved nil label 0.
+
+/// Interns XML label strings as automaton labels; label 0 is reserved
+/// for nil (absent position).
+class XmlLabelMap {
+ public:
+  XmlLabelMap() = default;
+
+  static constexpr Label kNil = 0;
+
+  /// Returns the label for `name`, interning it if new (labels start
+  /// at 1).
+  Label Intern(const std::string& name);
+
+  /// Returns the label if interned, kNil otherwise.
+  Label Find(const std::string& name) const;
+
+  /// Number of labels including nil.
+  Label AlphabetSize() const {
+    return static_cast<Label>(names_.size() + 1);
+  }
+
+ private:
+  std::unordered_map<std::string, Label> index_;
+  std::vector<std::string> names_;
+};
+
+/// Encodes `tree` as a full binary tree under FCNS, interning labels in
+/// `labels`. The binary root encodes the XML root (whose sibling
+/// position is nil).
+BinaryTree FcnsEncode(const XmlTree& tree, XmlLabelMap& labels);
+
+/// Automata over FCNS encodings for XML-axis properties (the FCNS
+/// encoding scrambles the ancestor relation, so XML properties need
+/// FCNS-aware transitions):
+
+/// "Some XML node is labeled `target`" (label existence transfers
+/// directly).
+TreeAutomaton MakeFcnsExistsLabel(Label alphabet_size, Label target);
+
+/// "Some XML node labeled `a` has a *strict XML descendant* labeled
+/// `b`." Under FCNS, the XML subtree of a node is its left child's
+/// whole binary subtree.
+TreeAutomaton MakeFcnsExistsBBelowA(Label alphabet_size, Label a, Label b);
+
+}  // namespace tud
+
+#endif  // TUD_PRXML_FCNS_H_

@@ -1,0 +1,257 @@
+#include "prxml/pattern_eval.h"
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tud {
+
+namespace {
+
+// Collects the "real children" of ordinary node v: ordinary descendants
+// reachable through distributional nodes only, each with the conjunction
+// of edge guards along the way.
+void CollectRealChildren(const PrXmlDocument& doc, BoolCircuit& circuit,
+                         PNodeId node, GateId guard_so_far,
+                         std::vector<std::pair<PNodeId, GateId>>& out) {
+  for (PNodeId c : doc.children(node)) {
+    GateId guard = circuit.AddAnd(guard_so_far, doc.edge_guard(c));
+    if (doc.kind(c) == PNodeKind::kOrdinary) {
+      out.emplace_back(c, guard);
+    } else {
+      CollectRealChildren(doc, circuit, c, guard, out);
+    }
+  }
+}
+
+bool LabelMatches(const TreePattern& pattern, PatternNodeId p,
+                  const std::string& label) {
+  return pattern.IsWildcard(p) || pattern.label(p) == label;
+}
+
+}  // namespace
+
+GateId PatternLineage(const TreePattern& pattern, PrXmlDocument& document) {
+  TUD_CHECK(document.finalized());
+  TUD_CHECK_GT(pattern.NumNodes(), 0u);
+  BoolCircuit& circuit = document.circuit();
+  const size_t np = pattern.NumNodes();
+
+  // d[v * np + p]: pattern subtree p embeds at ordinary node v (given v
+  // is present). e[v * np + p]: embeds at v or some descendant of v
+  // present below v.
+  std::vector<GateId> d(document.NumNodes() * np, kInvalidGate);
+  std::vector<GateId> e(document.NumNodes() * np, kInvalidGate);
+
+  // Bottom-up over ordinary nodes (children have larger ids).
+  for (PNodeId v = static_cast<PNodeId>(document.NumNodes()); v-- > 0;) {
+    if (document.kind(v) != PNodeKind::kOrdinary) continue;
+    std::vector<std::pair<PNodeId, GateId>> real_children;
+    CollectRealChildren(document, circuit, v, circuit.AddConst(true),
+                        real_children);
+    for (PatternNodeId p = 0; p < np; ++p) {
+      GateId dv;
+      if (!LabelMatches(pattern, p, document.label(v))) {
+        dv = circuit.AddConst(false);
+      } else {
+        std::vector<GateId> conjuncts;
+        for (PatternNodeId c : pattern.children(p)) {
+          std::vector<GateId> options;
+          options.reserve(real_children.size());
+          for (const auto& [w, guard] : real_children) {
+            GateId sub = pattern.axis(c) == PatternAxis::kChild
+                             ? d[w * np + c]
+                             : e[w * np + c];
+            options.push_back(circuit.AddAnd(guard, sub));
+          }
+          conjuncts.push_back(circuit.AddOr(std::move(options)));
+        }
+        dv = circuit.AddAnd(std::move(conjuncts));
+      }
+      d[v * np + p] = dv;
+      std::vector<GateId> deeper = {dv};
+      for (const auto& [w, guard] : real_children) {
+        deeper.push_back(circuit.AddAnd(guard, e[w * np + p]));
+      }
+      e[v * np + p] = circuit.AddOr(std::move(deeper));
+    }
+  }
+  return e[0 * np + pattern.root()];
+}
+
+// ---------------------------------------------------------------------------
+// Local-model probability: distribution over forest-contribution states.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// A forest contribution state packs two masks over pattern nodes:
+//  - low 32 bits: patterns matched at the *root* of some tree in the
+//    forest (the d-sets of the forest's top-level nodes);
+//  - high 32 bits: patterns matched somewhere in the forest (e-sets).
+using ForestState = uint64_t;
+
+using StateDistribution = std::unordered_map<ForestState, double>;
+
+StateDistribution PointMass(ForestState s) { return {{s, 1.0}}; }
+
+// Product of independent forests: union the masks, multiply the
+// probabilities.
+StateDistribution Combine(const StateDistribution& a,
+                          const StateDistribution& b) {
+  StateDistribution out;
+  for (const auto& [sa, pa] : a) {
+    for (const auto& [sb, pb] : b) {
+      out[sa | sb] += pa * pb;
+    }
+  }
+  return out;
+}
+
+// Mixture: with probability p the forest is `present`, else empty.
+StateDistribution MixWithEmpty(const StateDistribution& present, double p) {
+  StateDistribution out;
+  for (const auto& [s, q] : present) out[s] += p * q;
+  out[0] += 1.0 - p;
+  return out;
+}
+
+class LocalEvaluator {
+ public:
+  LocalEvaluator(const TreePattern& pattern, const PrXmlDocument& doc)
+      : pattern_(pattern), doc_(doc) {}
+
+  double Run() {
+    StateDistribution root = TreeContribution(0);
+    const uint64_t want = 1ULL << (32 + pattern_.root());
+    double total = 0.0;
+    for (const auto& [s, p] : root) {
+      if (s & want) total += p;
+    }
+    return total;
+  }
+
+ private:
+  // Distribution of the forest contributed by an arbitrary node to its
+  // nearest ordinary ancestor, *assuming the node's own edge is kept*.
+  StateDistribution Contribution(PNodeId n) {
+    switch (doc_.kind(n)) {
+      case PNodeKind::kOrdinary:
+        return TreeContribution(n);
+      case PNodeKind::kDet:
+        return ChildrenCombined(n, /*with_edge_probability=*/false);
+      case PNodeKind::kInd:
+        return ChildrenCombined(n, /*with_edge_probability=*/true);
+      case PNodeKind::kMux: {
+        StateDistribution out;
+        double none = 1.0;
+        for (PNodeId c : doc_.children(n)) {
+          double p = EdgeProbability(c);
+          none -= p;
+          StateDistribution sub = Contribution(c);
+          for (const auto& [s, q] : sub) out[s] += p * q;
+        }
+        if (none > 1e-12) out[0] += none;
+        return out;
+      }
+      case PNodeKind::kCie:
+        TUD_CHECK(false) << "LocalPatternProbability on a cie document";
+    }
+    return PointMass(0);
+  }
+
+  StateDistribution ChildrenCombined(PNodeId n, bool with_edge_probability) {
+    StateDistribution acc = PointMass(0);
+    for (PNodeId c : doc_.children(n)) {
+      StateDistribution sub = Contribution(c);
+      if (with_edge_probability) {
+        sub = MixWithEmpty(sub, EdgeProbability(c));
+      }
+      acc = Combine(acc, sub);
+    }
+    return acc;
+  }
+
+  // Contribution of an ordinary node: a single tree. Computes the d-mask
+  // of the node from its children-forest state, per forest state.
+  StateDistribution TreeContribution(PNodeId v) {
+    StateDistribution forest =
+        ChildrenCombined(v, /*with_edge_probability=*/false);
+    StateDistribution out;
+    for (const auto& [fs, p] : forest) {
+      const uint32_t root_mask = static_cast<uint32_t>(fs);
+      const uint32_t deep_mask = static_cast<uint32_t>(fs >> 32);
+      uint32_t d_mask = 0;
+      for (PatternNodeId q = 0;
+           q < static_cast<PatternNodeId>(pattern_.NumNodes()); ++q) {
+        if (!LabelMatches(pattern_, q, doc_.label(v))) continue;
+        bool ok = true;
+        for (PatternNodeId c : pattern_.children(q)) {
+          uint32_t needed = pattern_.axis(c) == PatternAxis::kChild
+                                ? root_mask
+                                : deep_mask;
+          if (!((needed >> c) & 1)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) d_mask |= (1u << q);
+      }
+      uint32_t e_mask = d_mask | deep_mask;
+      ForestState s = static_cast<uint64_t>(d_mask) |
+                      (static_cast<uint64_t>(e_mask) << 32);
+      out[s] += p;
+    }
+    return out;
+  }
+
+  double EdgeProbability(PNodeId c) {
+    // Recover the declared marginal probability from the materialised
+    // events: ind edges store it directly on their event; mux edges were
+    // renormalised, so recompute from the chain.
+    PNodeId parent = doc_.parent(c);
+    GateId guard = doc_.edge_guard(c);
+    const BoolCircuit& circuit = doc_.circuit();
+    if (doc_.kind(parent) == PNodeKind::kInd) {
+      TUD_CHECK(circuit.kind(guard) == GateKind::kVar);
+      return doc_.events().probability(circuit.var(guard));
+    }
+    TUD_CHECK(doc_.kind(parent) == PNodeKind::kMux);
+    // guard = AND(!m_1, ..., !m_{i-1}, m_i): probability is the product
+    // of the chain.
+    if (circuit.kind(guard) == GateKind::kVar) {
+      return doc_.events().probability(circuit.var(guard));
+    }
+    TUD_CHECK(circuit.kind(guard) == GateKind::kAnd);
+    double p = 1.0;
+    for (GateId in : circuit.inputs(guard)) {
+      if (circuit.kind(in) == GateKind::kVar) {
+        p *= doc_.events().probability(circuit.var(in));
+      } else {
+        TUD_CHECK(circuit.kind(in) == GateKind::kNot);
+        GateId var = circuit.inputs(in)[0];
+        TUD_CHECK(circuit.kind(var) == GateKind::kVar);
+        p *= 1.0 - doc_.events().probability(circuit.var(var));
+      }
+    }
+    return p;
+  }
+
+  const TreePattern& pattern_;
+  const PrXmlDocument& doc_;
+};
+
+}  // namespace
+
+double LocalPatternProbability(const TreePattern& pattern,
+                               const PrXmlDocument& document) {
+  TUD_CHECK(document.finalized());
+  TUD_CHECK(document.IsLocal())
+      << "fast path requires a local (ind/mux/det) document";
+  TUD_CHECK_LE(pattern.NumNodes(), 32u);
+  return LocalEvaluator(pattern, document).Run();
+}
+
+}  // namespace tud

@@ -1,0 +1,34 @@
+#ifndef TUD_PRXML_PATTERN_EVAL_H_
+#define TUD_PRXML_PATTERN_EVAL_H_
+
+#include "circuits/bool_circuit.h"
+#include "prxml/prxml_document.h"
+#include "prxml/tree_pattern.h"
+
+namespace tud {
+
+/// Lineage circuit of a tree pattern over a PrXML document: the returned
+/// gate (added to the document's circuit) is true under a valuation iff
+/// the pattern matches the possible world selected by that valuation.
+///
+/// The construction is the bottom-up DP of §2.1-2.2 specialised to
+/// patterns: one gate per (ordinary node, pattern node, mode) where mode
+/// is "matches here" or "matches somewhere below"; distributional nodes
+/// contribute their edge guards. Size O(|document| * |pattern|); for
+/// documents with bounded event scopes, the resulting circuit has
+/// bounded treewidth, so downstream message passing stays polynomial —
+/// the scope-based tractability condition of [7].
+GateId PatternLineage(const TreePattern& pattern, PrXmlDocument& document);
+
+/// Exact probability of a tree pattern on a *local* (ind/mux/det only)
+/// document, by the Cohen-Kimelfeld-Sagiv bottom-up dynamic programming
+/// [17]: deterministically tracks, per node, the distribution over
+/// pattern-match state sets (the subset automaton of the pattern), using
+/// the independence of sibling subtrees in local models. Linear in the
+/// document for a fixed pattern. Requires document.IsLocal() (checked).
+double LocalPatternProbability(const TreePattern& pattern,
+                               const PrXmlDocument& document);
+
+}  // namespace tud
+
+#endif  // TUD_PRXML_PATTERN_EVAL_H_

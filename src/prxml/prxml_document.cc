@@ -1,0 +1,233 @@
+#include "prxml/prxml_document.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tud {
+
+PNodeId PrXmlDocument::AddRoot(std::string label) {
+  TUD_CHECK_EQ(NumNodes(), 0u);
+  kinds_.push_back(PNodeKind::kOrdinary);
+  labels_.push_back(std::move(label));
+  parents_.push_back(kNoPNode);
+  children_.emplace_back();
+  edge_probabilities_.push_back(-1.0);
+  edge_literals_.emplace_back();
+  return 0;
+}
+
+PNodeId PrXmlDocument::AddChild(PNodeId parent, PNodeKind kind,
+                                std::string label) {
+  TUD_CHECK(!finalized_) << "document already finalised";
+  TUD_CHECK_LT(parent, NumNodes());
+  PNodeId id = static_cast<PNodeId>(NumNodes());
+  kinds_.push_back(kind);
+  labels_.push_back(std::move(label));
+  parents_.push_back(parent);
+  children_.emplace_back();
+  children_[parent].push_back(id);
+  edge_probabilities_.push_back(-1.0);
+  edge_literals_.emplace_back();
+  return id;
+}
+
+void PrXmlDocument::SetEdgeProbability(PNodeId node, double probability) {
+  TUD_CHECK(!finalized_);
+  TUD_CHECK_LT(node, NumNodes());
+  TUD_CHECK_NE(parents_[node], kNoPNode);
+  PNodeKind pk = kinds_[parents_[node]];
+  TUD_CHECK(pk == PNodeKind::kInd || pk == PNodeKind::kMux)
+      << "edge probabilities only apply under ind/mux nodes";
+  TUD_CHECK(probability >= 0.0 && probability <= 1.0);
+  edge_probabilities_[node] = probability;
+}
+
+void PrXmlDocument::SetEdgeLiterals(
+    PNodeId node, std::vector<std::pair<EventId, bool>> literals) {
+  TUD_CHECK(!finalized_);
+  TUD_CHECK_LT(node, NumNodes());
+  TUD_CHECK_NE(parents_[node], kNoPNode);
+  TUD_CHECK(kinds_[parents_[node]] == PNodeKind::kCie)
+      << "edge literals only apply under cie nodes";
+  for (const auto& [event, value] : literals) {
+    (void)value;
+    TUD_CHECK_LT(event, events_.size());
+  }
+  edge_literals_[node] = std::move(literals);
+}
+
+void PrXmlDocument::Finalize() {
+  TUD_CHECK(!finalized_);
+  TUD_CHECK_GT(NumNodes(), 0u);
+  TUD_CHECK(kinds_[0] == PNodeKind::kOrdinary) << "root must be ordinary";
+  edge_guards_.assign(NumNodes(), kInvalidGate);
+  edge_guards_[0] = circuit_.AddConst(true);
+
+  for (PNodeId n = 0; n < NumNodes(); ++n) {
+    const std::vector<PNodeId>& kids = children_[n];
+    switch (kinds_[n]) {
+      case PNodeKind::kOrdinary:
+      case PNodeKind::kDet:
+        for (PNodeId c : kids) edge_guards_[c] = circuit_.AddConst(true);
+        break;
+      case PNodeKind::kInd:
+        for (PNodeId c : kids) {
+          double p = edge_probabilities_[c];
+          TUD_CHECK_GE(p, 0.0) << "missing probability on ind edge";
+          EventId e = events_.Register(
+              "_ind" + std::to_string(n) + "_" + std::to_string(c), p);
+          edge_guards_[c] = circuit_.AddVar(e);
+        }
+        break;
+      case PNodeKind::kMux: {
+        // Chain encoding: child i is picked iff its event fires and no
+        // earlier sibling's did; event probabilities are renormalised so
+        // the joint matches the declared marginals.
+        double remaining = 1.0;
+        std::vector<GateId> earlier_negated;
+        for (PNodeId c : kids) {
+          double p = edge_probabilities_[c];
+          TUD_CHECK_GE(p, 0.0) << "missing probability on mux edge";
+          double q;
+          if (remaining <= 1e-12) {
+            q = 0.0;
+          } else {
+            q = std::min(1.0, p / remaining);
+          }
+          EventId e = events_.Register(
+              "_mux" + std::to_string(n) + "_" + std::to_string(c), q);
+          GateId fire = circuit_.AddVar(e);
+          std::vector<GateId> conj = earlier_negated;
+          conj.push_back(fire);
+          edge_guards_[c] = circuit_.AddAnd(std::move(conj));
+          earlier_negated.push_back(circuit_.AddNot(fire));
+          remaining -= p;
+          TUD_CHECK_GE(remaining, -1e-9)
+              << "mux probabilities sum to more than 1";
+        }
+        break;
+      }
+      case PNodeKind::kCie:
+        for (PNodeId c : kids) {
+          std::vector<GateId> conj;
+          conj.reserve(edge_literals_[c].size());
+          for (const auto& [event, value] : edge_literals_[c]) {
+            GateId var = circuit_.AddVar(event);
+            conj.push_back(value ? var : circuit_.AddNot(var));
+          }
+          edge_guards_[c] = circuit_.AddAnd(std::move(conj));
+        }
+        break;
+    }
+  }
+  finalized_ = true;
+}
+
+size_t PrXmlDocument::NumOrdinaryNodes() const {
+  size_t count = 0;
+  for (PNodeKind k : kinds_) {
+    if (k == PNodeKind::kOrdinary) ++count;
+  }
+  return count;
+}
+
+GateId PrXmlDocument::edge_guard(PNodeId n) const {
+  TUD_CHECK(finalized_) << "call Finalize() first";
+  TUD_CHECK_LT(n, NumNodes());
+  return edge_guards_[n];
+}
+
+namespace {
+
+void BuildWorld(const PrXmlDocument& doc, const std::vector<bool>& gates,
+                PNodeId n, XmlNodeId ordinary_ancestor, XmlTree& out) {
+  XmlNodeId attach = ordinary_ancestor;
+  if (doc.kind(n) == PNodeKind::kOrdinary) {
+    attach = (n == 0) ? out.AddRoot(doc.label(n))
+                      : out.AddChild(ordinary_ancestor, doc.label(n));
+  }
+  for (PNodeId c : doc.children(n)) {
+    if (!gates[doc.edge_guard(c)]) continue;
+    BuildWorld(doc, gates, c, attach, out);
+  }
+}
+
+}  // namespace
+
+XmlTree PrXmlDocument::World(const Valuation& valuation) const {
+  TUD_CHECK(finalized_);
+  std::vector<bool> gates = circuit_.EvaluateAll(valuation);
+  XmlTree out;
+  BuildWorld(*this, gates, 0, kNoXmlNode, out);
+  return out;
+}
+
+std::vector<std::vector<EventId>> PrXmlDocument::NodeScopes() const {
+  TUD_CHECK(finalized_);
+  // Occurrences: only named global events (cie literals); materialised
+  // local-choice events are consumed at their own edge and never need to
+  // be remembered across the tree.
+  std::vector<std::vector<PNodeId>> occurrences(events_.size());
+  for (PNodeId n = 0; n < NumNodes(); ++n) {
+    if (parents_[n] == kNoPNode ||
+        kinds_[parents_[n]] != PNodeKind::kCie) {
+      continue;
+    }
+    for (const auto& [event, value] : edge_literals_[n]) {
+      (void)value;
+      occurrences[event].push_back(n);
+    }
+  }
+
+  std::vector<std::vector<EventId>> scopes(NumNodes());
+  for (EventId e = 0; e < events_.size(); ++e) {
+    const std::vector<PNodeId>& occ = occurrences[e];
+    if (occ.empty()) continue;
+    std::vector<bool> in_scope(NumNodes(), false);
+    // (a) Occurrence nodes and their descendants.
+    for (PNodeId o : occ) {
+      // DFS below o.
+      std::vector<PNodeId> stack = {o};
+      while (!stack.empty()) {
+        PNodeId x = stack.back();
+        stack.pop_back();
+        if (in_scope[x]) continue;
+        in_scope[x] = true;
+        for (PNodeId c : children_[x]) stack.push_back(c);
+      }
+    }
+    // (b) Nodes with occurrences both inside and outside their subtree
+    // (the region connecting multiple occurrences).
+    if (occ.size() > 1) {
+      std::vector<uint32_t> inside(NumNodes(), 0);
+      for (PNodeId o : occ) {
+        for (PNodeId x = o; x != kNoPNode; x = parents_[x]) ++inside[x];
+      }
+      for (PNodeId n = 0; n < NumNodes(); ++n) {
+        if (inside[n] > 0 && inside[n] < occ.size()) in_scope[n] = true;
+      }
+    }
+    for (PNodeId n = 0; n < NumNodes(); ++n) {
+      if (in_scope[n]) scopes[n].push_back(e);
+    }
+  }
+  return scopes;
+}
+
+size_t PrXmlDocument::MaxScopeSize() const {
+  size_t max_size = 0;
+  for (const std::vector<EventId>& scope : NodeScopes()) {
+    max_size = std::max(max_size, scope.size());
+  }
+  return max_size;
+}
+
+bool PrXmlDocument::IsLocal() const {
+  for (PNodeKind k : kinds_) {
+    if (k == PNodeKind::kCie) return false;
+  }
+  return true;
+}
+
+}  // namespace tud

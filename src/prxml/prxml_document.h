@@ -1,0 +1,130 @@
+#ifndef TUD_PRXML_PRXML_DOCUMENT_H_
+#define TUD_PRXML_PRXML_DOCUMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuits/bool_circuit.h"
+#include "events/event_registry.h"
+#include "events/valuation.h"
+#include "prxml/xml_tree.h"
+
+namespace tud {
+
+/// Node index within a PrXmlDocument.
+using PNodeId = uint32_t;
+
+inline constexpr PNodeId kNoPNode = UINT32_MAX;
+
+/// PrXML node kinds [35]. Ordinary nodes carry document labels;
+/// distributional nodes decide which of their children exist:
+///  - kInd:  each child kept independently with its edge probability
+///           (local uncertainty);
+///  - kMux:  at most one child kept, child i with its edge probability
+///           (probabilities sum to <= 1; the remainder is "no child") —
+///           mutually exclusive local choices;
+///  - kDet:  all children kept (deterministic grouping);
+///  - kCie:  child kept iff a conjunction of *global* event literals
+///           holds — the formalism that introduces long-range
+///           correlations and, unrestricted, intractability [34].
+enum class PNodeKind : uint8_t { kOrdinary, kInd, kMux, kDet, kCie };
+
+/// A PrXML probabilistic document (paper Figure 1): an unranked tree
+/// mixing ordinary and distributional nodes over a registry of global
+/// events plus materialised local-choice events.
+///
+/// Build the tree with AddRoot/AddChild + the edge-annotation setters,
+/// then call Finalize() once: it materialises one fresh event per
+/// ind-edge and a chain of fresh events per mux node, and compiles every
+/// edge guard into a gate of the document's circuit. A valuation of the
+/// registry then selects one possible world (an XmlTree of the ordinary
+/// nodes kept).
+class PrXmlDocument {
+ public:
+  PrXmlDocument() = default;
+
+  /// Global (cie) events must be registered here before use in
+  /// SetEdgeLiterals. Finalize() adds the local-choice events.
+  EventRegistry& events() { return events_; }
+  const EventRegistry& events() const { return events_; }
+
+  /// The guard circuit; PatternLineage also builds its gates here.
+  BoolCircuit& circuit() { return circuit_; }
+  const BoolCircuit& circuit() const { return circuit_; }
+
+  /// Adds the ordinary root node.
+  PNodeId AddRoot(std::string label);
+
+  /// Adds a child node of any kind. `label` is meaningful for ordinary
+  /// nodes only (pass "" otherwise).
+  PNodeId AddChild(PNodeId parent, PNodeKind kind, std::string label);
+
+  /// Edge annotation, depending on the *parent's* kind:
+  /// required for children of kInd and kMux nodes.
+  void SetEdgeProbability(PNodeId node, double probability);
+  /// Required for children of kCie nodes: conjunction of event literals.
+  void SetEdgeLiterals(PNodeId node,
+                       std::vector<std::pair<EventId, bool>> literals);
+
+  /// Materialises local-choice events and edge-guard gates. Call exactly
+  /// once, after the document is fully built.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  size_t NumNodes() const { return kinds_.size(); }
+  PNodeKind kind(PNodeId n) const { return kinds_[n]; }
+  const std::string& label(PNodeId n) const { return labels_[n]; }
+  PNodeId parent(PNodeId n) const { return parents_[n]; }
+  const std::vector<PNodeId>& children(PNodeId n) const {
+    return children_[n];
+  }
+
+  /// Number of ordinary nodes.
+  size_t NumOrdinaryNodes() const;
+
+  /// Guard gate of the edge into `n` (TRUE for children of ordinary/det
+  /// parents and for the root). Requires Finalize().
+  GateId edge_guard(PNodeId n) const;
+
+  /// The possible world selected by `valuation`: the tree of ordinary
+  /// nodes all of whose path edge-guards hold, re-parented to their
+  /// nearest kept ordinary ancestor. The root is always kept.
+  XmlTree World(const Valuation& valuation) const;
+
+  /// Event scopes (§2.1). The scope of an event e is the set of nodes
+  /// where e's value must be remembered when evaluating bottom-up:
+  /// the subtrees hanging below edges whose guard mentions e, plus every
+  /// node n such that e occurs both inside and outside n's subtree (the
+  /// connecting region between occurrences). Returns, for each node, the
+  /// sorted set of events having the node in scope.
+  std::vector<std::vector<EventId>> NodeScopes() const;
+
+  /// Max over nodes of |scope| — the parameter of the bounded-scope
+  /// tractability condition ("for PrXML documents where the scope of all
+  /// nodes have size bounded by a constant, the evaluation of a fixed
+  /// MSO query can be performed in PTIME").
+  size_t MaxScopeSize() const;
+
+  /// True if the document uses only local uncertainty (no cie edges):
+  /// the regime of [17] where the fast bottom-up DP applies.
+  bool IsLocal() const;
+
+ private:
+  EventRegistry events_;
+  BoolCircuit circuit_;
+  std::vector<PNodeKind> kinds_;
+  std::vector<std::string> labels_;
+  std::vector<PNodeId> parents_;
+  std::vector<std::vector<PNodeId>> children_;
+  std::vector<double> edge_probabilities_;  // -1 when unset.
+  std::vector<std::vector<std::pair<EventId, bool>>> edge_literals_;
+  std::vector<GateId> edge_guards_;
+  bool finalized_ = false;
+};
+
+}  // namespace tud
+
+#endif  // TUD_PRXML_PRXML_DOCUMENT_H_

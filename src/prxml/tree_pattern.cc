@@ -1,0 +1,100 @@
+#include "prxml/tree_pattern.h"
+
+#include "util/check.h"
+
+namespace tud {
+
+PatternNodeId TreePattern::AddRoot(std::string label) {
+  TUD_CHECK_EQ(NumNodes(), 0u);
+  labels_.push_back(std::move(label));
+  children_.emplace_back();
+  axes_.push_back(PatternAxis::kChild);
+  return 0;
+}
+
+PatternNodeId TreePattern::AddChild(PatternNodeId parent, std::string label,
+                                    PatternAxis axis) {
+  TUD_CHECK_LT(parent, NumNodes());
+  PatternNodeId id = static_cast<PatternNodeId>(NumNodes());
+  labels_.push_back(std::move(label));
+  children_.emplace_back();
+  axes_.push_back(axis);
+  children_[parent].push_back(id);
+  return id;
+}
+
+bool TreePattern::Matches(const XmlTree& tree) const {
+  if (tree.NumNodes() == 0 || NumNodes() == 0) return false;
+  const size_t np = NumNodes();
+  // d[v][p]: pattern subtree p embeds with p -> v.
+  // e[v][p]: some node in subtree(v) (including v) admits d.
+  std::vector<std::vector<bool>> d(tree.NumNodes(),
+                                   std::vector<bool>(np, false));
+  std::vector<std::vector<bool>> e(tree.NumNodes(),
+                                   std::vector<bool>(np, false));
+  // Children have larger ids than parents: descending order is
+  // bottom-up.
+  for (XmlNodeId v = static_cast<XmlNodeId>(tree.NumNodes()); v-- > 0;) {
+    for (PatternNodeId p = 0; p < np; ++p) {
+      bool ok = IsWildcard(p) || tree.label(v) == labels_[p];
+      for (PatternNodeId c : children_[p]) {
+        if (!ok) break;
+        bool found = false;
+        for (XmlNodeId w : tree.children(v)) {
+          if (axes_[c] == PatternAxis::kChild ? d[w][c] : e[w][c]) {
+            found = true;
+            break;
+          }
+        }
+        ok = found;
+      }
+      d[v][p] = ok;
+      e[v][p] = ok;
+    }
+    for (XmlNodeId w : tree.children(v)) {
+      for (PatternNodeId p = 0; p < np; ++p) {
+        if (e[w][p]) e[v][p] = true;
+      }
+    }
+  }
+  return e[tree.root()][root()];
+}
+
+TreePattern TreePattern::LabelExists(std::string label) {
+  TreePattern pattern;
+  pattern.AddRoot(std::move(label));
+  return pattern;
+}
+
+TreePattern TreePattern::AncestorDescendant(std::string ancestor,
+                                            std::string descendant) {
+  TreePattern pattern;
+  PatternNodeId r = pattern.AddRoot(std::move(ancestor));
+  pattern.AddChild(r, std::move(descendant), PatternAxis::kDescendant);
+  return pattern;
+}
+
+namespace {
+
+void Render(const TreePattern& pattern, PatternNodeId p, int depth,
+            std::string& out) {
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+  if (depth > 0) {
+    out += pattern.axis(p) == PatternAxis::kChild ? "/" : "//";
+  }
+  out += pattern.IsWildcard(p) ? "*" : pattern.label(p);
+  out += "\n";
+  for (PatternNodeId c : pattern.children(p)) {
+    Render(pattern, c, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string TreePattern::ToString() const {
+  std::string out;
+  if (NumNodes() > 0) Render(*this, root(), 0, out);
+  return out;
+}
+
+}  // namespace tud

@@ -1,0 +1,70 @@
+#ifndef TUD_PRXML_TREE_PATTERN_H_
+#define TUD_PRXML_TREE_PATTERN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prxml/xml_tree.h"
+
+namespace tud {
+
+/// Pattern node index.
+using PatternNodeId = uint32_t;
+
+/// Edge axis of a tree pattern.
+enum class PatternAxis : uint8_t {
+  kChild,       ///< Pattern child must map to a child.
+  kDescendant,  ///< Pattern child must map to a proper descendant.
+};
+
+/// A Boolean tree-pattern query (one of "the usual tree query languages"
+/// of §2.1): a small tree whose nodes carry label tests (or wildcards)
+/// and whose edges are child or descendant axes. The pattern holds on a
+/// document if some embedding maps the pattern root to *any* document
+/// node, respecting labels and axes. Join-free: each pattern node is
+/// matched independently, which is the fragment [17] proves tractable on
+/// local-uncertainty PrXML.
+class TreePattern {
+ public:
+  TreePattern() = default;
+
+  /// Adds the pattern root. Empty `label` means wildcard.
+  PatternNodeId AddRoot(std::string label);
+
+  /// Adds a pattern child under `parent` with the given axis.
+  PatternNodeId AddChild(PatternNodeId parent, std::string label,
+                         PatternAxis axis);
+
+  size_t NumNodes() const { return labels_.size(); }
+  PatternNodeId root() const { return 0; }
+  const std::string& label(PatternNodeId p) const { return labels_[p]; }
+  bool IsWildcard(PatternNodeId p) const { return labels_[p].empty(); }
+  const std::vector<PatternNodeId>& children(PatternNodeId p) const {
+    return children_[p];
+  }
+  PatternAxis axis(PatternNodeId p) const { return axes_[p]; }
+
+  /// Naive evaluation on a certain tree (ground truth for tests).
+  bool Matches(const XmlTree& tree) const;
+
+  /// Convenience: the single-node pattern //label.
+  static TreePattern LabelExists(std::string label);
+
+  /// Convenience: //ancestor[descendant] (ancestor label with a
+  /// descendant-axis child).
+  static TreePattern AncestorDescendant(std::string ancestor,
+                                        std::string descendant);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<std::vector<PatternNodeId>> children_;
+  std::vector<PatternAxis> axes_;  // Axis of the edge *into* each node.
+};
+
+}  // namespace tud
+
+#endif  // TUD_PRXML_TREE_PATTERN_H_

@@ -1,0 +1,42 @@
+#include "prxml/xml_tree.h"
+
+#include "util/check.h"
+
+namespace tud {
+
+XmlNodeId XmlTree::AddRoot(std::string label) {
+  TUD_CHECK_EQ(NumNodes(), 0u);
+  labels_.push_back(std::move(label));
+  parents_.push_back(kNoXmlNode);
+  children_.emplace_back();
+  return 0;
+}
+
+XmlNodeId XmlTree::AddChild(XmlNodeId parent, std::string label) {
+  TUD_CHECK_LT(parent, NumNodes());
+  XmlNodeId id = static_cast<XmlNodeId>(NumNodes());
+  labels_.push_back(std::move(label));
+  parents_.push_back(parent);
+  children_.emplace_back();
+  children_[parent].push_back(id);
+  return id;
+}
+
+namespace {
+
+void Render(const XmlTree& tree, XmlNodeId n, int depth, std::string& out) {
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+  out += tree.label(n);
+  out += "\n";
+  for (XmlNodeId c : tree.children(n)) Render(tree, c, depth + 1, out);
+}
+
+}  // namespace
+
+std::string XmlTree::ToString() const {
+  std::string out;
+  if (NumNodes() > 0) Render(*this, root(), 0, out);
+  return out;
+}
+
+}  // namespace tud

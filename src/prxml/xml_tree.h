@@ -1,0 +1,48 @@
+#ifndef TUD_PRXML_XML_TREE_H_
+#define TUD_PRXML_XML_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tud {
+
+/// Node index within an XmlTree.
+using XmlNodeId = uint32_t;
+
+inline constexpr XmlNodeId kNoXmlNode = UINT32_MAX;
+
+/// A plain (certain) unranked labeled tree — one possible world of a
+/// probabilistic XML document.
+class XmlTree {
+ public:
+  XmlTree() = default;
+
+  /// Adds the root (must be the first node).
+  XmlNodeId AddRoot(std::string label);
+
+  /// Adds a child of `parent` (appended after existing children).
+  XmlNodeId AddChild(XmlNodeId parent, std::string label);
+
+  size_t NumNodes() const { return labels_.size(); }
+  XmlNodeId root() const { return 0; }
+  const std::string& label(XmlNodeId n) const { return labels_[n]; }
+  XmlNodeId parent(XmlNodeId n) const { return parents_[n]; }
+  const std::vector<XmlNodeId>& children(XmlNodeId n) const {
+    return children_[n];
+  }
+
+  /// Indented rendering for debugging and examples.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<XmlNodeId> parents_;
+  std::vector<std::vector<XmlNodeId>> children_;
+};
+
+}  // namespace tud
+
+#endif  // TUD_PRXML_XML_TREE_H_

@@ -1,0 +1,54 @@
+#ifndef TUD_QUERIES_ANSWERS_H_
+#define TUD_QUERIES_ANSWERS_H_
+
+#include <set>
+#include <vector>
+
+#include "circuits/bool_circuit.h"
+#include "queries/conjunctive_query.h"
+#include "uncertain/pcc_instance.h"
+
+namespace tud {
+
+/// Non-Boolean query evaluation: answers with their lineage.
+///
+/// "Querying uncertain data implies that, in general, query results will
+/// themselves be uncertain" (§1): the answer to a CQ with free variables
+/// on a pcc-instance is a set of candidate tuples, each annotated by a
+/// lineage gate that is true in exactly the worlds where the tuple is an
+/// answer — i.e., the query result is itself a pcc-relation over the
+/// same circuit, which is what makes results composable and usable for
+/// possibility / certainty / probability per answer.
+
+/// One answer tuple and its lineage gate.
+struct AnswerLineage {
+  std::vector<Value> tuple;  ///< Values of `free_vars`, in order.
+  GateId lineage = kInvalidGate;
+};
+
+/// All answers of `query` with designated `free_vars` over the *support*
+/// of the pcc-instance (every fact assumed present), each with its exact
+/// lineage: the tuple is an answer in a world iff its gate is true.
+/// Tuples whose lineage folds to constant-false are omitted. Candidates
+/// are found by naive evaluation on the support; each candidate's
+/// lineage is then computed by the Theorem-1/2 DP with the free
+/// variables substituted by constants.
+std::vector<AnswerLineage> ComputeAnswerLineages(
+    const ConjunctiveQuery& query, const std::vector<VarId>& free_vars,
+    PccInstance& pcc);
+
+/// All assignments of `free_vars` under which the query holds on a
+/// certain instance (the per-world ground truth for the above).
+std::set<std::vector<Value>> EvaluateAnswers(
+    const ConjunctiveQuery& query, const std::vector<VarId>& free_vars,
+    const Instance& instance);
+
+/// Substitutes constants for the given variables of a query (used to
+/// close free variables before Boolean lineage computation).
+ConjunctiveQuery BindVariables(const ConjunctiveQuery& query,
+                               const std::vector<VarId>& vars,
+                               const std::vector<Value>& values);
+
+}  // namespace tud
+
+#endif  // TUD_QUERIES_ANSWERS_H_

@@ -1,0 +1,109 @@
+#include "queries/query_parser.h"
+
+#include <cctype>
+#include <unordered_map>
+#include <vector>
+
+namespace tud {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const Schema& schema, Dictionary& dictionary)
+      : text_(text), schema_(schema), dictionary_(dictionary) {}
+
+  std::optional<ConjunctiveQuery> Run() {
+    ConjunctiveQuery query;
+    if (!ParseAtom(query)) return std::nullopt;
+    SkipSpace();
+    while (pos_ < text_.size()) {
+      if (text_[pos_] != ',') return std::nullopt;
+      ++pos_;
+      if (!ParseAtom(query)) return std::nullopt;
+      SkipSpace();
+    }
+    return query;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::optional<std::string> ParseIdentifier() {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '?') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseAtom(ConjunctiveQuery& query) {
+    auto name = ParseIdentifier();
+    if (!name.has_value()) return false;
+    auto relation = schema_.Find(*name);
+    if (!relation.has_value()) return false;
+    if (!Consume('(')) return false;
+    std::vector<Term> terms;
+    if (!Consume(')')) {
+      while (true) {
+        auto term_text = ParseIdentifier();
+        if (!term_text.has_value()) return false;
+        terms.push_back(MakeTerm(*term_text));
+        if (Consume(')')) break;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (terms.size() != schema_.arity(*relation)) return false;
+    query.AddAtom(*relation, std::move(terms));
+    return true;
+  }
+
+  Term MakeTerm(const std::string& text) {
+    const bool is_variable =
+        text[0] == '?' || std::isupper(static_cast<unsigned char>(text[0]));
+    if (!is_variable) {
+      return Term::C(dictionary_.Intern(text));
+    }
+    auto it = variables_.find(text);
+    if (it == variables_.end()) {
+      it = variables_
+               .emplace(text, static_cast<VarId>(variables_.size()))
+               .first;
+    }
+    return Term::V(it->second);
+  }
+
+  std::string_view text_;
+  const Schema& schema_;
+  Dictionary& dictionary_;
+  std::unordered_map<std::string, VarId> variables_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<ConjunctiveQuery> ParseConjunctiveQuery(
+    std::string_view text, const Schema& schema, Dictionary& dictionary) {
+  return Parser(text, schema, dictionary).Run();
+}
+
+}  // namespace tud

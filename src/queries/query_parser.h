@@ -1,0 +1,28 @@
+#ifndef TUD_QUERIES_QUERY_PARSER_H_
+#define TUD_QUERIES_QUERY_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "queries/conjunctive_query.h"
+#include "relational/dictionary.h"
+
+namespace tud {
+
+/// Parses a Boolean conjunctive query from text, e.g.
+///
+///   "R(x), S(x, y), T(y)"          — comma-separated atoms
+///   "Trip(cdg, Stop) , Trip(Stop, pdx)"
+///
+/// Terms starting with a lowercase letter are constants (interned in
+/// `dictionary`); terms starting with an uppercase letter or '?' are
+/// variables (numbered in order of first occurrence). Relation names
+/// must exist in `schema` with matching arity. Returns nullopt on any
+/// syntax, schema, or arity error.
+std::optional<ConjunctiveQuery> ParseConjunctiveQuery(
+    std::string_view text, const Schema& schema, Dictionary& dictionary);
+
+}  // namespace tud
+
+#endif  // TUD_QUERIES_QUERY_PARSER_H_

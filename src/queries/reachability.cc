@@ -1,0 +1,307 @@
+#include "queries/reachability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tud {
+
+bool EvaluateReachability(const Instance& instance, RelationId edge_relation,
+                          Value source, Value target) {
+  if (source == target) return true;
+  if (source >= instance.DomainSize() || target >= instance.DomainSize()) {
+    return false;
+  }
+  std::vector<std::vector<Value>> adjacency(instance.DomainSize());
+  for (const Fact& fact : instance.facts()) {
+    if (fact.relation != edge_relation || fact.args.size() != 2) continue;
+    adjacency[fact.args[0]].push_back(fact.args[1]);
+    adjacency[fact.args[1]].push_back(fact.args[0]);
+  }
+  std::vector<bool> seen(instance.DomainSize(), false);
+  std::vector<Value> stack = {source};
+  seen[source] = true;
+  while (!stack.empty()) {
+    Value v = stack.back();
+    stack.pop_back();
+    if (v == target) return true;
+    for (Value u : adjacency[v]) {
+      if (!seen[u]) {
+        seen[u] = true;
+        stack.push_back(u);
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Connectivity DP state over the current bag: a normalized partition of
+// the bag indices into blocks of used-edge-connected vertices, with
+// per-block source/target flags, or the absorbing "done" state.
+struct RState {
+  std::vector<uint8_t> block;  // Per bag position; ids normalized.
+  uint16_t s_mask = 0;         // Bit b: block b's component contains source.
+  uint16_t t_mask = 0;
+  bool done = false;
+
+  bool operator==(const RState&) const = default;
+};
+
+struct RStateHash {
+  size_t operator()(const RState& s) const {
+    size_t h = s.done ? 0x9e3779b9u : 0x85ebca6bu;
+    h = h * 31 + s.s_mask;
+    h = h * 31 + s.t_mask;
+    for (uint8_t b : s.block) h = h * 131 + b;
+    return h;
+  }
+};
+
+using RStateMap = std::unordered_map<RState, GateId, RStateHash>;
+
+// Renumbers blocks in order of first appearance and permutes the flag
+// masks accordingly. The done state is collapsed to a unique shape.
+RState Normalize(RState state) {
+  if (state.done) {
+    RState canonical;
+    canonical.block.assign(state.block.size(), 0);
+    for (size_t i = 0; i < canonical.block.size(); ++i) {
+      canonical.block[i] = static_cast<uint8_t>(i);
+    }
+    canonical.done = true;
+    return canonical;
+  }
+  std::vector<int> remap(state.block.size() + 2, -1);
+  uint8_t next = 0;
+  uint16_t s_mask = 0, t_mask = 0;
+  for (uint8_t& b : state.block) {
+    if (remap[b] < 0) {
+      remap[b] = next++;
+      if ((state.s_mask >> b) & 1) s_mask |= (1u << remap[b]);
+      if ((state.t_mask >> b) & 1) t_mask |= (1u << remap[b]);
+    }
+    b = static_cast<uint8_t>(remap[b]);
+  }
+  state.s_mask = s_mask;
+  state.t_mask = t_mask;
+  return state;
+}
+
+void Merge(RStateMap& map, BoolCircuit& circuit, RState state, GateId gate) {
+  auto [it, inserted] = map.try_emplace(std::move(state), gate);
+  if (!inserted) it->second = circuit.AddOr(it->second, gate);
+}
+
+size_t BagIndex(const std::vector<VertexId>& bag, VertexId v) {
+  auto it = std::lower_bound(bag.begin(), bag.end(), v);
+  TUD_CHECK(it != bag.end() && *it == v);
+  return static_cast<size_t>(it - bag.begin());
+}
+
+}  // namespace
+
+GateId ComputeReachabilityLineage(PccInstance& pcc, RelationId edge_relation,
+                                  Value source, Value target,
+                                  LineageStats* stats) {
+  BoolCircuit& circuit = pcc.circuit();
+  if (source == target) return circuit.AddConst(true);
+  const size_t domain = pcc.instance().DomainSize();
+  if (source >= domain || target >= domain) return circuit.AddConst(false);
+
+  DecomposedInstance dec = DecomposeInstance(pcc.instance());
+  const NiceTreeDecomposition& ntd = dec.ntd;
+  TUD_CHECK_LE(ntd.Width(), 14) << "bag too large for connectivity masks";
+  if (stats != nullptr) {
+    stats->decomposition_width = dec.width;
+    stats->num_nice_nodes = ntd.NumNodes();
+    stats->total_states = 0;
+    stats->max_states_per_node = 0;
+  }
+
+  std::vector<RStateMap> table(ntd.NumNodes());
+  for (NiceNodeId n = 0; n < ntd.NumNodes(); ++n) {
+    RStateMap& states = table[n];
+    const std::vector<VertexId>& bag = ntd.bag(n);
+    switch (ntd.kind(n)) {
+      case NiceNodeKind::kLeaf: {
+        Merge(states, circuit, RState{}, circuit.AddConst(true));
+        break;
+      }
+      case NiceNodeKind::kIntroduce: {
+        const VertexId v = ntd.vertex(n);
+        const size_t pos = BagIndex(bag, v);
+        RStateMap& child = table[ntd.children(n)[0]];
+        for (auto& [state, gate] : child) {
+          RState next;
+          next.done = state.done;
+          next.block.reserve(bag.size());
+          uint8_t fresh =
+              static_cast<uint8_t>(state.block.size());  // New block id.
+          for (size_t i = 0; i < bag.size(); ++i) {
+            if (i == pos) {
+              next.block.push_back(fresh);
+            } else {
+              next.block.push_back(state.block[i < pos ? i : i - 1]);
+            }
+          }
+          next.s_mask = state.s_mask;
+          next.t_mask = state.t_mask;
+          if (!next.done) {
+            if (v == source) next.s_mask |= (1u << fresh);
+            if (v == target) next.t_mask |= (1u << fresh);
+          }
+          Merge(states, circuit, Normalize(std::move(next)), gate);
+        }
+        child.clear();
+        break;
+      }
+      case NiceNodeKind::kForget: {
+        const VertexId v = ntd.vertex(n);
+        const std::vector<VertexId>& child_bag =
+            ntd.bag(ntd.children(n)[0]);
+        const size_t pos = BagIndex(child_bag, v);
+        RStateMap& child = table[ntd.children(n)[0]];
+        for (auto& [state, gate] : child) {
+          RState next;
+          next.done = state.done;
+          next.s_mask = state.s_mask;
+          next.t_mask = state.t_mask;
+          uint8_t gone = state.block[pos];
+          bool block_survives = false;
+          for (size_t i = 0; i < state.block.size(); ++i) {
+            if (i == pos) continue;
+            next.block.push_back(state.block[i]);
+            if (state.block[i] == gone) block_survives = true;
+          }
+          if (!next.done && !block_survives) {
+            // The component loses its last bag vertex: it can never be
+            // extended again.
+            bool has_s = (state.s_mask >> gone) & 1;
+            bool has_t = (state.t_mask >> gone) & 1;
+            if (has_s && has_t) {
+              next.done = true;  // Source and target joined: accept.
+            } else if (has_s || has_t) {
+              continue;  // Source/target sealed off: dead derivation.
+            }
+            // Flag-free sealed components only arise from useless edge
+            // choices; pruning them loses no accepting derivation (a
+            // minimal witness path has none).
+            next.s_mask &= ~(1u << gone);
+            next.t_mask &= ~(1u << gone);
+          }
+          Merge(states, circuit, Normalize(std::move(next)), gate);
+        }
+        child.clear();
+        break;
+      }
+      case NiceNodeKind::kJoin: {
+        RStateMap& left = table[ntd.children(n)[0]];
+        RStateMap& right = table[ntd.children(n)[1]];
+        const size_t k = bag.size();
+        for (const auto& [sl, gl] : left) {
+          for (const auto& [sr, gr] : right) {
+            GateId gate = circuit.AddAnd(gl, gr);
+            if (sl.done || sr.done) {
+              RState next;
+              next.block.assign(k, 0);
+              for (size_t i = 0; i < k; ++i) {
+                next.block[i] = static_cast<uint8_t>(i);
+              }
+              next.done = true;
+              Merge(states, circuit, Normalize(std::move(next)), gate);
+              continue;
+            }
+            // Union-find over bag positions: both partitions constrain.
+            std::vector<uint8_t> parent(k);
+            for (size_t i = 0; i < k; ++i) {
+              parent[i] = static_cast<uint8_t>(i);
+            }
+            std::function<uint8_t(uint8_t)> find =
+                [&](uint8_t x) -> uint8_t {
+              while (parent[x] != x) x = parent[x] = parent[parent[x]];
+              return x;
+            };
+            auto unite = [&](uint8_t a, uint8_t b) {
+              parent[find(a)] = find(b);
+            };
+            for (size_t i = 0; i < k; ++i) {
+              for (size_t j = i + 1; j < k; ++j) {
+                if (sl.block[i] == sl.block[j] ||
+                    sr.block[i] == sr.block[j]) {
+                  unite(static_cast<uint8_t>(i), static_cast<uint8_t>(j));
+                }
+              }
+            }
+            RState next;
+            next.block.resize(k);
+            next.s_mask = next.t_mask = 0;
+            for (size_t i = 0; i < k; ++i) {
+              uint8_t root = find(static_cast<uint8_t>(i));
+              next.block[i] = root;
+              if ((sl.s_mask >> sl.block[i]) & 1) next.s_mask |= 1u << root;
+              if ((sr.s_mask >> sr.block[i]) & 1) next.s_mask |= 1u << root;
+              if ((sl.t_mask >> sl.block[i]) & 1) next.t_mask |= 1u << root;
+              if ((sr.t_mask >> sr.block[i]) & 1) next.t_mask |= 1u << root;
+            }
+            Merge(states, circuit, Normalize(std::move(next)), gate);
+          }
+        }
+        left.clear();
+        right.clear();
+        break;
+      }
+    }
+
+    // Use any subset of this node's edge facts: one at a time, merging
+    // endpoint blocks (iterate to closure via the state map itself).
+    for (FactId f : dec.facts_at_node[n]) {
+      const Fact& fact = pcc.instance().fact(f);
+      if (fact.relation != edge_relation || fact.args.size() != 2) continue;
+      if (fact.args[0] == fact.args[1]) continue;  // Self-loop: no effect.
+      const size_t pa = BagIndex(bag, fact.args[0]);
+      const size_t pb = BagIndex(bag, fact.args[1]);
+      const GateId fact_gate = pcc.annotation(f);
+      std::vector<std::pair<RState, GateId>> additions;
+      for (const auto& [state, gate] : states) {
+        if (state.done) continue;
+        uint8_t ba = state.block[pa];
+        uint8_t bb = state.block[pb];
+        if (ba == bb) continue;  // Already connected: using it is moot.
+        RState next = state;
+        for (uint8_t& b : next.block) {
+          if (b == bb) b = ba;
+        }
+        if ((state.s_mask >> bb) & 1) next.s_mask |= (1u << ba);
+        if ((state.t_mask >> bb) & 1) next.t_mask |= (1u << ba);
+        next.s_mask &= ~(1u << bb);
+        next.t_mask &= ~(1u << bb);
+        additions.emplace_back(Normalize(std::move(next)),
+                               circuit.AddAnd(gate, fact_gate));
+      }
+      for (auto& [state, gate] : additions) {
+        Merge(states, circuit, std::move(state), gate);
+      }
+    }
+
+    if (stats != nullptr) {
+      stats->total_states += states.size();
+      stats->max_states_per_node =
+          std::max(stats->max_states_per_node, states.size());
+    }
+  }
+
+  // Root (empty bag): accept the done state.
+  std::vector<GateId> accepting;
+  for (const auto& [state, gate] : table[ntd.root()]) {
+    if (state.done) accepting.push_back(gate);
+  }
+  return circuit.AddOr(std::move(accepting));
+}
+
+}  // namespace tud

@@ -1,0 +1,42 @@
+#ifndef TUD_QUERIES_REACHABILITY_H_
+#define TUD_QUERIES_REACHABILITY_H_
+
+#include "circuits/bool_circuit.h"
+#include "queries/lineage.h"
+#include "relational/instance.h"
+#include "uncertain/pcc_instance.h"
+
+namespace tud {
+
+/// Lineage of the Boolean query "target is reachable from source through
+/// present `edge_relation` facts (read as undirected edges)" on a
+/// pcc-instance.
+///
+/// Reachability is MSO-definable but not expressible as a (U)CQ, so this
+/// exercises the part of Theorem 1-2's scope that goes beyond
+/// conjunctive queries ("for any query that can be compiled to an
+/// automaton: beyond CQs, this covers MSO..."). The construction is the
+/// classic Courcelle-style connectivity DP over a nice tree
+/// decomposition: the state tracks the partition of the current bag
+/// into connected blocks of used edges, plus per-block flags recording a
+/// connection to the (possibly forgotten) source / target. Each
+/// (node, state) pair becomes an OR gate; using an edge fact ANDs in its
+/// annotation gate and merges blocks. For bounded width the state count
+/// per node is a constant (Bell numbers of the bag size), so the
+/// construction is linear in the instance.
+///
+/// The returned gate is true in exactly the possible worlds where a path
+/// of present edges connects `source` to `target` (true trivially if
+/// source == target).
+GateId ComputeReachabilityLineage(PccInstance& pcc, RelationId edge_relation,
+                                  Value source, Value target,
+                                  LineageStats* stats = nullptr);
+
+/// Ground-truth evaluation on a certain instance (BFS over present
+/// edges); used by tests and the per-world cross-validation.
+bool EvaluateReachability(const Instance& instance, RelationId edge_relation,
+                          Value source, Value target);
+
+}  // namespace tud
+
+#endif  // TUD_QUERIES_REACHABILITY_H_

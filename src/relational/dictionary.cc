@@ -1,0 +1,27 @@
+#include "relational/dictionary.h"
+
+#include "util/check.h"
+
+namespace tud {
+
+Value Dictionary::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  Value v = static_cast<Value>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), v);
+  return v;
+}
+
+std::optional<Value> Dictionary::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Dictionary::name(Value v) const {
+  TUD_CHECK_LT(v, names_.size());
+  return names_[v];
+}
+
+}  // namespace tud

@@ -1,0 +1,43 @@
+#ifndef TUD_RELATIONAL_DICTIONARY_H_
+#define TUD_RELATIONAL_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tud {
+
+/// A domain element (constant), dictionary-encoded as a dense integer.
+using Value = uint32_t;
+
+inline constexpr Value kInvalidValue = UINT32_MAX;
+
+/// Bidirectional mapping between constant names and dense Value ids.
+/// Dictionary encoding keeps facts as small integer tuples, which the
+/// tree-decomposition machinery indexes directly by Value.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the id for `name`, interning it if new.
+  Value Intern(std::string_view name);
+
+  /// Returns the id for `name` if already interned.
+  std::optional<Value> Find(std::string_view name) const;
+
+  /// Name of value `v`.
+  const std::string& name(Value v) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Value> index_;
+};
+
+}  // namespace tud
+
+#endif  // TUD_RELATIONAL_DICTIONARY_H_

@@ -1,0 +1,61 @@
+#include "relational/instance.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tud {
+
+FactId Instance::AddFact(RelationId relation, std::vector<Value> args) {
+  TUD_CHECK_LT(relation, schema_.NumRelations());
+  TUD_CHECK_EQ(args.size(), schema_.arity(relation))
+      << "arity mismatch for relation " << schema_.name(relation);
+  for (Value v : args) {
+    domain_size_ = std::max(domain_size_, static_cast<size_t>(v) + 1);
+  }
+  FactId id = static_cast<FactId>(facts_.size());
+  facts_.push_back(Fact{relation, std::move(args)});
+  return id;
+}
+
+const Fact& Instance::fact(FactId f) const {
+  TUD_CHECK_LT(f, facts_.size());
+  return facts_[f];
+}
+
+bool Instance::Contains(const Fact& fact) const {
+  return std::find(facts_.begin(), facts_.end(), fact) != facts_.end();
+}
+
+std::vector<std::pair<Value, Value>> Instance::GaifmanEdges() const {
+  std::vector<std::pair<Value, Value>> edges;
+  for (const Fact& fact : facts_) {
+    for (size_t i = 0; i < fact.args.size(); ++i) {
+      for (size_t j = i + 1; j < fact.args.size(); ++j) {
+        Value a = fact.args[i];
+        Value b = fact.args[j];
+        if (a == b) continue;
+        edges.emplace_back(std::min(a, b), std::max(a, b));
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+std::string Instance::ToString(const Dictionary& dictionary) const {
+  std::string out;
+  for (const Fact& fact : facts_) {
+    out += schema_.name(fact.relation);
+    out += "(";
+    for (size_t i = 0; i < fact.args.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += dictionary.name(fact.args[i]);
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace tud

@@ -1,0 +1,78 @@
+#ifndef TUD_RELATIONAL_INSTANCE_H_
+#define TUD_RELATIONAL_INSTANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relational/dictionary.h"
+#include "relational/schema.h"
+
+namespace tud {
+
+/// Index of a fact within an Instance (dense, append-only).
+using FactId = uint32_t;
+
+inline constexpr FactId kInvalidFact = UINT32_MAX;
+
+/// A ground fact R(v1, ..., vk).
+struct Fact {
+  RelationId relation = 0;
+  std::vector<Value> args;
+
+  friend bool operator==(const Fact& a, const Fact& b) {
+    return a.relation == b.relation && a.args == b.args;
+  }
+
+  friend bool operator<(const Fact& a, const Fact& b) {
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return a.args < b.args;
+  }
+};
+
+/// A standard (certain) relational instance: a bag of facts over a schema.
+/// Uncertain instance classes (TID, c-, pc-, pcc-instances) wrap an
+/// Instance — the paper defines the treewidth of an uncertain instance via
+/// "its underlying relational instance (forgetting about the
+/// probabilities)" (Theorem 1), which is GaifmanEdges() here.
+class Instance {
+ public:
+  explicit Instance(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Appends a fact; args size must match the relation arity. Duplicate
+  /// facts are allowed (callers that need set semantics deduplicate).
+  FactId AddFact(RelationId relation, std::vector<Value> args);
+
+  size_t NumFacts() const { return facts_.size(); }
+  const Fact& fact(FactId f) const;
+  const std::vector<Fact>& facts() const { return facts_; }
+
+  /// Largest Value mentioned plus one (the active domain size when values
+  /// are dense, which generated workloads guarantee).
+  size_t DomainSize() const { return domain_size_; }
+
+  /// True if the instance contains `fact` (linear scan; fine for the
+  /// small certain instances used in tests and world enumeration).
+  bool Contains(const Fact& fact) const;
+
+  /// Edges of the Gaifman graph: vertices are domain Values; two values
+  /// are adjacent iff they co-occur in some fact. Deduplicated, each pair
+  /// (a, b) with a < b. Treewidth of the instance = treewidth of this
+  /// graph (Theorem 1).
+  std::vector<std::pair<Value, Value>> GaifmanEdges() const;
+
+  /// Renders facts one per line using `dictionary` for value names.
+  std::string ToString(const Dictionary& dictionary) const;
+
+ private:
+  Schema schema_;
+  std::vector<Fact> facts_;
+  size_t domain_size_ = 0;
+};
+
+}  // namespace tud
+
+#endif  // TUD_RELATIONAL_INSTANCE_H_

@@ -1,0 +1,33 @@
+#include "relational/schema.h"
+
+#include "util/check.h"
+
+namespace tud {
+
+RelationId Schema::AddRelation(std::string name, uint32_t arity) {
+  TUD_CHECK(index_.find(name) == index_.end())
+      << "duplicate relation '" << name << "'";
+  RelationId id = static_cast<RelationId>(arities_.size());
+  index_.emplace(name, id);
+  names_.push_back(std::move(name));
+  arities_.push_back(arity);
+  return id;
+}
+
+std::optional<RelationId> Schema::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Schema::name(RelationId r) const {
+  TUD_CHECK_LT(r, names_.size());
+  return names_[r];
+}
+
+uint32_t Schema::arity(RelationId r) const {
+  TUD_CHECK_LT(r, arities_.size());
+  return arities_[r];
+}
+
+}  // namespace tud

@@ -1,0 +1,39 @@
+#ifndef TUD_RELATIONAL_SCHEMA_H_
+#define TUD_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tud {
+
+/// Identifier of a relation symbol within a Schema.
+using RelationId = uint32_t;
+
+/// A relational signature: named relation symbols with fixed arities.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a relation symbol. Names must be unique; arity >= 0.
+  RelationId AddRelation(std::string name, uint32_t arity);
+
+  /// Looks up a relation by name.
+  std::optional<RelationId> Find(std::string_view name) const;
+
+  size_t NumRelations() const { return arities_.size(); }
+  const std::string& name(RelationId r) const;
+  uint32_t arity(RelationId r) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<uint32_t> arities_;
+  std::unordered_map<std::string, RelationId> index_;
+};
+
+}  // namespace tud
+
+#endif  // TUD_RELATIONAL_SCHEMA_H_

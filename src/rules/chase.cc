@@ -1,0 +1,200 @@
+#include "rules/chase.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "util/check.h"
+
+namespace tud {
+
+Rule MakeRule(std::string name, std::vector<QueryAtom> body,
+              std::vector<QueryAtom> head, double probability) {
+  TUD_CHECK(probability >= 0.0 && probability <= 1.0);
+  return Rule{std::move(name), std::move(body), std::move(head),
+              probability};
+}
+
+namespace {
+
+// Enumerates all homomorphisms of `atoms` into `instance`, reporting for
+// each the variable assignment and the facts used per atom.
+void FindHomomorphisms(
+    const std::vector<QueryAtom>& atoms, const Instance& instance,
+    size_t index, std::vector<Value>& assignment, std::vector<bool>& assigned,
+    std::vector<FactId>& used,
+    const std::function<void(const std::vector<Value>&,
+                             const std::vector<FactId>&)>& fn) {
+  if (index == atoms.size()) {
+    fn(assignment, used);
+    return;
+  }
+  const QueryAtom& atom = atoms[index];
+  for (FactId f = 0; f < instance.NumFacts(); ++f) {
+    const Fact& fact = instance.fact(f);
+    if (fact.relation != atom.relation ||
+        fact.args.size() != atom.terms.size()) {
+      continue;
+    }
+    std::vector<VarId> newly_bound;
+    bool ok = true;
+    for (size_t i = 0; i < atom.terms.size(); ++i) {
+      const Term& t = atom.terms[i];
+      if (!t.is_var) {
+        if (t.constant != fact.args[i]) {
+          ok = false;
+          break;
+        }
+        continue;
+      }
+      if (assigned[t.var]) {
+        if (assignment[t.var] != fact.args[i]) {
+          ok = false;
+          break;
+        }
+      } else {
+        assigned[t.var] = true;
+        assignment[t.var] = fact.args[i];
+        newly_bound.push_back(t.var);
+      }
+    }
+    if (ok) {
+      used.push_back(f);
+      FindHomomorphisms(atoms, instance, index + 1, assignment, assigned,
+                        used, fn);
+      used.pop_back();
+    }
+    for (VarId v : newly_bound) assigned[v] = false;
+  }
+}
+
+uint32_t MaxVar(const Rule& rule) {
+  uint32_t num_vars = 0;
+  for (const auto& atoms : {rule.body, rule.head}) {
+    for (const QueryAtom& atom : atoms) {
+      for (const Term& t : atom.terms) {
+        if (t.is_var) num_vars = std::max(num_vars, t.var + 1);
+      }
+    }
+  }
+  return num_vars;
+}
+
+}  // namespace
+
+ChaseResult ProbabilisticChase(const CInstance& base,
+                               const std::vector<Rule>& rules,
+                               Dictionary& dictionary,
+                               const ChaseOptions& options) {
+  // Copy the base pc-instance.
+  ChaseResult result{CInstance(base.instance().schema()), 0, 0, false};
+  CInstance& out = result.instance;
+  for (EventId e = 0; e < base.events().size(); ++e) {
+    out.events().Register(base.events().name(e), base.events().probability(e));
+  }
+  std::map<Fact, FactId> fact_index;
+  for (FactId f = 0; f < base.NumFacts(); ++f) {
+    const Fact& fact = base.instance().fact(f);
+    FactId id = out.AddFact(fact.relation, fact.args, base.annotation(f));
+    fact_index.emplace(
+        Fact{fact.relation, base.instance().fact(f).args}, id);
+  }
+
+  // Fire each (rule, body-assignment) at most once across all rounds.
+  std::set<std::pair<size_t, std::vector<Value>>> fired;
+  size_t null_counter = 0;
+
+  for (uint32_t round = 0; round < options.max_rounds; ++round) {
+    result.rounds_run = round + 1;
+    bool any_fired = false;
+    for (size_t r = 0; r < rules.size(); ++r) {
+      const Rule& rule = rules[r];
+      const uint32_t num_vars = MaxVar(rule);
+      std::vector<Value> assignment(num_vars, 0);
+      std::vector<bool> assigned(num_vars, false);
+      std::vector<FactId> used;
+
+      // Collect firings first (do not mutate while matching).
+      std::vector<std::pair<std::vector<Value>, std::vector<FactId>>>
+          pending;
+      FindHomomorphisms(
+          rule.body, out.instance(), 0, assignment, assigned, used,
+          [&](const std::vector<Value>& hom, const std::vector<FactId>& fs) {
+            // Key only on body variables (existential ones are unbound).
+            std::vector<Value> key;
+            for (const QueryAtom& atom : rule.body) {
+              for (const Term& t : atom.terms) {
+                if (t.is_var) key.push_back(hom[t.var]);
+              }
+            }
+            if (fired.emplace(r, std::move(key)).second) {
+              pending.emplace_back(hom, fs);
+            }
+          });
+
+      for (auto& [hom, body_facts] : pending) {
+        if (out.NumFacts() >= options.max_facts) {
+          result.hit_fact_cap = true;
+          return result;
+        }
+        ++result.num_firings;
+        any_fired = true;
+
+        // Derivation lineage: body annotations AND a fresh firing event
+        // (omitted for hard rules with probability 1).
+        std::vector<BoolFormula> deriv;
+        for (FactId f : body_facts) deriv.push_back(out.annotation(f));
+        if (rule.probability < 1.0) {
+          EventId fire = out.events().Register(
+              rule.name + "#" + std::to_string(result.num_firings),
+              rule.probability);
+          deriv.push_back(BoolFormula::Var(fire));
+        }
+        BoolFormula derivation = BoolFormula::And(deriv);
+
+        // Bind existential head variables to fresh nulls.
+        std::vector<Value> binding = hom;
+        std::vector<bool> bound(binding.size(), false);
+        for (const QueryAtom& atom : rule.body) {
+          for (const Term& t : atom.terms) {
+            if (t.is_var) bound[t.var] = true;
+          }
+        }
+        for (const QueryAtom& atom : rule.head) {
+          for (const Term& t : atom.terms) {
+            if (t.is_var && !bound[t.var]) {
+              binding[t.var] =
+                  dictionary.Intern("_null" + std::to_string(null_counter++));
+              bound[t.var] = true;
+            }
+          }
+        }
+
+        // Materialise head facts, OR-ing new derivations into existing
+        // facts.
+        for (const QueryAtom& atom : rule.head) {
+          std::vector<Value> args;
+          args.reserve(atom.terms.size());
+          for (const Term& t : atom.terms) {
+            args.push_back(t.is_var ? binding[t.var] : t.constant);
+          }
+          Fact key{atom.relation, args};
+          auto it = fact_index.find(key);
+          if (it == fact_index.end()) {
+            FactId id = out.AddFact(atom.relation, args, derivation);
+            fact_index.emplace(std::move(key), id);
+          } else {
+            out.SetAnnotation(
+                it->second,
+                BoolFormula::Or(out.annotation(it->second), derivation));
+          }
+        }
+      }
+    }
+    if (!any_fired) break;
+  }
+  return result;
+}
+
+}  // namespace tud

@@ -1,0 +1,51 @@
+#ifndef TUD_RULES_CHASE_H_
+#define TUD_RULES_CHASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/dictionary.h"
+#include "rules/rule.h"
+#include "uncertain/c_instance.h"
+
+namespace tud {
+
+/// Options for the probabilistic chase.
+struct ChaseOptions {
+  /// Rounds of rule application. Cyclic rule sets never terminate; the
+  /// paper's suggested mitigation is "to truncate [the chase] and
+  /// control the error", which this bound implements.
+  uint32_t max_rounds = 3;
+
+  /// Safety cap on the total number of facts (derived nulls can blow
+  /// up); the chase stops cleanly when reached.
+  size_t max_facts = 100000;
+};
+
+/// Outcome of a chase run.
+struct ChaseResult {
+  CInstance instance;         ///< pc-instance with derivation lineage.
+  size_t num_firings = 0;     ///< Rule instantiations fired.
+  uint32_t rounds_run = 0;
+  bool hit_fact_cap = false;
+};
+
+/// Runs the probabilistic chase (§2.3 vision): starting from `base`
+/// (whose annotations are preserved), repeatedly finds homomorphisms of
+/// rule bodies into the current facts and fires each at most once. A
+/// firing registers a fresh independent event with the rule's
+/// probability, invents fresh nulls (interned in `dictionary` as
+/// "_null<k>") for existential head variables, and adds/extends each
+/// head fact's annotation with the derivation
+///   (AND of the used facts' annotations) AND firing-event —
+/// OR-ed with previously found derivations, so "multiple independent
+/// ways to deduce the same fact" combine, and derivations compose across
+/// rounds (facts deduced via paths involving other deduced facts).
+ChaseResult ProbabilisticChase(const CInstance& base,
+                               const std::vector<Rule>& rules,
+                               Dictionary& dictionary,
+                               const ChaseOptions& options = {});
+
+}  // namespace tud
+
+#endif  // TUD_RULES_CHASE_H_

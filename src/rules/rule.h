@@ -1,0 +1,34 @@
+#ifndef TUD_RULES_RULE_H_
+#define TUD_RULES_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "queries/conjunctive_query.h"
+
+namespace tud {
+
+/// A (probabilistic) existential rule: body(x̄) -> ∃ z̄ head(x̄, z̄).
+///
+/// Variables occurring in the head but not the body are existential:
+/// each firing invents fresh nulls for them ("rules which assert the
+/// probable existence of new elements", §2.3). `probability` is the
+/// per-instantiation firing probability — the paper's desired semantics
+/// where "the rule applies, on average, in 80% of cases", as opposed to
+/// the rule being globally true or false with that probability ([25]'s
+/// semantics, which §2.3 explicitly argues against). probability = 1
+/// gives an ordinary hard rule (classical chase step).
+struct Rule {
+  std::string name;
+  std::vector<QueryAtom> body;
+  std::vector<QueryAtom> head;
+  double probability = 1.0;
+};
+
+/// Builder helpers mirroring ConjunctiveQuery's Term API.
+Rule MakeRule(std::string name, std::vector<QueryAtom> body,
+              std::vector<QueryAtom> head, double probability);
+
+}  // namespace tud
+
+#endif  // TUD_RULES_RULE_H_

@@ -1,0 +1,4 @@
+// provenance_eval.h is header-only (templates); this translation unit
+// exists so the target has a compiled object and the header is verified
+// self-contained.
+#include "semiring/provenance_eval.h"

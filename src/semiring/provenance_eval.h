@@ -1,0 +1,68 @@
+#ifndef TUD_SEMIRING_PROVENANCE_EVAL_H_
+#define TUD_SEMIRING_PROVENANCE_EVAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "circuits/bool_circuit.h"
+#include "util/check.h"
+
+namespace tud {
+
+/// Evaluates the monotone circuit `circuit` in semiring `S`, bottom-up:
+/// OR gates become semiring Plus, AND gates become Times, kVar gates take
+/// the value `leaf_value(event)`, and constants map to One/Zero. The gate
+/// `root` must not have any kNot gate below it (checked).
+///
+/// For absorptive semirings this computes the semiring provenance of the
+/// query whose lineage circuit this is (paper §2.2: "in the case of
+/// monotone queries, our lineage circuits are provenance circuits matching
+/// standard definitions of semiring provenance for absorptive semirings").
+template <typename S>
+typename S::Value EvalMonotoneCircuit(
+    const BoolCircuit& circuit, GateId root,
+    const std::function<typename S::Value(EventId)>& leaf_value) {
+  TUD_CHECK(circuit.IsMonotone(root))
+      << "semiring evaluation requires a monotone (NOT-free) circuit";
+  std::vector<typename S::Value> values(circuit.NumGates(), S::Zero());
+  for (GateId g : circuit.ReachableFrom(root)) {
+    switch (circuit.kind(g)) {
+      case GateKind::kConst:
+        values[g] = circuit.const_value(g) ? S::One() : S::Zero();
+        break;
+      case GateKind::kVar:
+        values[g] = leaf_value(circuit.var(g));
+        break;
+      case GateKind::kAnd: {
+        typename S::Value v = S::One();
+        for (GateId in : circuit.inputs(g)) v = S::Times(v, values[in]);
+        values[g] = v;
+        break;
+      }
+      case GateKind::kOr: {
+        typename S::Value v = S::Zero();
+        for (GateId in : circuit.inputs(g)) v = S::Plus(v, values[in]);
+        values[g] = v;
+        break;
+      }
+      case GateKind::kNot:
+        TUD_CHECK(false) << "NOT gate in monotone evaluation";
+    }
+  }
+  return values[root];
+}
+
+/// Convenience overload: each kVar gate maps to the "variable itself" via
+/// `S::Value FromEvent(EventId)`-style factory provided as a lambda in the
+/// primary overload; this variant assigns One() to every present event —
+/// i.e., evaluates the polynomial at all-ones (useful as a smoke value).
+template <typename S>
+typename S::Value EvalMonotoneCircuitAllOnes(const BoolCircuit& circuit,
+                                             GateId root) {
+  return EvalMonotoneCircuit<S>(
+      circuit, root, [](EventId) { return S::One(); });
+}
+
+}  // namespace tud
+
+#endif  // TUD_SEMIRING_PROVENANCE_EVAL_H_

@@ -1,0 +1,120 @@
+#include "semiring/semiring.h"
+
+#include <algorithm>
+
+namespace tud {
+
+WhySemiring::Value WhySemiring::Absorb(const Value& v) {
+  Value out;
+  for (const std::set<EventId>& witness : v) {
+    bool minimal = true;
+    for (const std::set<EventId>& other : v) {
+      if (&other == &witness) continue;
+      if (other.size() < witness.size() ||
+          (other.size() == witness.size() && other < witness)) {
+        if (std::includes(witness.begin(), witness.end(), other.begin(),
+                          other.end())) {
+          minimal = false;
+          break;
+        }
+      }
+    }
+    if (minimal) out.insert(witness);
+  }
+  return out;
+}
+
+WhySemiring::Value WhySemiring::Plus(const Value& a, const Value& b) {
+  Value merged = a;
+  merged.insert(b.begin(), b.end());
+  return Absorb(merged);
+}
+
+WhySemiring::Value WhySemiring::Times(const Value& a, const Value& b) {
+  Value product;
+  for (const std::set<EventId>& wa : a) {
+    for (const std::set<EventId>& wb : b) {
+      std::set<EventId> merged = wa;
+      merged.insert(wb.begin(), wb.end());
+      product.insert(std::move(merged));
+    }
+  }
+  return Absorb(product);
+}
+
+std::string WhySemiring::ToString(const Value& v,
+                                  const EventRegistry& registry) {
+  std::string out = "{";
+  bool first_witness = true;
+  for (const std::set<EventId>& witness : v) {
+    if (!first_witness) out += ", ";
+    first_witness = false;
+    out += "{";
+    bool first = true;
+    for (EventId e : witness) {
+      if (!first) out += ",";
+      first = false;
+      out += registry.name(e);
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+PolySemiring::Value PolySemiring::Plus(const Value& a, const Value& b) {
+  Value out = a;
+  for (const auto& [monomial, coeff] : b) out[monomial] += coeff;
+  return out;
+}
+
+PolySemiring::Value PolySemiring::Times(const Value& a, const Value& b) {
+  Value out;
+  for (const auto& [ma, ca] : a) {
+    for (const auto& [mb, cb] : b) {
+      std::vector<EventId> merged;
+      merged.reserve(ma.size() + mb.size());
+      std::merge(ma.begin(), ma.end(), mb.begin(), mb.end(),
+                 std::back_inserter(merged));
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      out[merged] += ca * cb;
+    }
+  }
+  return out;
+}
+
+bool PolySemiring::EvaluateBool(const Value& v,
+                                const std::vector<bool>& valuation) {
+  for (const auto& [monomial, coeff] : v) {
+    if (coeff == 0) continue;
+    bool all_true = true;
+    for (EventId e : monomial) {
+      if (e >= valuation.size() || !valuation[e]) {
+        all_true = false;
+        break;
+      }
+    }
+    if (all_true) return true;
+  }
+  return false;
+}
+
+std::string PolySemiring::ToString(const Value& v,
+                                   const EventRegistry& registry) {
+  if (v.empty()) return "0";
+  std::string out;
+  bool first_term = true;
+  for (const auto& [monomial, coeff] : v) {
+    if (coeff == 0) continue;
+    if (!first_term) out += " + ";
+    first_term = false;
+    if (coeff != 1 || monomial.empty()) out += std::to_string(coeff);
+    for (size_t i = 0; i < monomial.size(); ++i) {
+      if (i > 0 || coeff != 1) out += "*";
+      out += registry.name(monomial[i]);
+    }
+  }
+  return out.empty() ? "0" : out;
+}
+
+}  // namespace tud

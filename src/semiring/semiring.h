@@ -1,0 +1,115 @@
+#ifndef TUD_SEMIRING_SEMIRING_H_
+#define TUD_SEMIRING_SEMIRING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "events/event_registry.h"
+
+namespace tud {
+
+/// Commutative semirings for provenance (Green-Karvounarakis-Tannen).
+///
+/// Each semiring is a stateless struct exposing:
+///   using Value = ...;
+///   static Value Zero();                  // neutral for Plus
+///   static Value One();                   // neutral for Times
+///   static Value Plus(const Value&, const Value&);
+///   static Value Times(const Value&, const Value&);
+///
+/// The paper (§2.2) shows that for monotone queries the lineage circuits
+/// produced by the automaton construction are provenance circuits matching
+/// semiring provenance for *absorptive* semirings — those satisfying
+/// a + ab = a (equivalently 1 + a = 1). Boolean, Why, Tropical and
+/// MaxTimes below are absorptive; Counting is not (it is included for
+/// testing the distinction, see provenance tests).
+
+/// The Boolean semiring ({0,1}, OR, AND): provenance = query lineage.
+struct BoolSemiring {
+  using Value = bool;
+  static Value Zero() { return false; }
+  static Value One() { return true; }
+  static Value Plus(Value a, Value b) { return a || b; }
+  static Value Times(Value a, Value b) { return a && b; }
+};
+
+/// The counting semiring (N, +, *): counts derivations. Not absorptive.
+struct CountingSemiring {
+  using Value = uint64_t;
+  static Value Zero() { return 0; }
+  static Value One() { return 1; }
+  static Value Plus(Value a, Value b) { return a + b; }
+  static Value Times(Value a, Value b) { return a * b; }
+};
+
+/// The tropical semiring (R∪{∞}, min, +): minimal-cost derivation.
+struct TropicalSemiring {
+  using Value = double;
+  static Value Zero() { return std::numeric_limits<double>::infinity(); }
+  static Value One() { return 0.0; }
+  static Value Plus(Value a, Value b) { return std::min(a, b); }
+  static Value Times(Value a, Value b) { return a + b; }
+};
+
+/// The Viterbi semiring ([0,1], max, *): most-probable derivation.
+struct MaxTimesSemiring {
+  using Value = double;
+  static Value Zero() { return 0.0; }
+  static Value One() { return 1.0; }
+  static Value Plus(Value a, Value b) { return std::max(a, b); }
+  static Value Times(Value a, Value b) { return a * b; }
+};
+
+/// Why-provenance: antichains of witness sets (sets of events), with
+/// absorption — a witness set that is a superset of another is dropped.
+/// This is the free absorptive semiring over the event variables.
+struct WhySemiring {
+  /// Each inner set is one minimal witness (set of event ids).
+  using Value = std::set<std::set<EventId>>;
+
+  static Value Zero() { return {}; }
+  static Value One() { return {std::set<EventId>{}}; }
+
+  /// Union of witness families, then absorption.
+  static Value Plus(const Value& a, const Value& b);
+
+  /// Pairwise unions of witnesses, then absorption.
+  static Value Times(const Value& a, const Value& b);
+
+  /// Removes non-minimal witness sets.
+  static Value Absorb(const Value& v);
+
+  /// Renders e.g. "{{e1,e2},{e3}}".
+  static std::string ToString(const Value& v, const EventRegistry& registry);
+};
+
+/// The multilinear polynomial provenance semiring N[X]/(x^2=x): polynomials
+/// with natural coefficients over event variables, with idempotent
+/// variables (a fact used twice in one derivation counts once). Suitable
+/// for set-semantics derivation counting. Not absorptive.
+struct PolySemiring {
+  /// Maps a sorted monomial (vector of distinct event ids) to its
+  /// coefficient.
+  using Value = std::map<std::vector<EventId>, uint64_t>;
+
+  static Value Zero() { return {}; }
+  static Value One() { return {{std::vector<EventId>{}, 1}}; }
+  static Value Plus(const Value& a, const Value& b);
+  static Value Times(const Value& a, const Value& b);
+
+  /// Evaluates the polynomial over the Boolean semiring at `valuation`.
+  static bool EvaluateBool(const Value& v,
+                           const std::vector<bool>& valuation);
+
+  /// Renders e.g. "2*x0*x1 + x2 + 1".
+  static std::string ToString(const Value& v, const EventRegistry& registry);
+};
+
+}  // namespace tud
+
+#endif  // TUD_SEMIRING_SEMIRING_H_

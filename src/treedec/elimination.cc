@@ -1,0 +1,204 @@
+#include "treedec/elimination.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <queue>
+#include <tuple>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace tud {
+
+namespace {
+
+constexpr VertexId kNoVertex = UINT32_MAX;
+
+// Working copy of the graph as adjacency sets that supports elimination:
+// removing a vertex and connecting its remaining neighbors into a clique.
+class EliminationGraph {
+ public:
+  explicit EliminationGraph(const Graph& graph)
+      : adjacency_(graph.NumVertices()), alive_(graph.NumVertices(), true) {
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      adjacency_[v] = graph.Neighbors(v);
+    }
+  }
+
+  bool alive(VertexId v) const { return alive_[v]; }
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(adjacency_[v].size());
+  }
+  const std::unordered_set<VertexId>& Neighbors(VertexId v) const {
+    return adjacency_[v];
+  }
+
+  // Number of fill edges elimination of v would create, saturated at
+  // `cap`: min-fill only needs exact values when they are small, and
+  // saturation keeps the cost on high-degree hub vertices bounded.
+  size_t FillCount(VertexId v, size_t cap = SIZE_MAX) const {
+    size_t fill = 0;
+    const auto& nbrs = adjacency_[v];
+    for (auto it = nbrs.begin(); it != nbrs.end(); ++it) {
+      auto jt = it;
+      for (++jt; jt != nbrs.end(); ++jt) {
+        if (!adjacency_[*it].contains(*jt)) {
+          if (++fill >= cap) return cap;
+        }
+      }
+    }
+    return fill;
+  }
+
+  // Eliminates v: clique its neighborhood, then remove it.
+  void Eliminate(VertexId v) {
+    TUD_CHECK(alive_[v]);
+    const std::vector<VertexId> nbrs(adjacency_[v].begin(),
+                                     adjacency_[v].end());
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        adjacency_[nbrs[i]].insert(nbrs[j]);
+        adjacency_[nbrs[j]].insert(nbrs[i]);
+      }
+    }
+    for (VertexId u : nbrs) adjacency_[u].erase(v);
+    adjacency_[v].clear();
+    alive_[v] = false;
+  }
+
+ private:
+  std::vector<std::unordered_set<VertexId>> adjacency_;
+  std::vector<bool> alive_;
+};
+
+std::vector<VertexId> GreedyOrder(const Graph& graph, bool use_fill) {
+  // Lazy-heap greedy elimination: each heap entry snapshots a vertex's
+  // (score, degree, id, version); stale entries (version mismatch) are
+  // dropped on pop. Eliminating v only changes the scores of vertices in
+  // its (post-elimination) two-hop neighborhood, so the heap is repaired
+  // locally — near-linear on the sparse graphs the library produces,
+  // versus a full rescan per elimination.
+  const uint32_t n = graph.NumVertices();
+  EliminationGraph work(graph);
+  std::vector<uint64_t> version(n, 0);
+
+  using Entry = std::tuple<size_t, uint32_t, VertexId, uint64_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  constexpr size_t kFillCap = 256;
+  auto push = [&](VertexId v) {
+    size_t primary =
+        use_fill ? work.FillCount(v, kFillCap) : work.Degree(v);
+    uint32_t secondary = use_fill ? work.Degree(v) : 0;
+    heap.emplace(primary, secondary, v, version[v]);
+  };
+  for (VertexId v = 0; v < n; ++v) push(v);
+
+  std::vector<VertexId> order;
+  order.reserve(n);
+  while (order.size() < n) {
+    TUD_CHECK(!heap.empty());
+    auto [primary, secondary, v, entry_version] = heap.top();
+    heap.pop();
+    if (!work.alive(v) || entry_version != version[v]) continue;
+    order.push_back(v);
+    // Vertices whose score may change: v's neighbors (degree and fill)
+    // plus, for min-fill, their neighbors (a fill edge between a, b in
+    // N(v) changes the fill count of common neighbors of a and b).
+    std::vector<VertexId> ring(work.Neighbors(v).begin(),
+                               work.Neighbors(v).end());
+    work.Eliminate(v);
+    std::unordered_set<VertexId> affected(ring.begin(), ring.end());
+    if (use_fill) {
+      for (VertexId u : ring) {
+        for (VertexId w : work.Neighbors(u)) affected.insert(w);
+      }
+    }
+    for (VertexId u : affected) {
+      if (!work.alive(u)) continue;
+      ++version[u];
+      push(u);
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<VertexId> MinFillOrder(const Graph& graph) {
+  return GreedyOrder(graph, /*use_fill=*/true);
+}
+
+std::vector<VertexId> MinDegreeOrder(const Graph& graph) {
+  return GreedyOrder(graph, /*use_fill=*/false);
+}
+
+uint32_t EliminationWidth(const Graph& graph,
+                          const std::vector<VertexId>& order) {
+  TUD_CHECK_EQ(order.size(), graph.NumVertices());
+  EliminationGraph work(graph);
+  uint32_t width = 0;
+  for (VertexId v : order) {
+    width = std::max(width, work.Degree(v));
+    work.Eliminate(v);
+  }
+  return width;
+}
+
+namespace {
+
+// Degree of v after eliminating the vertex set T (v not in T): the number
+// of vertices u outside T∪{v} reachable from v by a path whose internal
+// vertices all lie in T. This is the well-known characterisation of fill
+// neighborhoods, independent of the order in which T was eliminated.
+uint32_t ResidualDegree(const Graph& graph, VertexId v, uint64_t t_mask) {
+  uint64_t visited = 1ULL << v;
+  uint64_t reached_outside = 0;
+  std::vector<VertexId> stack = {v};
+  while (!stack.empty()) {
+    VertexId x = stack.back();
+    stack.pop_back();
+    for (VertexId u : graph.Neighbors(x)) {
+      if ((visited >> u) & 1) continue;
+      visited |= 1ULL << u;
+      if ((t_mask >> u) & 1) {
+        stack.push_back(u);  // Internal vertex: continue through it.
+      } else {
+        reached_outside |= 1ULL << u;
+      }
+    }
+  }
+  return static_cast<uint32_t>(std::popcount(reached_outside));
+}
+
+}  // namespace
+
+std::optional<uint32_t> ExactTreewidth(const Graph& graph,
+                                       uint32_t max_vertices) {
+  const uint32_t n = graph.NumVertices();
+  if (n > max_vertices || n > 24) return std::nullopt;
+  if (n == 0) return 0;
+  // DP over eliminated subsets (Bodlaender et al.): Q(S) is the minimum,
+  // over orders eliminating exactly S first, of the maximum elimination
+  // degree seen. Q(∅) = 0; Q(S) = min_{v∈S} max(Q(S\{v}), deg(v, S\{v})).
+  const uint64_t full = (n == 64) ? ~0ULL : ((1ULL << n) - 1);
+  std::vector<uint32_t> q(static_cast<size_t>(full) + 1,
+                          std::numeric_limits<uint32_t>::max());
+  q[0] = 0;
+  // Iterate masks in increasing value; every subset S\{v} < S numerically.
+  for (uint64_t s = 1; s <= full; ++s) {
+    uint32_t best = std::numeric_limits<uint32_t>::max();
+    for (VertexId v = 0; v < n; ++v) {
+      if (!((s >> v) & 1)) continue;
+      uint64_t rest = s & ~(1ULL << v);
+      uint32_t prefix = q[rest];
+      if (prefix == std::numeric_limits<uint32_t>::max()) continue;
+      uint32_t deg = ResidualDegree(graph, v, rest);
+      best = std::min(best, std::max(prefix, deg));
+    }
+    q[s] = best;
+  }
+  return q[full];
+}
+
+}  // namespace tud

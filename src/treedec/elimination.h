@@ -1,0 +1,40 @@
+#ifndef TUD_TREEDEC_ELIMINATION_H_
+#define TUD_TREEDEC_ELIMINATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "treedec/graph.h"
+
+namespace tud {
+
+/// Heuristics producing vertex elimination orders, from which tree
+/// decompositions are derived (TreeDecomposition::FromEliminationOrder).
+/// Both are the standard upper-bound heuristics; min-fill usually yields
+/// smaller width, min-degree is faster. X10 (treedec ablation) compares
+/// them against exact treewidth on small graphs.
+
+/// Min-fill: repeatedly eliminates the vertex whose elimination adds the
+/// fewest fill edges (ties broken by smaller degree, then smaller id).
+std::vector<VertexId> MinFillOrder(const Graph& graph);
+
+/// Min-degree: repeatedly eliminates a vertex of minimum current degree.
+std::vector<VertexId> MinDegreeOrder(const Graph& graph);
+
+/// Width of an elimination order: the maximum, over eliminated vertices,
+/// of the number of not-yet-eliminated neighbors at elimination time (in
+/// the progressively filled graph). Equals the width of the derived tree
+/// decomposition.
+uint32_t EliminationWidth(const Graph& graph,
+                          const std::vector<VertexId>& order);
+
+/// Exact treewidth by branch-and-bound over elimination orders with
+/// memoisation on eliminated subsets. Exponential: only for graphs with
+/// at most `max_vertices` (default 16) vertices; returns nullopt above.
+std::optional<uint32_t> ExactTreewidth(const Graph& graph,
+                                       uint32_t max_vertices = 16);
+
+}  // namespace tud
+
+#endif  // TUD_TREEDEC_ELIMINATION_H_

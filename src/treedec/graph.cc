@@ -1,0 +1,36 @@
+#include "treedec/graph.h"
+
+#include "util/check.h"
+
+namespace tud {
+
+Graph Graph::FromEdges(
+    uint32_t num_vertices,
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  Graph g(num_vertices);
+  for (const auto& [a, b] : edges) g.AddEdge(a, b);
+  return g;
+}
+
+void Graph::AddEdge(VertexId a, VertexId b) {
+  TUD_CHECK_LT(a, NumVertices());
+  TUD_CHECK_LT(b, NumVertices());
+  if (a == b) return;
+  if (adjacency_[a].insert(b).second) {
+    adjacency_[b].insert(a);
+    ++num_edges_;
+  }
+}
+
+bool Graph::HasEdge(VertexId a, VertexId b) const {
+  TUD_CHECK_LT(a, NumVertices());
+  TUD_CHECK_LT(b, NumVertices());
+  return adjacency_[a].contains(b);
+}
+
+const std::unordered_set<VertexId>& Graph::Neighbors(VertexId v) const {
+  TUD_CHECK_LT(v, NumVertices());
+  return adjacency_[v];
+}
+
+}  // namespace tud

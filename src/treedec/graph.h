@@ -1,0 +1,49 @@
+#ifndef TUD_TREEDEC_GRAPH_H_
+#define TUD_TREEDEC_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace tud {
+
+/// Vertex of an undirected graph (dense ids).
+using VertexId = uint32_t;
+
+/// A simple undirected graph with a fixed vertex count. Used for Gaifman
+/// graphs of instances, primal graphs of circuits, and their joins.
+class Graph {
+ public:
+  explicit Graph(uint32_t num_vertices) : adjacency_(num_vertices) {}
+
+  /// Builds a graph from an edge list (vertices up to `num_vertices`).
+  static Graph FromEdges(uint32_t num_vertices,
+                         const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(adjacency_.size());
+  }
+
+  size_t NumEdges() const { return num_edges_; }
+
+  /// Adds the undirected edge {a, b}. Self-loops and duplicates ignored.
+  void AddEdge(VertexId a, VertexId b);
+
+  bool HasEdge(VertexId a, VertexId b) const;
+
+  const std::unordered_set<VertexId>& Neighbors(VertexId v) const;
+
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(Neighbors(v).size());
+  }
+
+ private:
+  std::vector<std::unordered_set<VertexId>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace tud
+
+#endif  // TUD_TREEDEC_GRAPH_H_

@@ -1,0 +1,90 @@
+#ifndef TUD_TREEDEC_NICE_DECOMPOSITION_H_
+#define TUD_TREEDEC_NICE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "treedec/graph.h"
+#include "treedec/tree_decomposition.h"
+
+namespace tud {
+
+/// Index of a node within a NiceTreeDecomposition.
+using NiceNodeId = uint32_t;
+
+inline constexpr NiceNodeId kInvalidNiceNode = UINT32_MAX;
+
+/// Node kinds of a nice tree decomposition. Dynamic programming over a
+/// nice decomposition only has to handle these four local shapes — this
+/// is the "tree encoding" that tree automata read in the Courcelle-style
+/// argument of the paper (§2.2).
+enum class NiceNodeKind : uint8_t {
+  kLeaf,       ///< Empty bag, no children.
+  kIntroduce,  ///< Bag = child bag ∪ {vertex}, one child.
+  kForget,     ///< Bag = child bag \ {vertex}, one child.
+  kJoin,       ///< Two children with identical bags; bag = child bag.
+};
+
+/// A nice tree decomposition: every node is a leaf, introduce, forget, or
+/// join node, and the root has an empty bag. Nodes are stored so that
+/// children always have smaller ids than their parents — iterating ids in
+/// ascending order is a valid bottom-up evaluation order.
+class NiceTreeDecomposition {
+ public:
+  /// Converts an arbitrary rooted tree decomposition. The width is
+  /// preserved; the node count is O(width * #bags). If `top_of_bag` is
+  /// non-null it receives, for each original bag b, a nice node whose bag
+  /// equals td.bag(b) — callers use it to attach per-bag payloads (e.g.
+  /// facts) to nice nodes without searching.
+  static NiceTreeDecomposition FromTreeDecomposition(
+      const TreeDecomposition& td,
+      std::vector<NiceNodeId>* top_of_bag = nullptr);
+
+  size_t NumNodes() const { return kinds_.size(); }
+  NiceNodeId root() const { return static_cast<NiceNodeId>(NumNodes() - 1); }
+
+  NiceNodeKind kind(NiceNodeId n) const { return kinds_[n]; }
+
+  /// The introduced / forgotten vertex (kIntroduce / kForget only).
+  VertexId vertex(NiceNodeId n) const;
+
+  /// Children (0, 1 or 2 ids, all smaller than n).
+  const std::vector<NiceNodeId>& children(NiceNodeId n) const {
+    return children_[n];
+  }
+
+  /// Sorted bag content of node n.
+  const std::vector<VertexId>& bag(NiceNodeId n) const { return bags_[n]; }
+
+  int Width() const;
+
+  /// Returns some node whose bag contains all of `vertices` (used to
+  /// assign facts/constraints to nodes), or kInvalidNiceNode.
+  NiceNodeId FindNodeCovering(const std::vector<VertexId>& vertices) const;
+
+  /// Structural sanity check: kinds consistent with bags and children,
+  /// root bag empty.
+  bool IsWellFormed() const;
+
+  std::string ToString() const;
+
+ private:
+  NiceNodeId AddNode(NiceNodeKind kind, VertexId vertex,
+                     std::vector<VertexId> bag,
+                     std::vector<NiceNodeId> children);
+
+  // Builds a chain of nodes morphing `from` (already built, with bag
+  // `from_bag`) into a node with bag `to_bag` via forgets then introduces.
+  NiceNodeId MorphTo(NiceNodeId from, std::vector<VertexId> from_bag,
+                     const std::vector<VertexId>& to_bag);
+
+  std::vector<NiceNodeKind> kinds_;
+  std::vector<VertexId> vertices_;
+  std::vector<std::vector<VertexId>> bags_;
+  std::vector<std::vector<NiceNodeId>> children_;
+};
+
+}  // namespace tud
+
+#endif  // TUD_TREEDEC_NICE_DECOMPOSITION_H_

@@ -1,0 +1,81 @@
+#ifndef TUD_TREEDEC_TREE_DECOMPOSITION_H_
+#define TUD_TREEDEC_TREE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "treedec/graph.h"
+
+namespace tud {
+
+/// Index of a bag (node) within a TreeDecomposition.
+using BagId = uint32_t;
+
+inline constexpr BagId kInvalidBag = UINT32_MAX;
+
+/// A rooted tree decomposition of a graph: a tree of bags (vertex sets)
+/// such that every vertex appears in some bag, every edge is covered by
+/// some bag, and the bags containing any fixed vertex form a connected
+/// subtree (Robertson-Seymour [42]). Width = max bag size - 1.
+class TreeDecomposition {
+ public:
+  /// Builds the decomposition induced by an elimination order: bag of v =
+  /// {v} ∪ (neighbors of v eliminated later, in the fill graph); the bag
+  /// of v is attached to the bag of its earliest-eliminated later
+  /// neighbor. Produces one bag per vertex plus one empty root bag so the
+  /// result is always a tree (even for disconnected graphs).
+  static TreeDecomposition FromEliminationOrder(
+      const Graph& graph, const std::vector<VertexId>& order);
+
+  /// As above, and also reports, for each vertex v, the bag created when
+  /// v was eliminated. That bag contains v and all its later-eliminated
+  /// fill-graph neighbors, so for any clique S of `graph`, the bag of the
+  /// earliest-eliminated vertex of S contains all of S — which is how
+  /// factors are assigned to bags in junction-tree inference.
+  static TreeDecomposition FromEliminationOrder(
+      const Graph& graph, const std::vector<VertexId>& order,
+      std::vector<BagId>* bag_of_vertex);
+
+  /// The trivial decomposition: a single bag containing every vertex.
+  static TreeDecomposition Trivial(const Graph& graph);
+
+  size_t NumBags() const { return bags_.size(); }
+  BagId root() const { return root_; }
+  BagId parent(BagId b) const { return parents_[b]; }
+  const std::vector<BagId>& children(BagId b) const { return children_[b]; }
+
+  /// Sorted vertex set of the bag.
+  const std::vector<VertexId>& bag(BagId b) const { return bags_[b]; }
+
+  /// Max bag size - 1 (the width of the decomposition); -1 if no bags.
+  int Width() const;
+
+  /// Verifies the three tree-decomposition conditions against `graph`.
+  bool IsValidFor(const Graph& graph) const;
+
+  /// Returns some bag containing all of `vertices`, or kInvalidBag.
+  BagId FindBagContaining(const std::vector<VertexId>& vertices) const;
+
+  /// Bags in a topological order with parents before children.
+  std::vector<BagId> TopDownOrder() const;
+
+  std::string ToString() const;
+
+  /// Low-level construction for tests and adapters: adds a bag with the
+  /// given sorted-deduplicated contents under `parent` (kInvalidBag for
+  /// the root; exactly one root allowed).
+  BagId AddBag(std::vector<VertexId> vertices, BagId parent);
+
+  TreeDecomposition() = default;
+
+ private:
+  std::vector<std::vector<VertexId>> bags_;
+  std::vector<BagId> parents_;
+  std::vector<std::vector<BagId>> children_;
+  BagId root_ = kInvalidBag;
+};
+
+}  // namespace tud
+
+#endif  // TUD_TREEDEC_TREE_DECOMPOSITION_H_

@@ -1,0 +1,62 @@
+#include "uncertain/c_instance.h"
+
+#include "util/check.h"
+
+namespace tud {
+
+FactId CInstance::AddFact(RelationId relation, std::vector<Value> args,
+                          BoolFormula annotation) {
+  FactId id = instance_.AddFact(relation, std::move(args));
+  annotations_.push_back(std::move(annotation));
+  return id;
+}
+
+const BoolFormula& CInstance::annotation(FactId f) const {
+  TUD_CHECK_LT(f, annotations_.size());
+  return annotations_[f];
+}
+
+void CInstance::SetAnnotation(FactId f, BoolFormula annotation) {
+  TUD_CHECK_LT(f, annotations_.size());
+  annotations_[f] = std::move(annotation);
+}
+
+Instance CInstance::World(const Valuation& valuation) const {
+  Instance world(instance_.schema());
+  for (FactId f = 0; f < instance_.NumFacts(); ++f) {
+    if (annotations_[f].Evaluate(valuation)) {
+      world.AddFact(instance_.fact(f).relation, instance_.fact(f).args);
+    }
+  }
+  return world;
+}
+
+bool CInstance::IsPossible(FactId f) const {
+  const BoolFormula& ann = annotation(f);
+  std::vector<EventId> used = ann.Events();
+  TUD_CHECK_LE(used.size(), 24u) << "too many events for enumeration";
+  for (uint64_t mask = 0; mask < (1ULL << used.size()); ++mask) {
+    Valuation valuation(events_.size());
+    for (size_t i = 0; i < used.size(); ++i) {
+      valuation.set_value(used[i], (mask >> i) & 1);
+    }
+    if (ann.Evaluate(valuation)) return true;
+  }
+  return false;
+}
+
+bool CInstance::IsCertain(FactId f) const {
+  const BoolFormula& ann = annotation(f);
+  std::vector<EventId> used = ann.Events();
+  TUD_CHECK_LE(used.size(), 24u) << "too many events for enumeration";
+  for (uint64_t mask = 0; mask < (1ULL << used.size()); ++mask) {
+    Valuation valuation(events_.size());
+    for (size_t i = 0; i < used.size(); ++i) {
+      valuation.set_value(used[i], (mask >> i) & 1);
+    }
+    if (!ann.Evaluate(valuation)) return false;
+  }
+  return true;
+}
+
+}  // namespace tud

@@ -1,0 +1,64 @@
+#ifndef TUD_UNCERTAIN_C_INSTANCE_H_
+#define TUD_UNCERTAIN_C_INSTANCE_H_
+
+#include <vector>
+
+#include "events/bool_formula.h"
+#include "events/event_registry.h"
+#include "events/valuation.h"
+#include "relational/instance.h"
+
+namespace tud {
+
+/// A c-instance [32, 29]: a relational instance whose facts carry
+/// propositional annotations over Boolean events. Each valuation of the
+/// events defines one possible world, keeping exactly the facts whose
+/// annotation evaluates to true (paper Table 1 is an example).
+///
+/// A *pc-instance* [29, 31] is the same object with probabilities on the
+/// events (held by the EventRegistry); `PcInstance` is an alias. Events
+/// are independent; correlations between facts are expressed by sharing
+/// events across annotations.
+class CInstance {
+ public:
+  explicit CInstance(Schema schema) : instance_(std::move(schema)) {}
+
+  /// The registry holding this instance's events (register events here
+  /// before referencing them in annotations).
+  EventRegistry& events() { return events_; }
+  const EventRegistry& events() const { return events_; }
+
+  /// Adds a fact guarded by `annotation`.
+  FactId AddFact(RelationId relation, std::vector<Value> args,
+                 BoolFormula annotation);
+
+  const Instance& instance() const { return instance_; }
+  size_t NumFacts() const { return instance_.NumFacts(); }
+  const BoolFormula& annotation(FactId f) const;
+
+  /// Replaces the annotation of fact `f` (used by the probabilistic
+  /// chase to OR in newly found derivations).
+  void SetAnnotation(FactId f, BoolFormula annotation);
+
+  /// The possible world selected by `valuation`: the sub-instance of
+  /// facts whose annotation holds.
+  Instance World(const Valuation& valuation) const;
+
+  /// True if some/every valuation keeps fact `f`. Exponential in the
+  /// number of events in the annotation (not in the instance).
+  bool IsPossible(FactId f) const;
+  bool IsCertain(FactId f) const;
+
+ private:
+  Instance instance_;
+  EventRegistry events_;
+  std::vector<BoolFormula> annotations_;
+};
+
+/// A pc-instance is a c-instance whose registry probabilities are
+/// meaningful: events are independently true with their probability.
+using PcInstance = CInstance;
+
+}  // namespace tud
+
+#endif  // TUD_UNCERTAIN_C_INSTANCE_H_

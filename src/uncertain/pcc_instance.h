@@ -1,0 +1,75 @@
+#ifndef TUD_UNCERTAIN_PCC_INSTANCE_H_
+#define TUD_UNCERTAIN_PCC_INSTANCE_H_
+
+#include <utility>
+#include <vector>
+
+#include "circuits/bool_circuit.h"
+#include "events/event_registry.h"
+#include "events/valuation.h"
+#include "relational/instance.h"
+#include "treedec/graph.h"
+
+namespace tud {
+
+class CInstance;
+
+/// A pcc-instance (paper §2.2): a relational instance whose fact
+/// annotations are gates of a shared Boolean *circuit* over independent
+/// probabilistic events. Circuits can share sub-annotations, which is what
+/// makes the *joint* treewidth of instance + circuit the right notion:
+/// "tractability does not follow from bounded treewidth of the instance
+/// and of the circuit in isolation; rather, we must require the existence
+/// of a bounded-width tree decomposition of the instance and circuit,
+/// which respects the link between circuit gates and the facts that they
+/// annotate."
+class PccInstance {
+ public:
+  explicit PccInstance(Schema schema) : instance_(std::move(schema)) {}
+
+  /// Events feeding the annotation circuit.
+  EventRegistry& events() { return events_; }
+  const EventRegistry& events() const { return events_; }
+
+  /// The shared annotation circuit. Build annotation gates here, then
+  /// pass them to AddFact.
+  BoolCircuit& circuit() { return circuit_; }
+  const BoolCircuit& circuit() const { return circuit_; }
+
+  /// Adds a fact annotated by circuit gate `annotation`.
+  FactId AddFact(RelationId relation, std::vector<Value> args,
+                 GateId annotation);
+
+  const Instance& instance() const { return instance_; }
+  size_t NumFacts() const { return instance_.NumFacts(); }
+  GateId annotation(FactId f) const;
+
+  /// Converts a (p)c-instance by compiling each formula annotation into
+  /// the circuit (formulas share sub-gates via structural hashing).
+  static PccInstance FromCInstance(const CInstance& ci);
+
+  /// The possible world selected by `valuation`.
+  Instance World(const Valuation& valuation) const;
+
+  /// The joint primal graph of instance and circuit: one vertex per
+  /// domain element (ids [0, DomainSize())) and one per circuit gate
+  /// (ids offset by DomainSize()); edges are the Gaifman edges, the
+  /// circuit primal edges, and — respecting the fact-annotation link —
+  /// edges between every element of a fact and that fact's annotation
+  /// gate. The treewidth of this graph is the pcc-instance's width
+  /// (Theorem 2's parameter).
+  Graph JointPrimalGraph() const;
+
+  /// Vertex id of gate `g` inside JointPrimalGraph().
+  VertexId GateVertex(GateId g) const;
+
+ private:
+  Instance instance_;
+  EventRegistry events_;
+  BoolCircuit circuit_;
+  std::vector<GateId> annotations_;
+};
+
+}  // namespace tud
+
+#endif  // TUD_UNCERTAIN_PCC_INSTANCE_H_

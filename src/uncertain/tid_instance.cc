@@ -1,0 +1,32 @@
+#include "uncertain/tid_instance.h"
+
+#include "uncertain/c_instance.h"
+#include "util/check.h"
+
+namespace tud {
+
+FactId TidInstance::AddFact(RelationId relation, std::vector<Value> args,
+                            double probability) {
+  TUD_CHECK(probability >= 0.0 && probability <= 1.0);
+  FactId id = instance_.AddFact(relation, std::move(args));
+  probabilities_.push_back(probability);
+  return id;
+}
+
+double TidInstance::probability(FactId f) const {
+  TUD_CHECK_LT(f, probabilities_.size());
+  return probabilities_[f];
+}
+
+CInstance TidInstance::ToPcInstance() const {
+  CInstance pc(instance_.schema());
+  for (FactId f = 0; f < instance_.NumFacts(); ++f) {
+    EventId e = pc.events().Register("t" + std::to_string(f),
+                                     probabilities_[f]);
+    pc.AddFact(instance_.fact(f).relation, instance_.fact(f).args,
+               BoolFormula::Var(e));
+  }
+  return pc;
+}
+
+}  // namespace tud

@@ -1,0 +1,41 @@
+#ifndef TUD_UNCERTAIN_TID_INSTANCE_H_
+#define TUD_UNCERTAIN_TID_INSTANCE_H_
+
+#include <vector>
+
+#include "relational/instance.h"
+
+namespace tud {
+
+class CInstance;
+
+/// A tuple-independent (TID) probabilistic instance [36]: every fact is
+/// present independently with its own probability. The simplest
+/// probabilistic relational model — and already #P-hard to query in
+/// general [19], which is the hardness Theorem 1 circumvents by bounding
+/// the treewidth of the underlying instance.
+class TidInstance {
+ public:
+  explicit TidInstance(Schema schema) : instance_(std::move(schema)) {}
+
+  /// Adds a fact present with probability `probability` in [0, 1].
+  FactId AddFact(RelationId relation, std::vector<Value> args,
+                 double probability);
+
+  const Instance& instance() const { return instance_; }
+  size_t NumFacts() const { return instance_.NumFacts(); }
+  double probability(FactId f) const;
+
+  /// Converts to a pc-instance: one fresh event per fact, each fact
+  /// annotated by its event. The event registry is created inside the
+  /// returned instance; event i corresponds to fact i.
+  CInstance ToPcInstance() const;
+
+ private:
+  Instance instance_;
+  std::vector<double> probabilities_;
+};
+
+}  // namespace tud
+
+#endif  // TUD_UNCERTAIN_TID_INSTANCE_H_

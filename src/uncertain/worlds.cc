@@ -1,0 +1,27 @@
+#include "uncertain/worlds.h"
+
+#include "util/check.h"
+
+namespace tud {
+
+void ForEachWorld(const EventRegistry& registry,
+                  const std::function<void(const Valuation&, double)>& fn) {
+  const size_t n = registry.size();
+  TUD_CHECK_LE(n, 30u) << "world enumeration over " << n << " events";
+  for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    Valuation valuation = Valuation::FromMask(mask, n);
+    fn(valuation, valuation.Probability(registry));
+  }
+}
+
+double ProbabilityByEnumeration(
+    const EventRegistry& registry,
+    const std::function<bool(const Valuation&)>& predicate) {
+  double total = 0.0;
+  ForEachWorld(registry, [&](const Valuation& valuation, double p) {
+    if (predicate(valuation)) total += p;
+  });
+  return total;
+}
+
+}  // namespace tud

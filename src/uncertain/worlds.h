@@ -1,0 +1,30 @@
+#ifndef TUD_UNCERTAIN_WORLDS_H_
+#define TUD_UNCERTAIN_WORLDS_H_
+
+#include <functional>
+
+#include "events/event_registry.h"
+#include "events/valuation.h"
+
+namespace tud {
+
+/// Possible-world utilities: exhaustive enumeration over event valuations.
+/// Exponential in the number of events — intended for validation of the
+/// exact engines on small inputs and as the naive baseline in benchmarks
+/// (the paper's point is precisely that this is the only generic method
+/// without structural restrictions).
+
+/// Calls `fn(valuation, probability)` for all 2^n valuations of the
+/// registry's events. Requires at most 30 events.
+void ForEachWorld(const EventRegistry& registry,
+                  const std::function<void(const Valuation&, double)>& fn);
+
+/// Sum of world probabilities where `predicate(valuation)` holds; the
+/// brute-force definition of query probability.
+double ProbabilityByEnumeration(
+    const EventRegistry& registry,
+    const std::function<bool(const Valuation&)>& predicate);
+
+}  // namespace tud
+
+#endif  // TUD_UNCERTAIN_WORLDS_H_

@@ -1,0 +1,67 @@
+#ifndef TUD_UTIL_CHECK_H_
+#define TUD_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace tud {
+namespace internal_check {
+
+/// Reports a fatal invariant violation and aborts the process.
+/// Used by the TUD_CHECK family of macros; not meant to be called directly.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+/// Stream-style message collector for TUD_CHECK macros. The collected
+/// message is passed to CheckFailed when the guarded expression is false.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace tud
+
+/// Aborts with a diagnostic if `condition` is false. Additional context can
+/// be streamed: TUD_CHECK(x > 0) << "x was " << x;
+#define TUD_CHECK(condition)                                          \
+  while (!(condition))                                                \
+  ::tud::internal_check::CheckMessageBuilder(__FILE__, __LINE__,      \
+                                             #condition)
+
+#define TUD_CHECK_EQ(a, b) TUD_CHECK((a) == (b))
+#define TUD_CHECK_NE(a, b) TUD_CHECK((a) != (b))
+#define TUD_CHECK_LT(a, b) TUD_CHECK((a) < (b))
+#define TUD_CHECK_LE(a, b) TUD_CHECK((a) <= (b))
+#define TUD_CHECK_GT(a, b) TUD_CHECK((a) > (b))
+#define TUD_CHECK_GE(a, b) TUD_CHECK((a) >= (b))
+
+/// Debug-only variant; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define TUD_DCHECK(condition) \
+  while (false) TUD_CHECK(condition)
+#else
+#define TUD_DCHECK(condition) TUD_CHECK(condition)
+#endif
+
+#endif  // TUD_UTIL_CHECK_H_

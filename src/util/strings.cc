@@ -1,0 +1,43 @@
+#include "util/strings.h"
+
+namespace tud {
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result.append(separator);
+    result.append(parts[i]);
+  }
+  return result;
+}
+
+std::vector<std::string> StrSplit(std::string_view input, char separator) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(separator, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(input.substr(start));
+      return pieces;
+    }
+    pieces.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view StripWhitespace(std::string_view input) {
+  while (!input.empty() &&
+         (input.front() == ' ' || input.front() == '\t' ||
+          input.front() == '\n' || input.front() == '\r')) {
+    input.remove_prefix(1);
+  }
+  while (!input.empty() &&
+         (input.back() == ' ' || input.back() == '\t' ||
+          input.back() == '\n' || input.back() == '\r')) {
+    input.remove_suffix(1);
+  }
+  return input;
+}
+
+}  // namespace tud

@@ -1,0 +1,23 @@
+#ifndef TUD_UTIL_STRINGS_H_
+#define TUD_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tud {
+
+/// Joins the elements of `parts` with `separator`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator);
+
+/// Splits `input` at every occurrence of `separator` (which must be
+/// non-empty). Empty pieces are kept.
+std::vector<std::string> StrSplit(std::string_view input, char separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+}  // namespace tud
+
+#endif  // TUD_UTIL_STRINGS_H_

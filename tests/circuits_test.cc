@@ -1,0 +1,192 @@
+#include <vector>
+
+#include "circuits/bool_circuit.h"
+#include "events/bool_formula.h"
+#include "events/event_registry.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace tud {
+namespace {
+
+TEST(BoolCircuitTest, ConstantsAreShared) {
+  BoolCircuit c;
+  EXPECT_EQ(c.AddConst(true), c.AddConst(true));
+  EXPECT_EQ(c.AddConst(false), c.AddConst(false));
+  EXPECT_NE(c.AddConst(true), c.AddConst(false));
+}
+
+TEST(BoolCircuitTest, VarsAreShared) {
+  BoolCircuit c;
+  EXPECT_EQ(c.AddVar(3), c.AddVar(3));
+  EXPECT_NE(c.AddVar(3), c.AddVar(4));
+  EXPECT_EQ(c.NumEvents(), 5u);
+}
+
+TEST(BoolCircuitTest, ConstantFolding) {
+  BoolCircuit c;
+  GateId a = c.AddVar(0);
+  EXPECT_EQ(c.AddAnd(a, c.AddConst(true)), a);
+  EXPECT_EQ(c.kind(c.AddAnd(a, c.AddConst(false))), GateKind::kConst);
+  EXPECT_EQ(c.AddOr(a, c.AddConst(false)), a);
+  EXPECT_EQ(c.kind(c.AddOr(a, c.AddConst(true))), GateKind::kConst);
+  EXPECT_EQ(c.AddNot(c.AddNot(a)), a);
+  // Duplicate inputs collapse.
+  EXPECT_EQ(c.AddAnd(a, a), a);
+  EXPECT_EQ(c.AddOr(a, a), a);
+}
+
+TEST(BoolCircuitTest, StructuralHashingDeduplicates) {
+  BoolCircuit c;
+  GateId a = c.AddVar(0);
+  GateId b = c.AddVar(1);
+  GateId g1 = c.AddAnd(a, b);
+  GateId g2 = c.AddAnd(b, a);  // Sorted inputs: same gate.
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(c.AddNot(a), c.AddNot(a));
+}
+
+TEST(BoolCircuitTest, EvaluationMatchesSemantics) {
+  BoolCircuit c;
+  GateId a = c.AddVar(0);
+  GateId b = c.AddVar(1);
+  GateId g = c.AddOr(c.AddAnd(a, c.AddNot(b)), c.AddAnd(c.AddNot(a), b));
+  // g = a XOR b.
+  for (uint64_t mask = 0; mask < 4; ++mask) {
+    Valuation v = Valuation::FromMask(mask, 2);
+    EXPECT_EQ(c.Evaluate(g, v), v.value(0) != v.value(1)) << mask;
+  }
+}
+
+TEST(BoolCircuitTest, AddFormulaMatchesFormulaEvaluation) {
+  EventRegistry registry;
+  for (int i = 0; i < 3; ++i) registry.Register("e" + std::to_string(i));
+  auto f = BoolFormula::Parse("(e0 | e1) & !e2", registry);
+  ASSERT_TRUE(f.has_value());
+  BoolCircuit c;
+  GateId g = c.AddFormula(*f);
+  for (uint64_t mask = 0; mask < 8; ++mask) {
+    Valuation v = Valuation::FromMask(mask, 3);
+    EXPECT_EQ(c.Evaluate(g, v), f->Evaluate(v)) << mask;
+  }
+}
+
+BoolCircuit RandomCircuit(Rng& rng, uint32_t num_events, uint32_t num_gates,
+                          GateId* root) {
+  BoolCircuit c;
+  std::vector<GateId> pool;
+  for (EventId e = 0; e < num_events; ++e) pool.push_back(c.AddVar(e));
+  for (uint32_t i = 0; i < num_gates; ++i) {
+    GateId g;
+    switch (rng.UniformInt(3)) {
+      case 0:
+        g = c.AddNot(pool[rng.UniformInt(pool.size())]);
+        break;
+      case 1: {
+        uint32_t arity = 2 + static_cast<uint32_t>(rng.UniformInt(3));
+        std::vector<GateId> ins;
+        for (uint32_t k = 0; k < arity; ++k) {
+          ins.push_back(pool[rng.UniformInt(pool.size())]);
+        }
+        g = c.AddAnd(std::move(ins));
+        break;
+      }
+      default: {
+        uint32_t arity = 2 + static_cast<uint32_t>(rng.UniformInt(3));
+        std::vector<GateId> ins;
+        for (uint32_t k = 0; k < arity; ++k) {
+          ins.push_back(pool[rng.UniformInt(pool.size())]);
+        }
+        g = c.AddOr(std::move(ins));
+        break;
+      }
+    }
+    pool.push_back(g);
+  }
+  *root = pool.back();
+  return c;
+}
+
+class RandomCircuitTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCircuitTest, BinarizePreservesSemantics) {
+  Rng rng(GetParam());
+  GateId root;
+  BoolCircuit c = RandomCircuit(rng, 5, 30, &root);
+  auto [bin, remap] = c.Binarize();
+  // All gates in the binarised circuit have fan-in <= 2.
+  for (GateId g = 0; g < bin.NumGates(); ++g) {
+    EXPECT_LE(bin.inputs(g).size(), 2u);
+  }
+  for (uint64_t mask = 0; mask < 32; ++mask) {
+    Valuation v = Valuation::FromMask(mask, 5);
+    EXPECT_EQ(c.Evaluate(root, v), bin.Evaluate(remap[root], v)) << mask;
+  }
+}
+
+TEST_P(RandomCircuitTest, ExtractConePreservesSemantics) {
+  Rng rng(GetParam() + 1000);
+  GateId root;
+  BoolCircuit c = RandomCircuit(rng, 5, 30, &root);
+  auto [cone, cone_root] = c.ExtractCone(root);
+  EXPECT_LE(cone.NumGates(), c.NumGates());
+  for (uint64_t mask = 0; mask < 32; ++mask) {
+    Valuation v = Valuation::FromMask(mask, 5);
+    EXPECT_EQ(c.Evaluate(root, v), cone.Evaluate(cone_root, v)) << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitTest, ::testing::Range(0, 20));
+
+TEST(BoolCircuitTest, PrimalEdgesCoverGateCliques) {
+  BoolCircuit c;
+  GateId a = c.AddVar(0);
+  GateId b = c.AddVar(1);
+  GateId d = c.AddVar(2);
+  GateId g = c.AddAnd({a, b, d});
+  auto edges = c.PrimalEdges();
+  auto has = [&](GateId x, GateId y) {
+    return std::find(edges.begin(), edges.end(),
+                     std::make_pair(std::min(x, y), std::max(x, y))) !=
+           edges.end();
+  };
+  // Inputs clique + inputs-to-output edges.
+  EXPECT_TRUE(has(a, b));
+  EXPECT_TRUE(has(a, d));
+  EXPECT_TRUE(has(b, d));
+  EXPECT_TRUE(has(a, g));
+  EXPECT_TRUE(has(b, g));
+  EXPECT_TRUE(has(d, g));
+}
+
+TEST(BoolCircuitTest, IsMonotone) {
+  BoolCircuit c;
+  GateId a = c.AddVar(0);
+  GateId b = c.AddVar(1);
+  GateId mono = c.AddOr(c.AddAnd(a, b), a);
+  GateId nonmono = c.AddAnd(a, c.AddNot(b));
+  EXPECT_TRUE(c.IsMonotone(mono));
+  EXPECT_FALSE(c.IsMonotone(nonmono));
+  // Monotonicity is judged per cone: `mono` stays monotone even though
+  // the circuit contains a NOT elsewhere.
+  EXPECT_TRUE(c.IsMonotone(mono));
+}
+
+TEST(BoolCircuitTest, ReachableFromIsSortedAndComplete) {
+  BoolCircuit c;
+  GateId a = c.AddVar(0);
+  GateId b = c.AddVar(1);
+  GateId unused = c.AddVar(2);
+  (void)unused;
+  GateId g = c.AddAnd(a, b);
+  auto reach = c.ReachableFrom(g);
+  EXPECT_EQ(reach, (std::vector<GateId>{a, b, g}));
+}
+
+TEST(BoolCircuitDeathTest, RejectsOutOfRangeInputs) {
+  BoolCircuit c;
+  EXPECT_DEATH(c.AddNot(42), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace tud

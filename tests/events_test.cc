@@ -1,0 +1,233 @@
+#include <vector>
+
+#include "events/bool_formula.h"
+#include "events/event_registry.h"
+#include "events/valuation.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace tud {
+namespace {
+
+TEST(EventRegistryTest, RegisterAndLookup) {
+  EventRegistry registry;
+  EventId a = registry.Register("a", 0.25);
+  EventId b = registry.Register("b", 0.75);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.name(a), "a");
+  EXPECT_EQ(registry.probability(b), 0.75);
+  EXPECT_EQ(registry.Find("a"), a);
+  EXPECT_EQ(registry.Find("missing"), std::nullopt);
+}
+
+TEST(EventRegistryTest, AnonymousEventsGetUniqueNames) {
+  EventRegistry registry;
+  EventId a = registry.RegisterAnonymous(0.5);
+  EventId b = registry.RegisterAnonymous(0.5);
+  EXPECT_NE(registry.name(a), registry.name(b));
+}
+
+TEST(EventRegistryDeathTest, RejectsDuplicatesAndBadProbabilities) {
+  EventRegistry registry;
+  registry.Register("a", 0.5);
+  EXPECT_DEATH(registry.Register("a", 0.5), "duplicate");
+  EXPECT_DEATH(registry.Register("b", 1.5), "probability");
+  EXPECT_DEATH(registry.Register("c", -0.1), "probability");
+}
+
+TEST(EventRegistryTest, SetProbability) {
+  EventRegistry registry;
+  EventId a = registry.Register("a", 0.5);
+  registry.set_probability(a, 1.0);
+  EXPECT_EQ(registry.probability(a), 1.0);
+}
+
+TEST(ValuationTest, FromMaskDecodesBits) {
+  Valuation v = Valuation::FromMask(0b101, 3);
+  EXPECT_TRUE(v.value(0));
+  EXPECT_FALSE(v.value(1));
+  EXPECT_TRUE(v.value(2));
+}
+
+TEST(ValuationTest, ProbabilityOfIndependentEvents) {
+  EventRegistry registry;
+  registry.Register("a", 0.5);
+  registry.Register("b", 0.25);
+  // P(a & !b) = 0.5 * 0.75.
+  Valuation v = Valuation::FromMask(0b01, 2);
+  EXPECT_DOUBLE_EQ(v.Probability(registry), 0.5 * 0.75);
+}
+
+TEST(ValuationTest, ProbabilitiesSumToOne) {
+  EventRegistry registry;
+  registry.Register("a", 0.3);
+  registry.Register("b", 0.8);
+  registry.Register("c", 0.5);
+  double total = 0.0;
+  for (uint64_t mask = 0; mask < 8; ++mask) {
+    total += Valuation::FromMask(mask, 3).Probability(registry);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ValuationTest, SampleRespectsDegenerateProbabilities) {
+  EventRegistry registry;
+  registry.Register("never", 0.0);
+  registry.Register("always", 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    Valuation v = Valuation::Sample(registry, rng);
+    EXPECT_FALSE(v.value(0));
+    EXPECT_TRUE(v.value(1));
+  }
+}
+
+class FormulaTest : public ::testing::Test {
+ protected:
+  FormulaTest() {
+    a_ = registry_.Register("a", 0.5);
+    b_ = registry_.Register("b", 0.5);
+    c_ = registry_.Register("c", 0.5);
+  }
+
+  bool Holds(const BoolFormula& f, uint64_t mask) {
+    return f.Evaluate(Valuation::FromMask(mask, registry_.size()));
+  }
+
+  EventRegistry registry_;
+  EventId a_, b_, c_;
+};
+
+TEST_F(FormulaTest, ConstantsAndVars) {
+  EXPECT_TRUE(Holds(BoolFormula::True(), 0));
+  EXPECT_FALSE(Holds(BoolFormula::False(), 0));
+  EXPECT_TRUE(Holds(BoolFormula::Var(a_), 0b001));
+  EXPECT_FALSE(Holds(BoolFormula::Var(a_), 0b110));
+}
+
+TEST_F(FormulaTest, Connectives) {
+  BoolFormula f = BoolFormula::And(BoolFormula::Var(a_),
+                                   BoolFormula::Not(BoolFormula::Var(b_)));
+  EXPECT_TRUE(Holds(f, 0b001));
+  EXPECT_FALSE(Holds(f, 0b011));
+  BoolFormula g = BoolFormula::Or(f, BoolFormula::Var(c_));
+  EXPECT_TRUE(Holds(g, 0b100));
+  EXPECT_FALSE(Holds(g, 0b010));
+}
+
+TEST_F(FormulaTest, ConstantFolding) {
+  EXPECT_EQ(BoolFormula::And(BoolFormula::True(), BoolFormula::Var(a_)).kind(),
+            BoolFormula::Kind::kVar);
+  EXPECT_EQ(
+      BoolFormula::And(BoolFormula::False(), BoolFormula::Var(a_)).kind(),
+      BoolFormula::Kind::kConst);
+  EXPECT_EQ(BoolFormula::Or(BoolFormula::True(), BoolFormula::Var(a_)).kind(),
+            BoolFormula::Kind::kConst);
+  EXPECT_EQ(BoolFormula::Not(BoolFormula::Not(BoolFormula::Var(a_))).kind(),
+            BoolFormula::Kind::kVar);
+  EXPECT_TRUE(BoolFormula::And(std::vector<BoolFormula>{}).const_value());
+  EXPECT_FALSE(BoolFormula::Or(std::vector<BoolFormula>{}).const_value());
+}
+
+TEST_F(FormulaTest, EventsCollected) {
+  BoolFormula f = BoolFormula::Or(
+      BoolFormula::And(BoolFormula::Var(a_), BoolFormula::Var(c_)),
+      BoolFormula::Var(a_));
+  EXPECT_EQ(f.Events(), (std::vector<EventId>{a_, c_}));
+}
+
+TEST_F(FormulaTest, IsPositive) {
+  EXPECT_TRUE(BoolFormula::And(BoolFormula::Var(a_), BoolFormula::Var(b_))
+                  .IsPositive());
+  EXPECT_FALSE(BoolFormula::And(BoolFormula::Var(a_),
+                                BoolFormula::Not(BoolFormula::Var(b_)))
+                   .IsPositive());
+}
+
+TEST_F(FormulaTest, ParseSimple) {
+  auto f = BoolFormula::Parse("a & !b | c", registry_);
+  ASSERT_TRUE(f.has_value());
+  // a&!b|c on (a,b,c) masks.
+  EXPECT_TRUE(Holds(*f, 0b001));   // a
+  EXPECT_FALSE(Holds(*f, 0b011));  // a,b
+  EXPECT_TRUE(Holds(*f, 0b111));   // c saves it
+  EXPECT_FALSE(Holds(*f, 0b000));
+}
+
+TEST_F(FormulaTest, ParsePrecedenceAndParens) {
+  auto f = BoolFormula::Parse("(a | b) & c", registry_);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(Holds(*f, 0b101));
+  EXPECT_FALSE(Holds(*f, 0b001));
+  auto g = BoolFormula::Parse("a | b & c", registry_);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_TRUE(Holds(*g, 0b001));  // '&' binds tighter.
+}
+
+TEST_F(FormulaTest, ParseConstantsAndErrors) {
+  EXPECT_TRUE(BoolFormula::Parse("true", registry_).has_value());
+  EXPECT_TRUE(BoolFormula::Parse("false | a", registry_).has_value());
+  EXPECT_FALSE(BoolFormula::Parse("unknown", registry_).has_value());
+  EXPECT_FALSE(BoolFormula::Parse("a &", registry_).has_value());
+  EXPECT_FALSE(BoolFormula::Parse("(a", registry_).has_value());
+  EXPECT_FALSE(BoolFormula::Parse("", registry_).has_value());
+  EXPECT_FALSE(BoolFormula::Parse("a b", registry_).has_value());
+}
+
+TEST_F(FormulaTest, ParseRoundTripPreservesSemantics) {
+  const char* inputs[] = {"a",          "!a",           "a & b & c",
+                          "a | b | c",  "!(a & b) | c", "a & (b | !c)",
+                          "!a & !b",    "(a|b)&(b|c)",  "!(a | (b & c))"};
+  for (const char* text : inputs) {
+    auto f = BoolFormula::Parse(text, registry_);
+    ASSERT_TRUE(f.has_value()) << text;
+    auto g = BoolFormula::Parse(f->ToString(registry_), registry_);
+    ASSERT_TRUE(g.has_value()) << f->ToString(registry_);
+    for (uint64_t mask = 0; mask < 8; ++mask) {
+      EXPECT_EQ(Holds(*f, mask), Holds(*g, mask))
+          << text << " mask=" << mask;
+    }
+  }
+}
+
+// Property sweep: random formulas evaluate consistently with a reference
+// interpreter built from their structure.
+class RandomFormulaTest : public ::testing::TestWithParam<int> {};
+
+BoolFormula RandomFormula(Rng& rng, const EventRegistry& registry,
+                          int depth) {
+  if (depth == 0 || rng.UniformInt(4) == 0) {
+    if (rng.UniformInt(8) == 0) return BoolFormula::Constant(rng.Bernoulli(0.5));
+    return BoolFormula::Var(
+        static_cast<EventId>(rng.UniformInt(registry.size())));
+  }
+  switch (rng.UniformInt(3)) {
+    case 0:
+      return BoolFormula::Not(RandomFormula(rng, registry, depth - 1));
+    case 1:
+      return BoolFormula::And(RandomFormula(rng, registry, depth - 1),
+                              RandomFormula(rng, registry, depth - 1));
+    default:
+      return BoolFormula::Or(RandomFormula(rng, registry, depth - 1),
+                             RandomFormula(rng, registry, depth - 1));
+  }
+}
+
+TEST_P(RandomFormulaTest, ToStringParseRoundTrip) {
+  EventRegistry registry;
+  for (int i = 0; i < 4; ++i) registry.Register("e" + std::to_string(i), 0.5);
+  Rng rng(GetParam());
+  BoolFormula f = RandomFormula(rng, registry, 4);
+  auto g = BoolFormula::Parse(f.ToString(registry), registry);
+  ASSERT_TRUE(g.has_value()) << f.ToString(registry);
+  for (uint64_t mask = 0; mask < 16; ++mask) {
+    Valuation v = Valuation::FromMask(mask, 4);
+    EXPECT_EQ(f.Evaluate(v), g->Evaluate(v)) << f.ToString(registry);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFormulaTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace tud

@@ -1,0 +1,373 @@
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "order/partial_order.h"
+#include "order/po_relation.h"
+#include "util/rng.h"
+
+namespace tud {
+namespace {
+
+TEST(PartialOrderTest, ConstraintsAndClosure) {
+  PartialOrder order(4);
+  EXPECT_TRUE(order.AddConstraint(0, 1));
+  EXPECT_TRUE(order.AddConstraint(1, 2));
+  EXPECT_TRUE(order.Precedes(0, 2));  // Transitivity.
+  EXPECT_FALSE(order.Precedes(2, 0));
+  EXPECT_TRUE(order.Incomparable(0, 3));
+  EXPECT_FALSE(order.AddConstraint(2, 0));  // Would create a cycle.
+  EXPECT_TRUE(order.AddConstraint(0, 2));   // Already implied: fine.
+}
+
+TEST(PartialOrderTest, CoverEdgesAreTransitiveReduction) {
+  PartialOrder order(3);
+  order.AddConstraint(0, 1);
+  order.AddConstraint(1, 2);
+  order.AddConstraint(0, 2);  // Implied.
+  auto covers = order.CoverEdges();
+  EXPECT_EQ(covers, (std::vector<std::pair<OrderElem, OrderElem>>{{0, 1},
+                                                                  {1, 2}}));
+}
+
+TEST(PartialOrderTest, CountLinearExtensionsKnownValues) {
+  EXPECT_EQ(PartialOrder::Antichain(0).CountLinearExtensions(), 1u);
+  EXPECT_EQ(PartialOrder::Antichain(4).CountLinearExtensions(), 24u);
+  EXPECT_EQ(PartialOrder::Chain(5).CountLinearExtensions(), 1u);
+  // Two independent chains of length 2: C(4,2) = 6 interleavings.
+  PartialOrder two_chains(4);
+  two_chains.AddConstraint(0, 1);
+  two_chains.AddConstraint(2, 3);
+  EXPECT_EQ(two_chains.CountLinearExtensions(), 6u);
+  // V-shape: 0 < 1, 0 < 2: extensions 012, 021.
+  PartialOrder vee(3);
+  vee.AddConstraint(0, 1);
+  vee.AddConstraint(0, 2);
+  EXPECT_EQ(vee.CountLinearExtensions(), 2u);
+}
+
+TEST(PartialOrderTest, EnumerationConsistentWithCounting) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    PartialOrder order(6);
+    for (int e = 0; e < 5; ++e) {
+      OrderElem a = static_cast<OrderElem>(rng.UniformInt(6));
+      OrderElem b = static_cast<OrderElem>(rng.UniformInt(6));
+      if (a != b) order.AddConstraint(a, b);
+    }
+    std::set<std::vector<OrderElem>> seen;
+    size_t produced = order.EnumerateLinearExtensions(
+        [&](const std::vector<OrderElem>& ext) {
+          EXPECT_TRUE(order.IsLinearExtension(ext));
+          seen.insert(ext);
+        });
+    EXPECT_EQ(produced, order.CountLinearExtensions());
+    EXPECT_EQ(seen.size(), produced);  // All distinct.
+  }
+}
+
+TEST(PartialOrderTest, EnumerationLimit) {
+  PartialOrder order = PartialOrder::Antichain(5);
+  size_t produced = order.EnumerateLinearExtensions(
+      [](const std::vector<OrderElem>&) {}, 7);
+  EXPECT_EQ(produced, 7u);
+}
+
+TEST(PartialOrderTest, IsLinearExtensionRejectsBadSequences) {
+  PartialOrder order = PartialOrder::Chain(3);
+  EXPECT_TRUE(order.IsLinearExtension({0, 1, 2}));
+  EXPECT_FALSE(order.IsLinearExtension({1, 0, 2}));   // Violates 0<1.
+  EXPECT_FALSE(order.IsLinearExtension({0, 1}));      // Too short.
+  EXPECT_FALSE(order.IsLinearExtension({0, 0, 2}));   // Repeats.
+}
+
+TEST(PartialOrderTest, InducedSuborder) {
+  PartialOrder order = PartialOrder::Chain(4);
+  PartialOrder sub = order.Induced({0, 2});
+  EXPECT_TRUE(sub.Precedes(0, 1));  // 0 < 2 in the original.
+  EXPECT_EQ(sub.size(), 2u);
+}
+
+TEST(PartialOrderTest, AddElementGrows) {
+  PartialOrder order(2);
+  order.AddConstraint(0, 1);
+  OrderElem c = order.AddElement();
+  EXPECT_EQ(order.size(), 3u);
+  EXPECT_TRUE(order.Incomparable(c, 0));
+  EXPECT_TRUE(order.AddConstraint(1, c));
+  EXPECT_TRUE(order.Precedes(0, c));
+}
+
+// ---------------------------------------------------------------------------
+// PoRelation: algebra and possible-world reasoning.
+// ---------------------------------------------------------------------------
+
+TEST(PoRelationTest, FromListIsTotallyOrdered) {
+  PoRelation r = PoRelation::FromList(1, {{10}, {20}, {30}});
+  EXPECT_EQ(r.CountWorlds(), 1u);
+  EXPECT_TRUE(r.CertainlyPrecedes(0, 1));
+  EXPECT_TRUE(r.order().IsTotal());
+}
+
+TEST(PoRelationTest, FromBagIsUnordered) {
+  PoRelation r = PoRelation::FromBag(1, {{10}, {20}, {30}});
+  EXPECT_EQ(r.CountWorlds(), 6u);
+  EXPECT_TRUE(r.order().IsEmptyOrder());
+  EXPECT_TRUE(r.PossiblyPrecedes(0, 1));
+  EXPECT_FALSE(r.CertainlyPrecedes(0, 1));
+}
+
+TEST(PoRelationTest, UnionParallelInterleaves) {
+  // Integrating two ordered lists with an unknown global order (the log
+  // integration scenario of §3): worlds = interleavings.
+  PoRelation a = PoRelation::FromList(1, {{1}, {2}});
+  PoRelation b = PoRelation::FromList(1, {{3}, {4}});
+  PoRelation merged = PoRelation::UnionParallel(a, b);
+  EXPECT_EQ(merged.CountWorlds(), 6u);  // C(4,2).
+  // Order within each source is preserved.
+  EXPECT_TRUE(merged.CertainlyPrecedes(0, 1));
+  EXPECT_TRUE(merged.CertainlyPrecedes(2, 3));
+  EXPECT_TRUE(merged.PossiblyPrecedes(2, 0));
+}
+
+TEST(PoRelationTest, ConcatenateKeepsSidesSeparated) {
+  PoRelation a = PoRelation::FromList(1, {{1}, {2}});
+  PoRelation b = PoRelation::FromBag(1, {{3}, {4}});
+  PoRelation cat = PoRelation::Concatenate(a, b);
+  EXPECT_EQ(cat.CountWorlds(), 2u);  // Only b's pair is free.
+  EXPECT_TRUE(cat.CertainlyPrecedes(1, 2));
+  EXPECT_TRUE(cat.CertainlyPrecedes(0, 3));
+}
+
+TEST(PoRelationTest, SelectInducesOrder) {
+  PoRelation r = PoRelation::FromList(1, {{5}, {10}, {15}});
+  PoRelation selected =
+      r.Select([](const PoTuple& t) { return t[0] >= 10; });
+  EXPECT_EQ(selected.NumTuples(), 2u);
+  EXPECT_TRUE(selected.CertainlyPrecedes(0, 1));  // 10 before 15.
+  EXPECT_EQ(selected.CountWorlds(), 1u);
+}
+
+TEST(PoRelationTest, ProjectKeepsOrderAndDuplicates) {
+  PoRelation r = PoRelation::FromList(2, {{1, 7}, {2, 7}});
+  PoRelation p = r.Project({1});
+  EXPECT_EQ(p.arity(), 1u);
+  EXPECT_EQ(p.NumTuples(), 2u);
+  EXPECT_EQ(p.tuple(0), (PoTuple{7}));
+  EXPECT_EQ(p.tuple(1), (PoTuple{7}));  // Bag semantics: duplicate kept.
+  EXPECT_TRUE(p.CertainlyPrecedes(0, 1));
+}
+
+TEST(PoRelationTest, ProductLexOfTwoLists) {
+  PoRelation a = PoRelation::FromList(1, {{1}, {2}});
+  PoRelation b = PoRelation::FromList(1, {{8}, {9}});
+  PoRelation prod = PoRelation::ProductLex(a, b);
+  EXPECT_EQ(prod.NumTuples(), 4u);
+  // Lex of two totals is total: a unique world (1,8)(1,9)(2,8)(2,9).
+  EXPECT_EQ(prod.CountWorlds(), 1u);
+  std::vector<std::vector<PoTuple>> worlds;
+  prod.EnumerateWorlds(
+      [&](const std::vector<PoTuple>& w) { worlds.push_back(w); });
+  ASSERT_EQ(worlds.size(), 1u);
+  EXPECT_EQ(worlds[0][0], (PoTuple{1, 8}));
+  EXPECT_EQ(worlds[0][1], (PoTuple{1, 9}));
+  EXPECT_EQ(worlds[0][2], (PoTuple{2, 8}));
+  EXPECT_EQ(worlds[0][3], (PoTuple{2, 9}));
+}
+
+TEST(PoRelationTest, ProductDirectLeavesTiesOpen) {
+  PoRelation a = PoRelation::FromList(1, {{1}, {2}});
+  PoRelation b = PoRelation::FromList(1, {{8}, {9}});
+  PoRelation prod = PoRelation::ProductDirect(a, b);
+  // Direct product of two 2-chains: the 2x2 grid poset, 2 extensions of
+  // the middle antichain {(1,9),(2,8)}.
+  EXPECT_EQ(prod.CountWorlds(), 2u);
+  EXPECT_TRUE(prod.CertainlyPrecedes(0, 3));   // (1,8) < (2,9).
+  EXPECT_TRUE(prod.PossiblyPrecedes(1, 2));
+  EXPECT_TRUE(prod.PossiblyPrecedes(2, 1));
+}
+
+TEST(PoRelationTest, IsPossibleWorldTractableCases) {
+  // Unordered: any permutation of the multiset.
+  PoRelation bag = PoRelation::FromBag(1, {{1}, {1}, {2}});
+  EXPECT_TRUE(bag.IsPossibleWorld({{1}, {2}, {1}}));
+  EXPECT_TRUE(bag.IsPossibleWorld({{2}, {1}, {1}}));
+  EXPECT_FALSE(bag.IsPossibleWorld({{2}, {2}, {1}}));
+  EXPECT_FALSE(bag.IsPossibleWorld({{1}, {2}}));
+  // Total: exactly one world.
+  PoRelation list = PoRelation::FromList(1, {{1}, {2}, {3}});
+  EXPECT_TRUE(list.IsPossibleWorld({{1}, {2}, {3}}));
+  EXPECT_FALSE(list.IsPossibleWorld({{2}, {1}, {3}}));
+}
+
+TEST(PoRelationTest, IsPossibleWorldGeneralCaseWithDuplicates) {
+  // Two occurrences of the same label in different order positions:
+  // matching must try both.
+  PoRelation r(1);
+  OrderElem a = r.AddTuple({7});
+  OrderElem b = r.AddTuple({8});
+  OrderElem c = r.AddTuple({7});
+  r.AddOrderConstraint(a, b);  // 7 < 8; second 7 free.
+  (void)c;
+  EXPECT_TRUE(r.IsPossibleWorld({{7}, {8}, {7}}));
+  EXPECT_TRUE(r.IsPossibleWorld({{7}, {7}, {8}}));
+  EXPECT_FALSE(r.IsPossibleWorld({{8}, {7}, {7}}));  // Some 7 before 8.
+}
+
+TEST(PoRelationTest, IsPossibleWorldMatchesEnumeration) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    PoRelation r(1);
+    const uint32_t n = 5;
+    for (uint32_t i = 0; i < n; ++i) {
+      r.AddTuple({static_cast<Value>(rng.UniformInt(3))});
+    }
+    for (int e = 0; e < 4; ++e) {
+      OrderElem a = static_cast<OrderElem>(rng.UniformInt(n));
+      OrderElem b = static_cast<OrderElem>(rng.UniformInt(n));
+      if (a != b) r.AddOrderConstraint(a, b);
+    }
+    std::set<std::vector<PoTuple>> worlds;
+    r.EnumerateWorlds(
+        [&](const std::vector<PoTuple>& w) { worlds.insert(w); });
+    for (const auto& w : worlds) {
+      EXPECT_TRUE(r.IsPossibleWorld(w));
+    }
+    // A random non-world should be rejected.
+    std::vector<PoTuple> shuffled(5, PoTuple{0});
+    shuffled[0] = {2};
+    shuffled[1] = {2};
+    shuffled[2] = {2};
+    if (!worlds.contains(shuffled)) {
+      EXPECT_FALSE(r.IsPossibleWorld(shuffled));
+    }
+  }
+}
+
+TEST(PoRelationTest, AlgebraComposition) {
+  // (union of two logs, then select, then project) keeps a consistent
+  // possible-world set: every world of the composed relation restricted
+  // is a subsequence-compatible world.
+  PoRelation log1 = PoRelation::FromList(2, {{0, 10}, {0, 20}});
+  PoRelation log2 = PoRelation::FromList(2, {{1, 15}, {1, 25}});
+  PoRelation merged = PoRelation::UnionParallel(log1, log2);
+  PoRelation events = merged.Project({1});
+  EXPECT_EQ(events.NumTuples(), 4u);
+  EXPECT_EQ(events.CountWorlds(), 6u);
+  PoRelation late = events.Select(
+      [](const PoTuple& t) { return t[0] >= 20; });
+  EXPECT_EQ(late.NumTuples(), 2u);
+  // 20 and 25 come from different logs: both orders possible.
+  EXPECT_EQ(late.CountWorlds(), 2u);
+}
+
+
+TEST(RankDistributionTest, ChainIsDeterministic) {
+  PartialOrder chain = PartialOrder::Chain(5);
+  for (OrderElem e = 0; e < 5; ++e) {
+    std::vector<double> dist = chain.RankDistribution(e);
+    for (uint32_t i = 0; i < 5; ++i) {
+      EXPECT_NEAR(dist[i], i == e ? 1.0 : 0.0, 1e-12);
+    }
+    EXPECT_NEAR(chain.ExpectedRank(e), e, 1e-12);
+  }
+}
+
+TEST(RankDistributionTest, AntichainIsUniform) {
+  PartialOrder free = PartialOrder::Antichain(4);
+  for (OrderElem e = 0; e < 4; ++e) {
+    std::vector<double> dist = free.RankDistribution(e);
+    for (double p : dist) EXPECT_NEAR(p, 0.25, 1e-12);
+    EXPECT_NEAR(free.ExpectedRank(e), 1.5, 1e-12);
+  }
+}
+
+TEST(RankDistributionTest, MatchesEnumeration) {
+  Rng rng(21);
+  for (int trial = 0; trial < 8; ++trial) {
+    PartialOrder order(6);
+    for (int c = 0; c < 5; ++c) {
+      OrderElem a = static_cast<OrderElem>(rng.UniformInt(6));
+      OrderElem b = static_cast<OrderElem>(rng.UniformInt(6));
+      if (a != b) order.AddConstraint(a, b);
+    }
+    // Histogram positions by full enumeration.
+    std::vector<std::vector<double>> histogram(6,
+                                               std::vector<double>(6, 0.0));
+    size_t total = order.EnumerateLinearExtensions(
+        [&](const std::vector<OrderElem>& ext) {
+          for (uint32_t i = 0; i < ext.size(); ++i) {
+            histogram[ext[i]][i] += 1.0;
+          }
+        });
+    for (OrderElem e = 0; e < 6; ++e) {
+      std::vector<double> dist = order.RankDistribution(e);
+      double sum = 0.0;
+      for (uint32_t i = 0; i < 6; ++i) {
+        EXPECT_NEAR(dist[i], histogram[e][i] / total, 1e-9)
+            << "elem " << e << " pos " << i;
+        sum += dist[i];
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(RankDistributionTest, ConstraintsShiftExpectation) {
+  // 0 < 1 among 3 elements: 0 skews early, 1 skews late, 2 stays middle.
+  PartialOrder order(3);
+  order.AddConstraint(0, 1);
+  EXPECT_LT(order.ExpectedRank(0), 1.0);
+  EXPECT_GT(order.ExpectedRank(1), 1.0);
+  EXPECT_NEAR(order.ExpectedRank(2), 1.0, 1e-12);
+}
+
+
+TEST(TopKTest, ChainAndAntichain) {
+  PoRelation chain = PoRelation::FromList(1, {{0}, {1}, {2}, {3}});
+  EXPECT_TRUE(chain.CertainlyInTopK(0, 1));
+  EXPECT_FALSE(chain.CertainlyInTopK(1, 1));
+  EXPECT_TRUE(chain.CertainlyInTopK(1, 2));
+  EXPECT_FALSE(chain.PossiblyInTopK(3, 3));
+  EXPECT_TRUE(chain.PossiblyInTopK(3, 4));
+
+  PoRelation bag = PoRelation::FromBag(1, {{0}, {1}, {2}});
+  for (OrderElem t = 0; t < 3; ++t) {
+    EXPECT_TRUE(bag.PossiblyInTopK(t, 1));
+    EXPECT_FALSE(bag.CertainlyInTopK(t, 2));
+    EXPECT_TRUE(bag.CertainlyInTopK(t, 3));
+  }
+}
+
+TEST(TopKTest, MatchesEnumeration) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    PoRelation r(1);
+    const uint32_t n = 5;
+    for (uint32_t i = 0; i < n; ++i) r.AddTuple({i});
+    for (int c = 0; c < 4; ++c) {
+      OrderElem a = static_cast<OrderElem>(rng.UniformInt(n));
+      OrderElem b = static_cast<OrderElem>(rng.UniformInt(n));
+      if (a != b) r.AddOrderConstraint(a, b);
+    }
+    for (uint32_t k = 1; k <= n; ++k) {
+      for (OrderElem t = 0; t < n; ++t) {
+        bool in_all = true, in_some = false;
+        r.order().EnumerateLinearExtensions(
+            [&](const std::vector<OrderElem>& ext) {
+              bool in_top = false;
+              for (uint32_t i = 0; i < k; ++i) {
+                if (ext[i] == t) in_top = true;
+              }
+              in_all = in_all && in_top;
+              in_some = in_some || in_top;
+            });
+        EXPECT_EQ(r.CertainlyInTopK(t, k), in_all) << t << " " << k;
+        EXPECT_EQ(r.PossiblyInTopK(t, k), in_some) << t << " " << k;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tud

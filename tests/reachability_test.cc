@@ -1,0 +1,173 @@
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "inference/exhaustive.h"
+#include "inference/junction_tree.h"
+#include "queries/reachability.h"
+#include "uncertain/c_instance.h"
+#include "uncertain/pcc_instance.h"
+#include "uncertain/tid_instance.h"
+#include "util/rng.h"
+
+namespace tud {
+namespace {
+
+Schema EdgeSchema() {
+  Schema schema;
+  schema.AddRelation("E", 2);
+  return schema;
+}
+
+TEST(ReachabilityEvalTest, BfsGroundTruth) {
+  Instance instance(EdgeSchema());
+  instance.AddFact(0, {0, 1});
+  instance.AddFact(0, {1, 2});
+  instance.AddFact(0, {4, 5});
+  EXPECT_TRUE(EvaluateReachability(instance, 0, 0, 2));
+  EXPECT_TRUE(EvaluateReachability(instance, 0, 2, 0));  // Undirected.
+  EXPECT_FALSE(EvaluateReachability(instance, 0, 0, 4));
+  EXPECT_TRUE(EvaluateReachability(instance, 0, 3, 3));  // Trivial.
+  EXPECT_FALSE(EvaluateReachability(instance, 0, 0, 99));
+}
+
+TEST(ReachabilityLineageTest, SingleEdge) {
+  TidInstance tid(EdgeSchema());
+  tid.AddFact(0, {0, 1}, 0.4);
+  PccInstance pcc = PccInstance::FromCInstance(tid.ToPcInstance());
+  GateId lineage = ComputeReachabilityLineage(pcc, 0, 0, 1);
+  EXPECT_NEAR(JunctionTreeProbability(pcc.circuit(), lineage, pcc.events()),
+              0.4, 1e-12);
+}
+
+TEST(ReachabilityLineageTest, TwoParallelPaths) {
+  // 0-1-3 and 0-2-3: P = 1 - (1 - p01*p13)(1 - p02*p23).
+  TidInstance tid(EdgeSchema());
+  tid.AddFact(0, {0, 1}, 0.5);
+  tid.AddFact(0, {1, 3}, 0.5);
+  tid.AddFact(0, {0, 2}, 0.5);
+  tid.AddFact(0, {2, 3}, 0.5);
+  PccInstance pcc = PccInstance::FromCInstance(tid.ToPcInstance());
+  GateId lineage = ComputeReachabilityLineage(pcc, 0, 0, 3);
+  double expected = 1.0 - (1 - 0.25) * (1 - 0.25);
+  EXPECT_NEAR(JunctionTreeProbability(pcc.circuit(), lineage, pcc.events()),
+              expected, 1e-12);
+}
+
+TEST(ReachabilityLineageTest, TrivialAndUnreachableCases) {
+  TidInstance tid(EdgeSchema());
+  tid.AddFact(0, {0, 1}, 0.5);
+  PccInstance pcc = PccInstance::FromCInstance(tid.ToPcInstance());
+  GateId same = ComputeReachabilityLineage(pcc, 0, 1, 1);
+  EXPECT_TRUE(pcc.circuit().const_value(same));
+  GateId out_of_domain = ComputeReachabilityLineage(pcc, 0, 0, 7);
+  EXPECT_FALSE(pcc.circuit().const_value(out_of_domain));
+}
+
+TEST(ReachabilityLineageTest, SelfLoopsAndDuplicateEdgesHandled) {
+  TidInstance tid(EdgeSchema());
+  tid.AddFact(0, {0, 0}, 0.9);  // Self-loop: irrelevant.
+  tid.AddFact(0, {0, 1}, 0.5);
+  tid.AddFact(0, {0, 1}, 0.5);  // Duplicate edge: independent copy.
+  PccInstance pcc = PccInstance::FromCInstance(tid.ToPcInstance());
+  GateId lineage = ComputeReachabilityLineage(pcc, 0, 0, 1);
+  EXPECT_NEAR(JunctionTreeProbability(pcc.circuit(), lineage, pcc.events()),
+              0.75, 1e-12);
+}
+
+// Random graphs: the lineage agrees with per-world BFS on every
+// valuation, and the probability agrees with enumeration.
+class ReachabilityPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReachabilityPropertyTest, LineageMatchesBfsWorldByWorld) {
+  Rng rng(GetParam());
+  const uint32_t n = 5 + static_cast<uint32_t>(rng.UniformInt(3));
+  TidInstance tid(EdgeSchema());
+  // Sparse random graph (keeps treewidth small and events <= 13).
+  uint32_t edges = 0;
+  for (Value a = 0; a < n && edges < 13; ++a) {
+    for (Value b = a + 1; b < n && edges < 13; ++b) {
+      if (rng.Bernoulli(0.35)) {
+        tid.AddFact(0, {a, b}, 0.2 + 0.6 * rng.UniformDouble());
+        ++edges;
+      }
+    }
+  }
+  PccInstance pcc = PccInstance::FromCInstance(tid.ToPcInstance());
+  const size_t num_events = pcc.events().size();
+  Value source = static_cast<Value>(rng.UniformInt(n));
+  Value target = static_cast<Value>(rng.UniformInt(n));
+  GateId lineage = ComputeReachabilityLineage(pcc, 0, source, target);
+  for (uint64_t mask = 0; mask < (1ULL << num_events); ++mask) {
+    Valuation v = Valuation::FromMask(mask, num_events);
+    EXPECT_EQ(pcc.circuit().Evaluate(lineage, v),
+              EvaluateReachability(pcc.World(v), 0, source, target))
+        << "mask=" << mask << " s=" << source << " t=" << target;
+  }
+}
+
+TEST_P(ReachabilityPropertyTest, ProbabilityMatchesEnumeration) {
+  Rng rng(GetParam() + 700);
+  TidInstance tid(EdgeSchema());
+  // A path with chords.
+  const uint32_t n = 6;
+  for (Value v = 0; v + 1 < n; ++v) {
+    tid.AddFact(0, {v, v + 1}, 0.3 + 0.5 * rng.UniformDouble());
+  }
+  for (int c = 0; c < 3; ++c) {
+    Value a = static_cast<Value>(rng.UniformInt(n));
+    Value b = static_cast<Value>(rng.UniformInt(n));
+    if (a != b) tid.AddFact(0, {a, b}, 0.3 + 0.5 * rng.UniformDouble());
+  }
+  PccInstance pcc = PccInstance::FromCInstance(tid.ToPcInstance());
+  GateId lineage = ComputeReachabilityLineage(pcc, 0, 0, n - 1);
+  double mp = JunctionTreeProbability(pcc.circuit(), lineage, pcc.events());
+  double exact = ExhaustiveProbability(pcc.circuit(), lineage, pcc.events());
+  EXPECT_NEAR(mp, exact, 1e-9);
+  // Cross-check against direct world enumeration of the query.
+  double direct = 0;
+  for (uint64_t mask = 0; mask < (1ULL << pcc.events().size()); ++mask) {
+    Valuation v = Valuation::FromMask(mask, pcc.events().size());
+    if (EvaluateReachability(pcc.World(v), 0, 0, n - 1)) {
+      direct += v.Probability(pcc.events());
+    }
+  }
+  EXPECT_NEAR(mp, direct, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReachabilityPropertyTest,
+                         ::testing::Range(0, 20));
+
+// Correlated edges through a shared circuit (the Theorem-2 regime for a
+// non-CQ query).
+TEST(ReachabilityLineageTest, CorrelatedEdges) {
+  PccInstance pcc(EdgeSchema());
+  EventId e = pcc.events().Register("bridge_open", 0.5);
+  GateId g = pcc.circuit().AddVar(e);
+  // Both edges of the only path exist iff the same event holds.
+  pcc.AddFact(0, {0, 1}, g);
+  pcc.AddFact(0, {1, 2}, g);
+  GateId lineage = ComputeReachabilityLineage(pcc, 0, 0, 2);
+  // Perfectly correlated: P = 0.5, not 0.25.
+  EXPECT_NEAR(JunctionTreeProbability(pcc.circuit(), lineage, pcc.events()),
+              0.5, 1e-12);
+}
+
+TEST(ReachabilityLineageTest, LongPathLinearStates) {
+  // A long path: DP states per node stay bounded.
+  TidInstance tid(EdgeSchema());
+  const uint32_t n = 200;
+  Rng rng(4);
+  for (Value v = 0; v + 1 < n; ++v) {
+    tid.AddFact(0, {v, v + 1}, 0.9);
+  }
+  PccInstance pcc = PccInstance::FromCInstance(tid.ToPcInstance());
+  LineageStats stats;
+  GateId lineage = ComputeReachabilityLineage(pcc, 0, 0, n - 1, &stats);
+  EXPECT_LE(stats.max_states_per_node, 64u);
+  double p = JunctionTreeProbability(pcc.circuit(), lineage, pcc.events());
+  EXPECT_NEAR(p, std::pow(0.9, n - 1), 1e-9);
+}
+
+}  // namespace
+}  // namespace tud

@@ -1,0 +1,96 @@
+#include "gtest/gtest.h"
+#include "relational/dictionary.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+
+namespace tud {
+namespace {
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  Value a = dict.Intern("alice");
+  Value b = dict.Intern("bob");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("alice"), a);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.name(a), "alice");
+  EXPECT_EQ(dict.Find("bob"), b);
+  EXPECT_EQ(dict.Find("carol"), std::nullopt);
+}
+
+TEST(SchemaTest, RelationsAndArities) {
+  Schema schema;
+  RelationId r = schema.AddRelation("R", 1);
+  RelationId s = schema.AddRelation("S", 2);
+  EXPECT_EQ(schema.NumRelations(), 2u);
+  EXPECT_EQ(schema.arity(r), 1u);
+  EXPECT_EQ(schema.arity(s), 2u);
+  EXPECT_EQ(schema.name(s), "S");
+  EXPECT_EQ(schema.Find("R"), r);
+  EXPECT_EQ(schema.Find("T"), std::nullopt);
+}
+
+TEST(SchemaDeathTest, RejectsDuplicateRelation) {
+  Schema schema;
+  schema.AddRelation("R", 1);
+  EXPECT_DEATH(schema.AddRelation("R", 2), "duplicate");
+}
+
+class InstanceTest : public ::testing::Test {
+ protected:
+  InstanceTest() {
+    r_ = schema_.AddRelation("R", 1);
+    s_ = schema_.AddRelation("S", 2);
+  }
+  Schema schema_;
+  RelationId r_, s_;
+};
+
+TEST_F(InstanceTest, AddAndQueryFacts) {
+  Instance instance(schema_);
+  FactId f0 = instance.AddFact(r_, {0});
+  FactId f1 = instance.AddFact(s_, {0, 1});
+  EXPECT_EQ(instance.NumFacts(), 2u);
+  EXPECT_EQ(instance.fact(f0).relation, r_);
+  EXPECT_EQ(instance.fact(f1).args, (std::vector<Value>{0, 1}));
+  EXPECT_EQ(instance.DomainSize(), 2u);
+  EXPECT_TRUE(instance.Contains(Fact{s_, {0, 1}}));
+  EXPECT_FALSE(instance.Contains(Fact{s_, {1, 0}}));
+}
+
+TEST_F(InstanceTest, ArityMismatchDies) {
+  Instance instance(schema_);
+  EXPECT_DEATH(instance.AddFact(r_, {0, 1}), "arity mismatch");
+}
+
+TEST_F(InstanceTest, GaifmanEdgesAreCooccurrences) {
+  Instance instance(schema_);
+  instance.AddFact(s_, {0, 1});
+  instance.AddFact(s_, {1, 2});
+  instance.AddFact(s_, {0, 1});  // Duplicate fact: edge deduplicated.
+  instance.AddFact(r_, {3});     // Unary: no edge.
+  instance.AddFact(s_, {4, 4});  // Self-pair: no edge.
+  auto edges = instance.GaifmanEdges();
+  EXPECT_EQ(edges, (std::vector<std::pair<Value, Value>>{{0, 1}, {1, 2}}));
+}
+
+TEST_F(InstanceTest, ToStringUsesDictionary) {
+  Dictionary dict;
+  Value a = dict.Intern("a");
+  Value b = dict.Intern("b");
+  Instance instance(schema_);
+  instance.AddFact(s_, {a, b});
+  EXPECT_EQ(instance.ToString(dict), "S(a, b)\n");
+}
+
+TEST_F(InstanceTest, FactOrdering) {
+  Fact f1{r_, {0}};
+  Fact f2{r_, {1}};
+  Fact f3{s_, {0, 0}};
+  EXPECT_LT(f1, f2);
+  EXPECT_LT(f2, f3);
+  EXPECT_EQ(f1, (Fact{r_, {0}}));
+}
+
+}  // namespace
+}  // namespace tud

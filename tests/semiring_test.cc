@@ -1,0 +1,233 @@
+#include <vector>
+
+#include "circuits/bool_circuit.h"
+#include "events/event_registry.h"
+#include "gtest/gtest.h"
+#include "semiring/provenance_eval.h"
+#include "semiring/semiring.h"
+#include "util/rng.h"
+
+namespace tud {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Semiring axioms, checked on concrete values per semiring.
+// ---------------------------------------------------------------------------
+
+template <typename S>
+void CheckAxioms(const std::vector<typename S::Value>& samples) {
+  for (const auto& a : samples) {
+    // Identity elements.
+    EXPECT_EQ(S::Plus(a, S::Zero()), a);
+    EXPECT_EQ(S::Times(a, S::One()), a);
+    EXPECT_EQ(S::Times(a, S::Zero()), S::Zero());
+    for (const auto& b : samples) {
+      // Commutativity.
+      EXPECT_EQ(S::Plus(a, b), S::Plus(b, a));
+      EXPECT_EQ(S::Times(a, b), S::Times(b, a));
+      for (const auto& c : samples) {
+        // Associativity and distributivity.
+        EXPECT_EQ(S::Plus(S::Plus(a, b), c), S::Plus(a, S::Plus(b, c)));
+        EXPECT_EQ(S::Times(S::Times(a, b), c), S::Times(a, S::Times(b, c)));
+        EXPECT_EQ(S::Times(a, S::Plus(b, c)),
+                  S::Plus(S::Times(a, b), S::Times(a, c)));
+      }
+    }
+  }
+}
+
+TEST(SemiringAxiomsTest, Boolean) {
+  CheckAxioms<BoolSemiring>({false, true});
+}
+
+TEST(SemiringAxiomsTest, Counting) {
+  CheckAxioms<CountingSemiring>({0, 1, 2, 3, 7});
+}
+
+TEST(SemiringAxiomsTest, Tropical) {
+  CheckAxioms<TropicalSemiring>(
+      {TropicalSemiring::Zero(), 0.0, 1.0, 2.5, 10.0});
+}
+
+TEST(SemiringAxiomsTest, MaxTimes) {
+  CheckAxioms<MaxTimesSemiring>({0.0, 0.25, 0.5, 1.0});
+}
+
+TEST(SemiringAxiomsTest, Why) {
+  WhySemiring::Value x = {{0}};
+  WhySemiring::Value y = {{1}};
+  WhySemiring::Value xy = {{0, 1}};
+  WhySemiring::Value mixed = {{0}, {1, 2}};
+  CheckAxioms<WhySemiring>(
+      {WhySemiring::Zero(), WhySemiring::One(), x, y, xy, mixed});
+}
+
+TEST(SemiringAxiomsTest, Poly) {
+  PolySemiring::Value x = {{{0}, 1}};
+  PolySemiring::Value y = {{{1}, 2}};
+  PolySemiring::Value c = {{{}, 3}};
+  CheckAxioms<PolySemiring>(
+      {PolySemiring::Zero(), PolySemiring::One(), x, y, c});
+}
+
+// Absorption (a + ab = a) holds for the absorptive semirings — this is
+// the property §2.2 needs for provenance circuits — and fails for
+// counting, which is why counting provenance is NOT claimed.
+TEST(SemiringAbsorptionTest, AbsorptiveSemirings) {
+  EXPECT_EQ(BoolSemiring::Plus(true, BoolSemiring::Times(true, false)), true);
+  EXPECT_EQ(TropicalSemiring::Plus(2.0, TropicalSemiring::Times(2.0, 3.0)),
+            2.0);
+  EXPECT_EQ(MaxTimesSemiring::Plus(0.5, MaxTimesSemiring::Times(0.5, 0.5)),
+            0.5);
+  WhySemiring::Value a = {{0}};
+  WhySemiring::Value b = {{1}};
+  EXPECT_EQ(WhySemiring::Plus(a, WhySemiring::Times(a, b)), a);
+}
+
+TEST(SemiringAbsorptionTest, CountingIsNotAbsorptive) {
+  CountingSemiring::Value a = 2, b = 3;
+  EXPECT_NE(CountingSemiring::Plus(a, CountingSemiring::Times(a, b)), a);
+}
+
+TEST(WhySemiringTest, AbsorbRemovesSupersets) {
+  WhySemiring::Value v = {{0}, {0, 1}, {2, 3}, {1, 2, 3}};
+  WhySemiring::Value expected = {{0}, {2, 3}};
+  EXPECT_EQ(WhySemiring::Absorb(v), expected);
+}
+
+TEST(WhySemiringTest, ToString) {
+  EventRegistry registry;
+  registry.Register("x");
+  registry.Register("y");
+  WhySemiring::Value v = {{0, 1}};
+  EXPECT_EQ(WhySemiring::ToString(v, registry), "{{x,y}}");
+}
+
+TEST(PolySemiringTest, MultiplicationIsMultilinear) {
+  PolySemiring::Value x = {{{0}, 1}};
+  // x * x = x (idempotent variables).
+  EXPECT_EQ(PolySemiring::Times(x, x), x);
+}
+
+TEST(PolySemiringTest, EvaluateBool) {
+  // p = x0*x1 + x2.
+  PolySemiring::Value p = {{{0, 1}, 1}, {{2}, 1}};
+  EXPECT_TRUE(PolySemiring::EvaluateBool(p, {true, true, false}));
+  EXPECT_TRUE(PolySemiring::EvaluateBool(p, {false, false, true}));
+  EXPECT_FALSE(PolySemiring::EvaluateBool(p, {true, false, false}));
+}
+
+TEST(PolySemiringTest, ToString) {
+  EventRegistry registry;
+  registry.Register("x");
+  registry.Register("y");
+  PolySemiring::Value p = {{{0, 1}, 2}, {{}, 1}};
+  EXPECT_EQ(PolySemiring::ToString(p, registry), "1 + 2*x*y");
+}
+
+// ---------------------------------------------------------------------------
+// Monotone circuit evaluation.
+// ---------------------------------------------------------------------------
+
+class ProvenanceEvalTest : public ::testing::Test {
+ protected:
+  // Builds lineage (x0 & x1) | x2.
+  ProvenanceEvalTest() {
+    GateId a = circuit_.AddVar(0);
+    GateId b = circuit_.AddVar(1);
+    GateId c = circuit_.AddVar(2);
+    root_ = circuit_.AddOr(circuit_.AddAnd(a, b), c);
+  }
+
+  BoolCircuit circuit_;
+  GateId root_;
+};
+
+TEST_F(ProvenanceEvalTest, BooleanSemiringMatchesEvaluation) {
+  for (uint64_t mask = 0; mask < 8; ++mask) {
+    bool expected = circuit_.Evaluate(root_, Valuation::FromMask(mask, 3));
+    bool got = EvalMonotoneCircuit<BoolSemiring>(
+        circuit_, root_, [&](EventId e) { return (mask >> e) & 1; });
+    EXPECT_EQ(got, expected) << mask;
+  }
+}
+
+TEST_F(ProvenanceEvalTest, WhyProvenanceListsMinimalWitnesses) {
+  auto why = EvalMonotoneCircuit<WhySemiring>(
+      circuit_, root_,
+      [](EventId e) { return WhySemiring::Value{{e}}; });
+  WhySemiring::Value expected = {{0, 1}, {2}};
+  EXPECT_EQ(why, expected);
+}
+
+TEST_F(ProvenanceEvalTest, PolyProvenance) {
+  auto poly = EvalMonotoneCircuit<PolySemiring>(
+      circuit_, root_,
+      [](EventId e) { return PolySemiring::Value{{{e}, 1}}; });
+  PolySemiring::Value expected = {{{0, 1}, 1}, {{2}, 1}};
+  EXPECT_EQ(poly, expected);
+}
+
+TEST_F(ProvenanceEvalTest, TropicalComputesCheapestDerivation) {
+  // Cost of x0 = 5, x1 = 3, x2 = 10: min((5+3), 10) = 8.
+  double cost = EvalMonotoneCircuit<TropicalSemiring>(
+      circuit_, root_, [](EventId e) {
+        return e == 0 ? 5.0 : (e == 1 ? 3.0 : 10.0);
+      });
+  EXPECT_DOUBLE_EQ(cost, 8.0);
+}
+
+TEST_F(ProvenanceEvalTest, MaxTimesComputesBestDerivation) {
+  double best = EvalMonotoneCircuit<MaxTimesSemiring>(
+      circuit_, root_, [](EventId e) {
+        return e == 0 ? 0.9 : (e == 1 ? 0.8 : 0.5);
+      });
+  EXPECT_DOUBLE_EQ(best, 0.72);  // max(0.9*0.8, 0.5).
+}
+
+TEST_F(ProvenanceEvalTest, RejectsNonMonotoneCircuits) {
+  GateId neg = circuit_.AddNot(circuit_.AddVar(0));
+  EXPECT_DEATH(EvalMonotoneCircuit<BoolSemiring>(
+                   circuit_, neg, [](EventId) { return true; }),
+               "monotone");
+}
+
+// Property: Why-provenance witnesses are exactly the minimal sets whose
+// activation satisfies the circuit.
+class WhyWitnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WhyWitnessTest, WitnessesAreSatisfyingAndMinimal) {
+  Rng rng(GetParam());
+  BoolCircuit circuit;
+  std::vector<GateId> pool;
+  const uint32_t kEvents = 4;
+  for (EventId e = 0; e < kEvents; ++e) pool.push_back(circuit.AddVar(e));
+  for (int i = 0; i < 12; ++i) {
+    GateId a = pool[rng.UniformInt(pool.size())];
+    GateId b = pool[rng.UniformInt(pool.size())];
+    pool.push_back(rng.Bernoulli(0.5) ? circuit.AddAnd(a, b)
+                                      : circuit.AddOr(a, b));
+  }
+  GateId root = pool.back();
+  auto why = EvalMonotoneCircuit<WhySemiring>(
+      circuit, root, [](EventId e) { return WhySemiring::Value{{e}}; });
+  for (const auto& witness : why) {
+    uint64_t mask = 0;
+    for (EventId e : witness) mask |= (1ULL << e);
+    // The witness satisfies the circuit.
+    EXPECT_TRUE(circuit.Evaluate(root, Valuation::FromMask(mask, kEvents)));
+    // Every proper subset obtained by dropping one event fails or is a
+    // different witness; minimality means dropping any event breaks it.
+    for (EventId e : witness) {
+      uint64_t sub = mask & ~(1ULL << e);
+      EXPECT_FALSE(
+          circuit.Evaluate(root, Valuation::FromMask(sub, kEvents)))
+          << "witness not minimal";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WhyWitnessTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace tud

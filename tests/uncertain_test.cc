@@ -1,0 +1,198 @@
+#include "events/bool_formula.h"
+#include "gtest/gtest.h"
+#include "treedec/elimination.h"
+#include "uncertain/c_instance.h"
+#include "uncertain/pcc_instance.h"
+#include "uncertain/tid_instance.h"
+#include "uncertain/worlds.h"
+
+namespace tud {
+namespace {
+
+Schema MakeRst() {
+  Schema schema;
+  schema.AddRelation("R", 1);
+  schema.AddRelation("S", 2);
+  schema.AddRelation("T", 1);
+  return schema;
+}
+
+TEST(TidInstanceTest, BasicConstruction) {
+  TidInstance tid(MakeRst());
+  FactId f = tid.AddFact(0, {0}, 0.7);
+  EXPECT_EQ(tid.NumFacts(), 1u);
+  EXPECT_DOUBLE_EQ(tid.probability(f), 0.7);
+}
+
+TEST(TidInstanceTest, ConversionToPcInstance) {
+  TidInstance tid(MakeRst());
+  tid.AddFact(0, {0}, 0.7);
+  tid.AddFact(1, {0, 1}, 0.2);
+  CInstance pc = tid.ToPcInstance();
+  EXPECT_EQ(pc.NumFacts(), 2u);
+  EXPECT_EQ(pc.events().size(), 2u);
+  EXPECT_DOUBLE_EQ(pc.events().probability(0), 0.7);
+  // Fact i is annotated with event i.
+  EXPECT_EQ(pc.annotation(0).kind(), BoolFormula::Kind::kVar);
+  EXPECT_EQ(pc.annotation(0).var(), 0u);
+}
+
+TEST(TidInstanceDeathTest, RejectsBadProbability) {
+  TidInstance tid(MakeRst());
+  EXPECT_DEATH(tid.AddFact(0, {0}, 1.5), "CHECK failed");
+}
+
+// The paper's Table 1: trips annotated over events pods (PODS is in
+// Melbourne) and stoc (STOC is in Portland).
+class Table1Test : public ::testing::Test {
+ protected:
+  Table1Test() : ci_(MakeTripSchema()) {
+    pods_ = ci_.events().Register("pods", 0.5);
+    stoc_ = ci_.events().Register("stoc", 0.5);
+    auto var = [](EventId e) { return BoolFormula::Var(e); };
+    auto non = [](const BoolFormula& f) { return BoolFormula::Not(f); };
+    // From, To encoded as dictionary values.
+    cdg_ = 0;
+    mel_ = 1;
+    pdx_ = 2;
+    trip_cdg_mel_ = ci_.AddFact(0, {cdg_, mel_}, var(pods_));
+    trip_mel_cdg_ =
+        ci_.AddFact(0, {mel_, cdg_},
+                    BoolFormula::And(var(pods_), non(var(stoc_))));
+    trip_mel_pdx_ = ci_.AddFact(
+        0, {mel_, pdx_}, BoolFormula::And(var(pods_), var(stoc_)));
+    trip_cdg_pdx_ = ci_.AddFact(
+        0, {cdg_, pdx_}, BoolFormula::And(non(var(pods_)), var(stoc_)));
+    trip_pdx_cdg_ = ci_.AddFact(0, {pdx_, cdg_}, var(stoc_));
+  }
+
+  static Schema MakeTripSchema() {
+    Schema schema;
+    schema.AddRelation("Trip", 2);
+    return schema;
+  }
+
+  CInstance ci_;
+  EventId pods_, stoc_;
+  Value cdg_, mel_, pdx_;
+  FactId trip_cdg_mel_, trip_mel_cdg_, trip_mel_pdx_, trip_cdg_pdx_,
+      trip_pdx_cdg_;
+};
+
+TEST_F(Table1Test, WorldSemantics) {
+  // World pods=1, stoc=0: go to Melbourne and back.
+  Valuation v(2);
+  v.set_value(pods_, true);
+  Instance world = ci_.World(v);
+  EXPECT_EQ(world.NumFacts(), 2u);
+  EXPECT_TRUE(world.Contains(Fact{0, {cdg_, mel_}}));
+  EXPECT_TRUE(world.Contains(Fact{0, {mel_, cdg_}}));
+
+  // World pods=1, stoc=1: CDG -> MEL -> PDX -> CDG.
+  v.set_value(stoc_, true);
+  world = ci_.World(v);
+  EXPECT_EQ(world.NumFacts(), 3u);
+  EXPECT_TRUE(world.Contains(Fact{0, {mel_, pdx_}}));
+  EXPECT_FALSE(world.Contains(Fact{0, {mel_, cdg_}}));
+}
+
+TEST_F(Table1Test, PossibilityAndCertainty) {
+  EXPECT_TRUE(ci_.IsPossible(trip_cdg_mel_));
+  EXPECT_FALSE(ci_.IsCertain(trip_cdg_mel_));
+  // No trip is certain in this instance.
+  for (FactId f = 0; f < ci_.NumFacts(); ++f) {
+    EXPECT_FALSE(ci_.IsCertain(f)) << f;
+  }
+  // A contradictory annotation is impossible.
+  FactId impossible = ci_.AddFact(
+      0, {cdg_, cdg_},
+      BoolFormula::And(BoolFormula::Var(pods_),
+                       BoolFormula::Not(BoolFormula::Var(pods_))));
+  EXPECT_FALSE(ci_.IsPossible(impossible));
+  // A tautological annotation is certain.
+  FactId certain = ci_.AddFact(
+      0, {cdg_, cdg_},
+      BoolFormula::Or(BoolFormula::Var(pods_),
+                      BoolFormula::Not(BoolFormula::Var(pods_))));
+  EXPECT_TRUE(ci_.IsCertain(certain));
+}
+
+TEST_F(Table1Test, EnumerationCoversFourWorlds) {
+  int count = 0;
+  double total = 0.0;
+  ForEachWorld(ci_.events(), [&](const Valuation& v, double p) {
+    (void)v;
+    ++count;
+    total += p;
+  });
+  EXPECT_EQ(count, 4);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST_F(Table1Test, ProbabilityByEnumeration) {
+  // P(the Melbourne->Portland leg is booked) = P(pods & stoc) = 0.25.
+  double p = ProbabilityByEnumeration(
+      ci_.events(), [&](const Valuation& v) {
+        return ci_.annotation(trip_mel_pdx_).Evaluate(v);
+      });
+  EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST_F(Table1Test, PccConversionPreservesWorlds) {
+  PccInstance pcc = PccInstance::FromCInstance(ci_);
+  EXPECT_EQ(pcc.NumFacts(), ci_.NumFacts());
+  for (uint64_t mask = 0; mask < 4; ++mask) {
+    Valuation v = Valuation::FromMask(mask, 2);
+    Instance a = ci_.World(v);
+    Instance b = pcc.World(v);
+    EXPECT_EQ(a.NumFacts(), b.NumFacts()) << mask;
+    for (const Fact& fact : a.facts()) {
+      EXPECT_TRUE(b.Contains(fact));
+    }
+  }
+}
+
+TEST(PccInstanceTest, JointPrimalGraphRespectsAnnotationLinks) {
+  Schema schema;
+  schema.AddRelation("R", 2);
+  PccInstance pcc(schema);
+  EventId e = pcc.events().Register("e", 0.5);
+  GateId g = pcc.circuit().AddVar(e);
+  pcc.AddFact(0, {0, 1}, g);
+  Graph joint = pcc.JointPrimalGraph();
+  // Vertices: elements 0, 1 plus one gate.
+  EXPECT_EQ(joint.NumVertices(), 3u);
+  // Gaifman edge 0-1 plus fact-to-gate links.
+  EXPECT_TRUE(joint.HasEdge(0, 1));
+  EXPECT_TRUE(joint.HasEdge(0, pcc.GateVertex(g)));
+  EXPECT_TRUE(joint.HasEdge(1, pcc.GateVertex(g)));
+}
+
+TEST(PccInstanceTest, SharedAnnotationGatesCreateJointStructure) {
+  // Two facts sharing one annotation gate: the joint graph connects
+  // their elements through the gate vertex, even though the Gaifman
+  // graph alone leaves them disconnected.
+  Schema schema;
+  schema.AddRelation("R", 1);
+  PccInstance pcc(schema);
+  EventId e = pcc.events().Register("e", 0.5);
+  GateId g = pcc.circuit().AddVar(e);
+  pcc.AddFact(0, {0}, g);
+  pcc.AddFact(0, {5}, g);
+  Graph joint = pcc.JointPrimalGraph();
+  EXPECT_TRUE(joint.HasEdge(0, pcc.GateVertex(g)));
+  EXPECT_TRUE(joint.HasEdge(5, pcc.GateVertex(g)));
+  // Instance-only Gaifman graph has no edges at all.
+  EXPECT_TRUE(pcc.instance().GaifmanEdges().empty());
+}
+
+TEST(WorldsDeathTest, TooManyEventsRejected) {
+  EventRegistry registry;
+  for (int i = 0; i < 31; ++i) registry.RegisterAnonymous(0.5);
+  EXPECT_DEATH(
+      ForEachWorld(registry, [](const Valuation&, double) {}),
+      "enumeration");
+}
+
+}  // namespace
+}  // namespace tud
