@@ -1,0 +1,137 @@
+// Perf-trajectory benchmark for the §2.2 automaton pipeline: times the
+// legacy std::set/std::map engine against the compiled bitset engine on
+// determinisation, product, provenance-run and end-to-end workloads,
+// and writes BENCH_automata.json (see bench/harness.h).
+//
+// Usage: bench_automata_json [min_ms_per_workload] [output.json]
+
+#include <cstdlib>
+#include <string>
+
+#include "automata/automaton_library.h"
+#include "automata/compiled_automaton.h"
+#include "automata/provenance_run.h"
+#include "automata/tree_automaton.h"
+#include "harness.h"
+#include "inference/junction_tree.h"
+#include "prxml/to_uncertain_tree.h"
+#include "util/rng.h"
+#include "workloads.h"
+
+namespace tud {
+namespace {
+
+// A dense random NTA sized so that subset construction does real work.
+TreeAutomaton RandomNta(uint64_t seed, uint32_t num_states,
+                        Label alphabet) {
+  Rng rng(seed);
+  TreeAutomaton a(num_states, alphabet);
+  for (Label l = 0; l < alphabet; ++l) {
+    for (State q = 0; q < num_states; ++q) {
+      if (rng.Bernoulli(0.4)) a.AddLeafTransition(l, q);
+    }
+    for (State ql = 0; ql < num_states; ++ql) {
+      for (State qr = 0; qr < num_states; ++qr) {
+        uint64_t count = rng.UniformInt(2);
+        for (uint64_t i = 0; i < count; ++i) {
+          a.AddTransition(l, ql, qr,
+                          static_cast<State>(rng.UniformInt(num_states)));
+        }
+      }
+    }
+  }
+  a.SetAccepting(num_states - 1);
+  return a;
+}
+
+int Main(int argc, char** argv) {
+  const double min_ms = argc > 1 ? std::atof(argv[1]) : 200.0;
+  const std::string out = argc > 2 ? argv[2] : "BENCH_automata.json";
+  bench::Harness harness;
+
+  // --- Determinisation (subset construction). The NTA is sized so the
+  // subset automaton lands in the hundreds of states: big enough that
+  // successor computation dominates, small enough that one legacy
+  // iteration stays under a second.
+  TreeAutomaton nta = RandomNta(11, 9, 2);
+  harness.Register("determinize/legacy_set_map",
+                   [&] { nta.DeterminizeLegacy(); });
+  harness.Register("determinize/compiled_bitset", [&] {
+    CompiledAutomaton::Compile(nta).Determinize();
+  });
+
+  // --- Product (conjunction of two NTAs). -----------------------------
+  TreeAutomaton lhs = RandomNta(21, 12, 4);
+  TreeAutomaton rhs = RandomNta(22, 12, 4);
+  harness.Register("product/legacy_set_map", [&] {
+    TreeAutomaton::ProductLegacy(lhs, rhs, /*conjunction=*/true);
+  });
+  harness.Register("product/compiled_bitset", [&] {
+    CompiledAutomaton::Product(CompiledAutomaton::Compile(lhs),
+                               CompiledAutomaton::Compile(rhs),
+                               /*conjunction=*/true);
+  });
+
+  // --- Provenance run over a PrXML-derived uncertain tree. ------------
+  // The uncertain tree must be rebuilt per iteration (the run grows its
+  // circuit); both arms pay the identical rebuild, and the tree-only
+  // workload records that shared cost.
+  Rng doc_rng(6);
+  PrXmlDocument doc = bench::MakeWikidataPrxml(doc_rng, 128, 1);
+  auto build_tree = [&](XmlLabelMap& labels, Label& dead) {
+    return PrXmlToUncertainTree(doc, labels, &dead);
+  };
+  harness.Register("provenance/tree_build_only", [&] {
+    XmlLabelMap labels;
+    Label dead;
+    build_tree(labels, dead);
+  });
+  harness.Register("provenance/legacy", [&] {
+    XmlLabelMap labels;
+    Label dead;
+    UncertainBinaryTree tree = build_tree(labels, dead);
+    TreeAutomaton combo = TreeAutomaton::Product(
+        MakeExistsLabel(tree.AlphabetSize(), labels.Find("musician")),
+        MakeCountAtLeast(tree.AlphabetSize(), labels.Find("entity"), 2),
+        /*conjunction=*/true);
+    ProvenanceRunLegacy(combo, tree);
+  });
+  harness.Register("provenance/compiled", [&] {
+    XmlLabelMap labels;
+    Label dead;
+    UncertainBinaryTree tree = build_tree(labels, dead);
+    TreeAutomaton combo = TreeAutomaton::Product(
+        MakeExistsLabel(tree.AlphabetSize(), labels.Find("musician")),
+        MakeCountAtLeast(tree.AlphabetSize(), labels.Find("entity"), 2),
+        /*conjunction=*/true);
+    ProvenanceRun(combo, tree);
+  });
+
+  // --- End-to-end §2.2 pipeline (tree + automaton + provenance + JT).
+  harness.Register("pipeline_e2e/boolean_combination", [&] {
+    XmlLabelMap labels;
+    Label dead;
+    UncertainBinaryTree tree = build_tree(labels, dead);
+    TreeAutomaton has_musician =
+        MakeExistsLabel(tree.AlphabetSize(), labels.Find("musician"));
+    TreeAutomaton has_statement =
+        MakeExistsLabel(tree.AlphabetSize(), labels.Find("statement"));
+    TreeAutomaton combo = TreeAutomaton::Product(
+        has_musician, has_statement.Complement(), /*conjunction=*/true);
+    GateId lineage = ProvenanceRun(combo, tree);
+    JunctionTreeProbability(tree.circuit(), lineage, doc.events());
+  });
+
+  std::vector<bench::BenchResult> results = harness.RunAll(min_ms);
+  if (!bench::Harness::WriteJson(results, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tud
+
+int main(int argc, char** argv) { return tud::Main(argc, argv); }

@@ -1,0 +1,90 @@
+#ifndef TUD_BENCH_HARNESS_H_
+#define TUD_BENCH_HARNESS_H_
+
+// Minimal workload-registry harness (the pattern of every serious bench
+// suite: register named, fully-configured workloads once; run them all
+// under one timing policy; emit machine-readable results). Unlike the
+// google-benchmark binaries, this harness exists to produce the
+// *committed perf trajectory*: each run writes a JSON file
+// (e.g. BENCH_automata.json) whose numbers CHANGES.md quotes, so
+// successive PRs can compare like against like.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tud {
+namespace bench {
+
+struct BenchResult {
+  std::string name;
+  double ns_per_iter = 0;
+  uint64_t iters = 0;
+};
+
+class Harness {
+ public:
+  /// Registers a named workload. The callable is one iteration; any
+  /// per-iteration setup it performs is part of the measured time, so
+  /// paired workloads (legacy vs compiled) must do identical setup.
+  void Register(std::string name, std::function<void()> fn) {
+    workloads_.emplace_back(std::move(name), std::move(fn));
+  }
+
+  /// Runs every workload for at least `min_ms` milliseconds (and at
+  /// least one iteration), printing a line per workload.
+  std::vector<BenchResult> RunAll(double min_ms) {
+    using clock = std::chrono::steady_clock;
+    std::vector<BenchResult> results;
+    results.reserve(workloads_.size());
+    for (auto& [name, fn] : workloads_) {
+      const auto start = clock::now();
+      const double budget_ns = min_ms * 1e6;
+      uint64_t iters = 0;
+      double elapsed_ns = 0;
+      do {
+        fn();
+        ++iters;
+        elapsed_ns = std::chrono::duration<double, std::nano>(clock::now() -
+                                                              start)
+                         .count();
+      } while (elapsed_ns < budget_ns);
+      BenchResult r{name, elapsed_ns / static_cast<double>(iters), iters};
+      std::printf("%-40s %12.0f ns/iter  (%llu iters)\n", r.name.c_str(),
+                  r.ns_per_iter, static_cast<unsigned long long>(r.iters));
+      results.push_back(std::move(r));
+    }
+    return results;
+  }
+
+  /// Writes results as a JSON array of {name, ns_per_iter, iters}.
+  static bool WriteJson(const std::vector<BenchResult>& results,
+                        const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"ns_per_iter\": %.1f, "
+                   "\"iters\": %llu}%s\n",
+                   results[i].name.c_str(), results[i].ns_per_iter,
+                   static_cast<unsigned long long>(results[i].iters),
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::function<void()>>> workloads_;
+};
+
+}  // namespace bench
+}  // namespace tud
+
+#endif  // TUD_BENCH_HARNESS_H_

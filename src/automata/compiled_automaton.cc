@@ -1,0 +1,359 @@
+#include "automata/compiled_automaton.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "automata/tree_automaton.h"
+#include "util/check.h"
+
+namespace tud {
+
+namespace {
+
+// Interning table for subset-construction states: subsets live in a flat
+// word arena (one num_words slice per subset) and are looked up by the
+// hash of their words — the bitset replacement for
+// std::map<std::set<State>, State>.
+class SubsetInterner {
+ public:
+  explicit SubsetInterner(size_t num_words) : num_words_(num_words) {}
+
+  State Intern(const uint64_t* words) {
+    if (num_words_ == 0) {
+      // A 0-state automaton has exactly one subset: the empty one.
+      if (count_ == 0) count_ = 1;
+      return 0;
+    }
+    uint64_t h = HashWords(words, num_words_);
+    std::vector<State>& bucket = buckets_[h];
+    for (State id : bucket) {
+      if (EqualWords(SubsetWords(id), words, num_words_)) return id;
+    }
+    TUD_CHECK_LE(count_, 4096u) << "determinisation blow-up";
+    State id = static_cast<State>(count_++);
+    arena_.insert(arena_.end(), words, words + num_words_);
+    bucket.push_back(id);
+    return id;
+  }
+
+  const uint64_t* SubsetWords(State id) const {
+    return arena_.data() + static_cast<size_t>(id) * num_words_;
+  }
+  uint32_t count() const { return count_; }
+
+ private:
+  size_t num_words_;
+  uint32_t count_ = 0;
+  std::vector<uint64_t> arena_;
+  std::unordered_map<uint64_t, std::vector<State>> buckets_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+CompiledAutomaton::Builder::Builder(uint32_t num_states, Label alphabet_size)
+    : num_states_(num_states),
+      alphabet_size_(alphabet_size),
+      accepting_(num_states),
+      leaf_states_(alphabet_size, StateSet(num_states)) {}
+
+void CompiledAutomaton::Builder::AddLeafTransition(Label label, State q) {
+  TUD_CHECK_LT(label, alphabet_size_);
+  TUD_CHECK_LT(q, num_states_);
+  leaf_states_[label].Set(q);
+}
+
+void CompiledAutomaton::Builder::AddTransition(Label label, State q_left,
+                                               State q_right, State q) {
+  TUD_CHECK_LT(label, alphabet_size_);
+  TUD_CHECK_LT(q_left, num_states_);
+  TUD_CHECK_LT(q_right, num_states_);
+  TUD_CHECK_LT(q, num_states_);
+  entries_.push_back({label, q_left, q_right, q});
+}
+
+void CompiledAutomaton::Builder::SetAccepting(State q) {
+  TUD_CHECK_LT(q, num_states_);
+  accepting_.Set(q);
+}
+
+CompiledAutomaton CompiledAutomaton::Builder::Build() && {
+  CompiledAutomaton out;
+  out.num_states_ = num_states_;
+  out.alphabet_size_ = alphabet_size_;
+  out.num_words_ = StateWordsFor(num_states_);
+  out.accepting_ = std::move(accepting_);
+  out.leaf_states_ = std::move(leaf_states_);
+
+  std::sort(entries_.begin(), entries_.end());
+  entries_.erase(std::unique(entries_.begin(), entries_.end()),
+                 entries_.end());
+
+  // Group the sorted quadruples into cells (one per distinct
+  // (label, ql, qr)) with flat target slices and target bitsets.
+  const size_t stride = static_cast<size_t>(num_states_) + 1;
+  out.row_start_.assign(static_cast<size_t>(alphabet_size_) * stride + 1, 0);
+  out.targets_.reserve(entries_.size());
+  for (size_t i = 0; i < entries_.size();) {
+    const Label l = entries_[i][0];
+    const State ql = entries_[i][1];
+    const State qr = entries_[i][2];
+    out.cell_qr_.push_back(qr);
+    out.cell_targets_start_.push_back(
+        static_cast<uint32_t>(out.targets_.size()));
+    const size_t bits_base = out.cell_target_bits_.size();
+    out.cell_target_bits_.resize(bits_base + out.num_words_, 0);
+    while (i < entries_.size() && entries_[i][0] == l &&
+           entries_[i][1] == ql && entries_[i][2] == qr) {
+      const State t = entries_[i][3];
+      out.targets_.push_back(t);
+      SetWordBit(out.cell_target_bits_.data() + bits_base, t);
+      ++i;
+    }
+    // Count the cell in its row; slot +1 so a prefix sum yields begins.
+    ++out.row_start_[static_cast<size_t>(l) * stride + ql + 1];
+  }
+  out.cell_targets_start_.push_back(
+      static_cast<uint32_t>(out.targets_.size()));
+  for (size_t i = 1; i < out.row_start_.size(); ++i) {
+    out.row_start_[i] += out.row_start_[i - 1];
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Compile / rebuild
+// ---------------------------------------------------------------------------
+
+CompiledAutomaton CompiledAutomaton::Compile(const TreeAutomaton& automaton) {
+  Builder builder(automaton.num_states(), automaton.alphabet_size());
+  for (Label l = 0; l < automaton.alphabet_size(); ++l) {
+    for (State q : automaton.LeafStates(l)) builder.AddLeafTransition(l, q);
+  }
+  for (const auto& [key, targets] : automaton.transition_map()) {
+    const auto& [label, ql, qr] = key;
+    for (State t : targets) builder.AddTransition(label, ql, qr, t);
+  }
+  for (State q = 0; q < automaton.num_states(); ++q) {
+    if (automaton.IsAccepting(q)) builder.SetAccepting(q);
+  }
+  return std::move(builder).Build();
+}
+
+TreeAutomaton CompiledAutomaton::ToTreeAutomaton() const {
+  TreeAutomaton out(num_states_, alphabet_size_);
+  for (Label l = 0; l < alphabet_size_; ++l) {
+    leaf_states_[l].ForEach(
+        [&](State q) { out.AddLeafTransition(l, q); });
+    for (State ql = 0; ql < num_states_; ++ql) {
+      for (uint32_t c = RowBegin(l, ql), e = RowEnd(l, ql); c < e; ++c) {
+        const State qr = cell_qr_[c];
+        for (const State* t = CellTargetsBegin(c); t != CellTargetsEnd(c);
+             ++t) {
+          out.AddTransition(l, ql, qr, *t);
+        }
+      }
+    }
+  }
+  accepting_.ForEach([&](State q) { out.SetAccepting(q); });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Runs
+// ---------------------------------------------------------------------------
+
+std::vector<uint64_t> CompiledAutomaton::ReachableWords(
+    const BinaryTree& tree) const {
+  TUD_CHECK_LE(tree.AlphabetSize(), alphabet_size_);
+  std::vector<uint64_t> reach(tree.NumNodes() * num_words_, 0);
+  for (TreeNodeId n = 0; n < tree.NumNodes(); ++n) {
+    uint64_t* out = reach.data() + static_cast<size_t>(n) * num_words_;
+    const Label label = tree.label(n);
+    if (tree.IsLeaf(n)) {
+      const StateSet& leaves = leaf_states_[label];
+      std::copy(leaves.words(), leaves.words() + num_words_, out);
+      continue;
+    }
+    const uint64_t* lw =
+        reach.data() + static_cast<size_t>(tree.left(n)) * num_words_;
+    const uint64_t* rw =
+        reach.data() + static_cast<size_t>(tree.right(n)) * num_words_;
+    ForEachSetBit(lw, num_words_, [&](State ql) {
+      for (uint32_t c = RowBegin(label, ql), e = RowEnd(label, ql); c < e;
+           ++c) {
+        if (TestWordBit(rw, cell_qr_[c])) {
+          OrWords(out, CellTargetWords(c), num_words_);
+        }
+      }
+    });
+  }
+  return reach;
+}
+
+bool CompiledAutomaton::Accepts(const BinaryTree& tree) const {
+  if (tree.NumNodes() == 0) return false;
+  std::vector<uint64_t> reach = ReachableWords(tree);
+  const uint64_t* root =
+      reach.data() + static_cast<size_t>(tree.root()) * num_words_;
+  return IntersectsWords(root, accepting_.words(), num_words_);
+}
+
+bool CompiledAutomaton::IsEmpty() const {
+  StateSet reach(num_states_);
+  for (Label l = 0; l < alphabet_size_; ++l) reach.OrWith(leaf_states_[l]);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Label l = 0; l < alphabet_size_; ++l) {
+      // Snapshot-free iteration is fine: the set only grows, and we loop
+      // to a fixpoint.
+      reach.ForEach([&](State ql) {
+        for (uint32_t c = RowBegin(l, ql), e = RowEnd(l, ql); c < e; ++c) {
+          if (!reach.Test(cell_qr_[c])) continue;
+          const uint64_t* tw = CellTargetWords(c);
+          for (size_t w = 0; w < num_words_; ++w) {
+            uint64_t added = tw[w] & ~reach.words()[w];
+            if (added != 0) {
+              reach.words()[w] |= added;
+              changed = true;
+            }
+          }
+        }
+      });
+    }
+  }
+  return !reach.Intersects(accepting_);
+}
+
+// ---------------------------------------------------------------------------
+// Boolean closure
+// ---------------------------------------------------------------------------
+
+CompiledAutomaton CompiledAutomaton::Product(const CompiledAutomaton& a,
+                                             const CompiledAutomaton& b,
+                                             bool conjunction) {
+  TUD_CHECK_EQ(a.alphabet_size_, b.alphabet_size_);
+  const uint32_t nb = b.num_states_;
+  auto pair_state = [nb](State qa, State qb) { return qa * nb + qb; };
+  Builder builder(a.num_states_ * b.num_states_, a.alphabet_size_);
+
+  for (Label l = 0; l < a.alphabet_size_; ++l) {
+    a.leaf_states_[l].ForEach([&](State qa) {
+      b.leaf_states_[l].ForEach([&](State qb) {
+        builder.AddLeafTransition(l, pair_state(qa, qb));
+      });
+    });
+    // Cell-by-cell cross product: only pairs of *existing* cells are
+    // visited, never the full state square.
+    for (State al = 0; al < a.num_states_; ++al) {
+      const uint32_t a_end = a.RowEnd(l, al);
+      for (uint32_t ca = a.RowBegin(l, al); ca < a_end; ++ca) {
+        const State ar = a.cell_qr_[ca];
+        for (State bl = 0; bl < b.num_states_; ++bl) {
+          const uint32_t b_end = b.RowEnd(l, bl);
+          for (uint32_t cb = b.RowBegin(l, bl); cb < b_end; ++cb) {
+            const State br = b.cell_qr_[cb];
+            for (const State* ta = a.CellTargetsBegin(ca);
+                 ta != a.CellTargetsEnd(ca); ++ta) {
+              for (const State* tb = b.CellTargetsBegin(cb);
+                   tb != b.CellTargetsEnd(cb); ++tb) {
+                builder.AddTransition(l, pair_state(al, bl),
+                                      pair_state(ar, br),
+                                      pair_state(*ta, *tb));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  for (State qa = 0; qa < a.num_states_; ++qa) {
+    for (State qb = 0; qb < b.num_states_; ++qb) {
+      const bool acc_a = a.accepting_.Test(qa);
+      const bool acc_b = b.accepting_.Test(qb);
+      if (conjunction ? (acc_a && acc_b) : (acc_a || acc_b)) {
+        builder.SetAccepting(pair_state(qa, qb));
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+CompiledAutomaton CompiledAutomaton::Determinize() const {
+  SubsetInterner interner(num_words_);
+
+  // Leaf subsets per label.
+  std::vector<std::pair<Label, State>> det_leaves;
+  det_leaves.reserve(alphabet_size_);
+  for (Label l = 0; l < alphabet_size_; ++l) {
+    det_leaves.emplace_back(l, interner.Intern(leaf_states_[l].words()));
+  }
+
+  // Saturate: apply every label to every pair of known subsets until no
+  // new subset appears. Successors are word ORs over CSR cells.
+  std::vector<std::array<uint32_t, 4>> det_transitions;
+  std::unordered_set<uint64_t> done;
+  std::vector<uint64_t> successor(num_words_, 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const uint32_t count = interner.count();
+    for (Label l = 0; l < alphabet_size_; ++l) {
+      for (State i = 0; i < count; ++i) {
+        for (State j = 0; j < count; ++j) {
+          // Subset ids are capped at 4096 < 2^13.
+          const uint64_t key =
+              (static_cast<uint64_t>(l) << 26) | (uint64_t{i} << 13) | j;
+          if (!done.insert(key).second) continue;
+          std::fill(successor.begin(), successor.end(), 0);
+          const uint64_t* sj = interner.SubsetWords(j);
+          ForEachSetBit(interner.SubsetWords(i), num_words_, [&](State ql) {
+            for (uint32_t c = RowBegin(l, ql), e = RowEnd(l, ql); c < e;
+                 ++c) {
+              if (TestWordBit(sj, cell_qr_[c])) {
+                OrWords(successor.data(), CellTargetWords(c), num_words_);
+              }
+            }
+          });
+          const uint32_t before = interner.count();
+          const State target = interner.Intern(successor.data());
+          det_transitions.push_back({l, i, j, target});
+          if (interner.count() != before) changed = true;
+        }
+      }
+    }
+    if (interner.count() != count) changed = true;
+  }
+
+  Builder builder(interner.count(), alphabet_size_);
+  for (const auto& [l, q] : det_leaves) builder.AddLeafTransition(l, q);
+  for (const auto& t : det_transitions) {
+    builder.AddTransition(t[0], t[1], t[2], t[3]);
+  }
+  for (State id = 0; id < interner.count(); ++id) {
+    if (num_words_ > 0 && IntersectsWords(interner.SubsetWords(id),
+                                          accepting_.words(), num_words_)) {
+      builder.SetAccepting(id);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+CompiledAutomaton CompiledAutomaton::Complement() const {
+  CompiledAutomaton det = Determinize();
+  // The subset construction is complete, so flipping accepting states
+  // complements the language.
+  StateSet flipped(det.num_states_);
+  for (State q = 0; q < det.num_states_; ++q) {
+    if (!det.accepting_.Test(q)) flipped.Set(q);
+  }
+  det.accepting_ = std::move(flipped);
+  return det;
+}
+
+}  // namespace tud

@@ -1,0 +1,150 @@
+#ifndef TUD_AUTOMATA_COMPILED_AUTOMATON_H_
+#define TUD_AUTOMATA_COMPILED_AUTOMATON_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "automata/binary_tree.h"
+#include "automata/state_set.h"
+
+namespace tud {
+
+class TreeAutomaton;
+using State = uint32_t;
+
+/// A TreeAutomaton lowered to dense, pre-indexed tables: the evaluation
+/// engine of the hot §2.2 pipeline.
+///
+/// Layout:
+///  - per-label leaf-state bitsets (`leaf_states`),
+///  - per-label transition tables in CSR form: for each label, rows
+///    indexed by q_left; each row holds its (q_right, cell) entries in
+///    ascending q_right order; each cell owns a flat slice of target
+///    states plus a precomputed target *bitset* slice, so propagating a
+///    cell into a reachable-state accumulator is `num_words` OR
+///    operations.
+///
+/// All engine operations — runs, product, union, subset-construction
+/// determinisation, emptiness — work on uint64_t words (see
+/// state_set.h) instead of std::set<State>; determinisation interns
+/// subset states by hashing their words rather than keeping a
+/// std::map<std::set<State>, State>. The std::map-based TreeAutomaton
+/// remains the *construction* interface (and the reference
+/// implementation for cross-checking); its public run/closure entry
+/// points lower to this engine.
+class CompiledAutomaton {
+ public:
+  /// Incremental construction; transitions may arrive in any order.
+  /// Build() sorts them into CSR form. Duplicate (label, ql, qr, q)
+  /// entries are deduplicated.
+  class Builder {
+   public:
+    Builder(uint32_t num_states, Label alphabet_size);
+
+    void AddLeafTransition(Label label, State q);
+    void AddTransition(Label label, State q_left, State q_right, State q);
+    void SetAccepting(State q);
+
+    CompiledAutomaton Build() &&;
+
+   private:
+    uint32_t num_states_;
+    Label alphabet_size_;
+    StateSet accepting_;
+    std::vector<StateSet> leaf_states_;
+    // (label, ql, qr, target) quadruples, packed for sorting.
+    std::vector<std::array<uint32_t, 4>> entries_;
+  };
+
+  /// Lowers `automaton` into the dense representation.
+  static CompiledAutomaton Compile(const TreeAutomaton& automaton);
+
+  uint32_t num_states() const { return num_states_; }
+  Label alphabet_size() const { return alphabet_size_; }
+  /// Words per state bitset (StateWordsFor(num_states())).
+  size_t num_words() const { return num_words_; }
+
+  const StateSet& accepting() const { return accepting_; }
+  bool IsAccepting(State q) const { return accepting_.Test(q); }
+  const StateSet& leaf_states(Label label) const {
+    return leaf_states_[label];
+  }
+
+  // --- CSR transition-table access -------------------------------------
+  // Cells of label l, row ql live at indices [RowBegin(l, ql),
+  // RowEnd(l, ql)) and are sorted by q_right.
+
+  uint32_t RowBegin(Label label, State q_left) const {
+    return row_start_[static_cast<size_t>(label) * (num_states_ + 1) +
+                      q_left];
+  }
+  uint32_t RowEnd(Label label, State q_left) const {
+    return row_start_[static_cast<size_t>(label) * (num_states_ + 1) +
+                      q_left + 1];
+  }
+  State CellRight(uint32_t cell) const { return cell_qr_[cell]; }
+  /// Flat slice of the cell's target states, ascending.
+  const State* CellTargetsBegin(uint32_t cell) const {
+    return targets_.data() + cell_targets_start_[cell];
+  }
+  const State* CellTargetsEnd(uint32_t cell) const {
+    return targets_.data() + cell_targets_start_[cell + 1];
+  }
+  /// The cell's targets as a bitset slice of num_words() words.
+  const uint64_t* CellTargetWords(uint32_t cell) const {
+    return cell_target_bits_.data() + static_cast<size_t>(cell) * num_words_;
+  }
+  size_t NumCells() const { return cell_qr_.size(); }
+
+  // --- Engine operations ------------------------------------------------
+
+  /// Bottom-up bitset run: one num_words() slice per tree node, ascending
+  /// node id (the arena replaces std::vector<std::set<State>>).
+  std::vector<uint64_t> ReachableWords(const BinaryTree& tree) const;
+
+  /// True iff some run reaches an accepting state at the root.
+  bool Accepts(const BinaryTree& tree) const;
+
+  /// True iff the accepted language is empty (bitset fixpoint).
+  bool IsEmpty() const;
+
+  /// Product construction over CSR cells only (never enumerates the
+  /// full q_left × q_right square). `conjunction` selects intersection
+  /// vs union acceptance, as in TreeAutomaton::Product.
+  static CompiledAutomaton Product(const CompiledAutomaton& a,
+                                   const CompiledAutomaton& b,
+                                   bool conjunction);
+
+  /// Subset construction on bitset words; subset states are interned by
+  /// word hash. The result is complete and deterministic (every cell has
+  /// exactly one target). Aborts beyond 4096 subset states, like the
+  /// reference implementation.
+  CompiledAutomaton Determinize() const;
+
+  /// Determinise, then flip accepting states.
+  CompiledAutomaton Complement() const;
+
+  /// Rebuilds the std::map-based representation (for callers that want
+  /// to keep composing through the TreeAutomaton API).
+  TreeAutomaton ToTreeAutomaton() const;
+
+ private:
+  CompiledAutomaton() = default;
+
+  uint32_t num_states_ = 0;
+  Label alphabet_size_ = 0;
+  size_t num_words_ = 0;
+  StateSet accepting_;
+  std::vector<StateSet> leaf_states_;         // Indexed by label.
+  std::vector<uint32_t> row_start_;           // alphabet*(num_states+1)+1.
+  std::vector<State> cell_qr_;                // Per cell.
+  std::vector<uint32_t> cell_targets_start_;  // Per cell, into targets_.
+  std::vector<State> targets_;                // Flat target states.
+  std::vector<uint64_t> cell_target_bits_;    // num_cells * num_words_.
+};
+
+}  // namespace tud
+
+#endif  // TUD_AUTOMATA_COMPILED_AUTOMATON_H_

@@ -2,12 +2,120 @@
 
 #include <vector>
 
+#include "automata/state_set.h"
 #include "util/check.h"
 
 namespace tud {
 
+GateId ProvenanceRun(const CompiledAutomaton& automaton,
+                     UncertainBinaryTree& tree) {
+  TUD_CHECK_GT(tree.NumNodes(), 0u);
+  TUD_CHECK_LE(tree.AlphabetSize(), automaton.alphabet_size());
+  BoolCircuit& circuit = tree.circuit();
+  const uint32_t num_states = automaton.num_states();
+  const size_t num_words = automaton.num_words();
+  const size_t num_nodes = tree.NumNodes();
+
+  // Pass 1: per-node possible-state bitsets — the states reachable at
+  // each node in *some* world (union over label alternatives). Gates are
+  // only emitted for possible states; for impossible ones the legacy
+  // construction emitted OR() = const-false gates that every downstream
+  // AND folded away, so skipping them is semantics-preserving.
+  std::vector<uint64_t> possible(num_nodes * num_words, 0);
+  for (TreeNodeId n = 0; n < num_nodes; ++n) {
+    uint64_t* out = possible.data() + static_cast<size_t>(n) * num_words;
+    if (tree.IsLeaf(n)) {
+      for (const auto& [label, guard] : tree.alternatives(n)) {
+        (void)guard;
+        OrWords(out, automaton.leaf_states(label).words(), num_words);
+      }
+      continue;
+    }
+    const uint64_t* lw =
+        possible.data() + static_cast<size_t>(tree.left(n)) * num_words;
+    const uint64_t* rw =
+        possible.data() + static_cast<size_t>(tree.right(n)) * num_words;
+    for (const auto& [label, guard] : tree.alternatives(n)) {
+      (void)guard;
+      ForEachSetBit(lw, num_words, [&](State ql) {
+        for (uint32_t c = automaton.RowBegin(label, ql),
+                      e = automaton.RowEnd(label, ql);
+             c < e; ++c) {
+          if (TestWordBit(rw, automaton.CellRight(c))) {
+            OrWords(out, automaton.CellTargetWords(c), num_words);
+          }
+        }
+      });
+    }
+  }
+
+  // Pass 2: emit gates bottom-up. reach is a flat (node, state) arena;
+  // disjunct lists and the AND scratch are reused across nodes so the
+  // loop allocates only when the circuit itself grows.
+  circuit.Reserve(circuit.NumGates() +
+                  num_nodes * (static_cast<size_t>(num_states) + 2));
+  const GateId false_gate = circuit.AddConst(false);
+  std::vector<GateId> reach(num_nodes * num_states, false_gate);
+  std::vector<std::vector<GateId>> disjuncts(num_states);
+  std::vector<GateId> scratch;
+  for (TreeNodeId n = 0; n < num_nodes; ++n) {
+    const uint64_t* poss =
+        possible.data() + static_cast<size_t>(n) * num_words;
+    if (tree.IsLeaf(n)) {
+      for (const auto& [label, guard] : tree.alternatives(n)) {
+        automaton.leaf_states(label).ForEach(
+            [&, g = guard](State q) { disjuncts[q].push_back(g); });
+      }
+    } else {
+      const TreeNodeId left = tree.left(n);
+      const TreeNodeId right = tree.right(n);
+      const uint64_t* lposs =
+          possible.data() + static_cast<size_t>(left) * num_words;
+      const uint64_t* rposs =
+          possible.data() + static_cast<size_t>(right) * num_words;
+      for (const auto& [label, guard] : tree.alternatives(n)) {
+        ForEachSetBit(lposs, num_words, [&, g = guard](State ql) {
+          const GateId gl = reach[left * num_states + ql];
+          for (uint32_t c = automaton.RowBegin(label, ql),
+                        e = automaton.RowEnd(label, ql);
+               c < e; ++c) {
+            const State qr = automaton.CellRight(c);
+            if (!TestWordBit(rposs, qr)) continue;
+            const GateId gr = reach[right * num_states + qr];
+            scratch.assign({g, gl, gr});
+            const GateId conj = circuit.AddAndInPlace(scratch);
+            for (const State* t = automaton.CellTargetsBegin(c);
+                 t != automaton.CellTargetsEnd(c); ++t) {
+              disjuncts[*t].push_back(conj);
+            }
+          }
+        });
+      }
+    }
+    ForEachSetBit(poss, num_words, [&](State q) {
+      reach[n * num_states + q] = circuit.AddOrInPlace(disjuncts[q]);
+      disjuncts[q].clear();
+    });
+  }
+
+  std::vector<GateId> accepting;
+  const uint64_t* root_poss =
+      possible.data() + static_cast<size_t>(tree.root()) * num_words;
+  automaton.accepting().ForEach([&](State q) {
+    if (TestWordBit(root_poss, q)) {
+      accepting.push_back(reach[tree.root() * num_states + q]);
+    }
+  });
+  return circuit.AddOrInPlace(accepting);
+}
+
 GateId ProvenanceRun(const TreeAutomaton& automaton,
                      UncertainBinaryTree& tree) {
+  return ProvenanceRun(CompiledAutomaton::Compile(automaton), tree);
+}
+
+GateId ProvenanceRunLegacy(const TreeAutomaton& automaton,
+                           UncertainBinaryTree& tree) {
   TUD_CHECK_GT(tree.NumNodes(), 0u);
   TUD_CHECK_LE(tree.AlphabetSize(), automaton.alphabet_size());
   BoolCircuit& circuit = tree.circuit();

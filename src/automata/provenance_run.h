@@ -1,6 +1,7 @@
 #ifndef TUD_AUTOMATA_PROVENANCE_RUN_H_
 #define TUD_AUTOMATA_PROVENANCE_RUN_H_
 
+#include "automata/compiled_automaton.h"
 #include "automata/tree_automaton.h"
 #include "automata/uncertain_tree.h"
 #include "circuits/bool_circuit.h"
@@ -27,8 +28,24 @@ namespace tud {
 /// gates for node n only read gates of n's children, so the lineage
 /// circuit has a tree decomposition following the tree with bag size
 /// O(num_states): bounded-width inputs yield bounded-width lineages.
+///
+/// The compiled overload is the production path: a single bottom-up pass
+/// over the CSR transition tables that first computes per-node
+/// possible-state bitsets (so provably-unreachable (q_left, q_right)
+/// pairs emit nothing), keeps all per-node gate lists in reused scratch
+/// buffers, and batch-reserves circuit capacity before emitting.
+GateId ProvenanceRun(const CompiledAutomaton& automaton,
+                     UncertainBinaryTree& tree);
+
+/// Convenience overload: compiles `automaton` and runs the fast path.
 GateId ProvenanceRun(const TreeAutomaton& automaton,
                      UncertainBinaryTree& tree);
+
+/// The original per-node std::set construction, kept as the reference
+/// implementation for the equivalence tests and the bench harness
+/// baseline. Semantically identical to ProvenanceRun.
+GateId ProvenanceRunLegacy(const TreeAutomaton& automaton,
+                           UncertainBinaryTree& tree);
 
 }  // namespace tud
 

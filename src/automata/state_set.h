@@ -1,0 +1,129 @@
+#ifndef TUD_AUTOMATA_STATE_SET_H_
+#define TUD_AUTOMATA_STATE_SET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tud {
+
+/// Word-level helpers shared by StateSet and the flat word arenas of the
+/// compiled automaton engine (reach tables store one `num_words` slice
+/// per tree node rather than one heap-allocated set per node).
+
+inline size_t StateWordsFor(uint32_t num_bits) {
+  return (static_cast<size_t>(num_bits) + 63) / 64;
+}
+
+inline bool TestWordBit(const uint64_t* words, uint32_t i) {
+  return (words[i >> 6] >> (i & 63)) & 1;
+}
+
+inline void SetWordBit(uint64_t* words, uint32_t i) {
+  words[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+inline void OrWords(uint64_t* dst, const uint64_t* src, size_t num_words) {
+  for (size_t w = 0; w < num_words; ++w) dst[w] |= src[w];
+}
+
+inline bool AnyWord(const uint64_t* words, size_t num_words) {
+  for (size_t w = 0; w < num_words; ++w) {
+    if (words[w] != 0) return true;
+  }
+  return false;
+}
+
+inline bool IntersectsWords(const uint64_t* a, const uint64_t* b,
+                            size_t num_words) {
+  for (size_t w = 0; w < num_words; ++w) {
+    if ((a[w] & b[w]) != 0) return true;
+  }
+  return false;
+}
+
+inline bool EqualWords(const uint64_t* a, const uint64_t* b,
+                       size_t num_words) {
+  for (size_t w = 0; w < num_words; ++w) {
+    if (a[w] != b[w]) return false;
+  }
+  return true;
+}
+
+inline uint64_t HashWords(const uint64_t* words, size_t num_words) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (size_t w = 0; w < num_words; ++w) {
+    h ^= words[w];
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+  }
+  return h;
+}
+
+/// Calls `fn(index)` for every set bit, in ascending index order.
+template <typename Fn>
+inline void ForEachSetBit(const uint64_t* words, size_t num_words, Fn fn) {
+  for (size_t w = 0; w < num_words; ++w) {
+    uint64_t bits = words[w];
+    while (bits != 0) {
+      uint32_t b = static_cast<uint32_t>(std::countr_zero(bits));
+      fn(static_cast<uint32_t>(w * 64 + b));
+      bits &= bits - 1;
+    }
+  }
+}
+
+/// A dynamic bitset over automaton states, backed by uint64_t words.
+///
+/// This is the state representation of the compiled automaton engine:
+/// reachable-state sets, leaf-transition sets and subset-construction
+/// states are all StateSets, so membership, union and equality are word
+/// operations instead of std::set node traversals.
+class StateSet {
+ public:
+  StateSet() = default;
+  explicit StateSet(uint32_t num_bits)
+      : num_bits_(num_bits), words_(StateWordsFor(num_bits), 0) {}
+
+  uint32_t num_bits() const { return num_bits_; }
+  size_t num_words() const { return words_.size(); }
+  uint64_t* words() { return words_.data(); }
+  const uint64_t* words() const { return words_.data(); }
+
+  void Set(uint32_t i) { SetWordBit(words_.data(), i); }
+  bool Test(uint32_t i) const { return TestWordBit(words_.data(), i); }
+  void Clear() { words_.assign(words_.size(), 0); }
+
+  bool Any() const { return AnyWord(words_.data(), words_.size()); }
+  uint32_t Count() const {
+    uint32_t count = 0;
+    for (uint64_t w : words_) count += std::popcount(w);
+    return count;
+  }
+
+  void OrWith(const StateSet& other) {
+    tud::OrWords(words_.data(), other.words_.data(), words_.size());
+  }
+  bool Intersects(const StateSet& other) const {
+    return IntersectsWords(words_.data(), other.words_.data(),
+                           words_.size());
+  }
+
+  uint64_t Hash() const { return HashWords(words_.data(), words_.size()); }
+
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    ForEachSetBit(words_.data(), words_.size(), fn);
+  }
+
+  bool operator==(const StateSet&) const = default;
+
+ private:
+  uint32_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace tud
+
+#endif  // TUD_AUTOMATA_STATE_SET_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "automata/compiled_automaton.h"
 #include "util/check.h"
 
 namespace tud {
@@ -65,6 +66,10 @@ std::vector<std::set<State>> TreeAutomaton::ReachableStates(
 }
 
 bool TreeAutomaton::Accepts(const BinaryTree& tree) const {
+  return CompiledAutomaton::Compile(*this).Accepts(tree);
+}
+
+bool TreeAutomaton::AcceptsLegacy(const BinaryTree& tree) const {
   if (tree.NumNodes() == 0) return false;
   std::vector<std::set<State>> reach = ReachableStates(tree);
   for (State q : reach[tree.root()]) {
@@ -76,6 +81,15 @@ bool TreeAutomaton::Accepts(const BinaryTree& tree) const {
 TreeAutomaton TreeAutomaton::Product(const TreeAutomaton& a,
                                      const TreeAutomaton& b,
                                      bool conjunction) {
+  return CompiledAutomaton::Product(CompiledAutomaton::Compile(a),
+                                    CompiledAutomaton::Compile(b),
+                                    conjunction)
+      .ToTreeAutomaton();
+}
+
+TreeAutomaton TreeAutomaton::ProductLegacy(const TreeAutomaton& a,
+                                           const TreeAutomaton& b,
+                                           bool conjunction) {
   TUD_CHECK_EQ(a.alphabet_size_, b.alphabet_size_);
   const uint32_t nb = b.num_states_;
   auto pair_state = [nb](State qa, State qb) { return qa * nb + qb; };
@@ -116,6 +130,10 @@ TreeAutomaton TreeAutomaton::Product(const TreeAutomaton& a,
 }
 
 TreeAutomaton TreeAutomaton::Determinize() const {
+  return CompiledAutomaton::Compile(*this).Determinize().ToTreeAutomaton();
+}
+
+TreeAutomaton TreeAutomaton::DeterminizeLegacy() const {
   // Subset construction: deterministic states are the reachable subsets
   // of this automaton's states. The result is complete (the empty subset
   // is a valid sink), so flipping accepting states complements.
@@ -184,42 +202,11 @@ TreeAutomaton TreeAutomaton::Determinize() const {
 }
 
 TreeAutomaton TreeAutomaton::Complement() const {
-  TreeAutomaton det = Determinize();
-  TreeAutomaton out(det.num_states_, det.alphabet_size_);
-  out.leaf_transitions_ = det.leaf_transitions_;
-  out.transitions_ = det.transitions_;
-  out.accepting_.assign(det.num_states_, false);
-  for (State q = 0; q < det.num_states_; ++q) {
-    bool acc = q < det.accepting_.size() && det.accepting_[q];
-    out.accepting_[q] = !acc;
-  }
-  return out;
+  return CompiledAutomaton::Compile(*this).Complement().ToTreeAutomaton();
 }
 
 bool TreeAutomaton::IsEmpty() const {
-  std::vector<bool> reachable(num_states_, false);
-  for (Label l = 0; l < alphabet_size_; ++l) {
-    for (State q : LeafStates(l)) reachable[q] = true;
-  }
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const auto& [key, targets] : transitions_) {
-      const auto& [label, ql, qr] = key;
-      (void)label;
-      if (!reachable[ql] || !reachable[qr]) continue;
-      for (State q : targets) {
-        if (!reachable[q]) {
-          reachable[q] = true;
-          changed = true;
-        }
-      }
-    }
-  }
-  for (State q = 0; q < num_states_; ++q) {
-    if (reachable[q] && q < accepting_.size() && accepting_[q]) return false;
-  }
-  return true;
+  return CompiledAutomaton::Compile(*this).IsEmpty();
 }
 
 }  // namespace tud

@@ -26,6 +26,12 @@ using State = uint32_t;
 /// complement via subset-construction determinisation) and emptiness —
 /// enough to combine the hand-compiled MSO-property automata of
 /// automaton_library.h into arbitrary Boolean queries.
+///
+/// The std::map/std::set representation here is the *construction*
+/// interface and the reference implementation; the public run and
+/// closure operations lower to the bitset-table engine of
+/// compiled_automaton.h (the `*Legacy` entry points keep the original
+/// set-based algorithms for cross-checking and as a baseline).
 class TreeAutomaton {
  public:
   TreeAutomaton(uint32_t num_states, Label alphabet_size)
@@ -50,20 +56,25 @@ class TreeAutomaton {
   const std::vector<State>& Transitions(Label label, State q_left,
                                         State q_right) const;
 
-  /// Set-based nondeterministic run; true iff some run reaches an
-  /// accepting state at the root.
+  /// Nondeterministic run via the compiled bitset engine; true iff some
+  /// run reaches an accepting state at the root.
   bool Accepts(const BinaryTree& tree) const;
 
   /// The set of states reachable at each node of `tree` (bottom-up).
+  /// This is the original std::set-based run, kept as the reference
+  /// implementation that the compiled engine is cross-checked against.
   std::vector<std::set<State>> ReachableStates(const BinaryTree& tree) const;
 
   /// Product automaton: accepts the intersection (`conjunction` = true)
   /// or union (false) of the two languages. Alphabets must agree.
+  /// Lowers both operands to the compiled engine and crosses transition
+  /// cells, never the full state square.
   static TreeAutomaton Product(const TreeAutomaton& a, const TreeAutomaton& b,
                                bool conjunction);
 
   /// Subset-construction determinisation; the result is a *complete*
   /// deterministic automaton with at most 2^n reachable subset states.
+  /// Runs on bitset words with hash interning of subset states.
   TreeAutomaton Determinize() const;
 
   /// Complement: determinise, then flip accepting states.
@@ -71,6 +82,21 @@ class TreeAutomaton {
 
   /// True iff the accepted language is empty (reachability check).
   bool IsEmpty() const;
+
+  /// Reference (seed) implementations of the closure operations, kept
+  /// for equivalence tests and as the baseline of the bench harness.
+  static TreeAutomaton ProductLegacy(const TreeAutomaton& a,
+                                     const TreeAutomaton& b,
+                                     bool conjunction);
+  TreeAutomaton DeterminizeLegacy() const;
+  bool AcceptsLegacy(const BinaryTree& tree) const;
+
+  /// Read access to the raw transition table (used when lowering to the
+  /// compiled representation).
+  const std::map<std::tuple<Label, State, State>, std::vector<State>>&
+  transition_map() const {
+    return transitions_;
+  }
 
  private:
   uint32_t num_states_;

@@ -97,36 +97,30 @@ BddRef BddManager::FromCircuit(const BoolCircuit& circuit, GateId root,
 
 double BddManager::Wmc(BddRef f, const std::vector<double>& level_prob) {
   TUD_CHECK_GE(level_prob.size(), num_levels_);
-  std::unordered_map<BddRef, double> memo;
+  // BddRefs are dense 0..NumNodes(), so the memo is a flat table with a
+  // computed-flag sidecar rather than an unordered_map.
+  std::vector<double> memo(nodes_.size(), 0.0);
+  std::vector<char> computed(nodes_.size(), 0);
+  memo[kBddTrue] = 1.0;
+  computed[kBddFalse] = computed[kBddTrue] = 1;
   // Iterative post-order to avoid recursion depth issues.
   std::vector<BddRef> stack = {f};
   while (!stack.empty()) {
     BddRef n = stack.back();
-    if (n == kBddFalse) {
-      memo[n] = 0.0;
-      stack.pop_back();
-      continue;
-    }
-    if (n == kBddTrue) {
-      memo[n] = 1.0;
-      stack.pop_back();
-      continue;
-    }
-    if (memo.contains(n)) {
+    if (computed[n]) {
       stack.pop_back();
       continue;
     }
     BddRef lo = nodes_[n].low;
     BddRef hi = nodes_[n].high;
-    auto lo_it = memo.find(lo);
-    auto hi_it = memo.find(hi);
-    if (lo_it != memo.end() && hi_it != memo.end()) {
+    if (computed[lo] && computed[hi]) {
       double p = level_prob[nodes_[n].level];
-      memo[n] = (1.0 - p) * lo_it->second + p * hi_it->second;
+      memo[n] = (1.0 - p) * memo[lo] + p * memo[hi];
+      computed[n] = 1;
       stack.pop_back();
     } else {
-      if (lo_it == memo.end()) stack.push_back(lo);
-      if (hi_it == memo.end()) stack.push_back(hi);
+      if (!computed[lo]) stack.push_back(lo);
+      if (!computed[hi]) stack.push_back(hi);
     }
   }
   return memo[f];
@@ -135,30 +129,31 @@ double BddManager::Wmc(BddRef f, const std::vector<double>& level_prob) {
 uint64_t BddManager::CountModels(BddRef f) {
   // models(n) = #assignments of levels (level(n), num_levels) satisfying,
   // scaled so the answer at a virtual root above level 0 is exact.
-  std::unordered_map<BddRef, uint64_t> memo;
-  std::vector<BddRef> stack = {f};
-  memo[kBddFalse] = 0;
+  // Flat tables indexed by the dense BddRef replace the hash memo.
+  std::vector<uint64_t> memo(nodes_.size(), 0);
+  std::vector<char> computed(nodes_.size(), 0);
   memo[kBddTrue] = 1;
+  computed[kBddFalse] = computed[kBddTrue] = 1;
+  std::vector<BddRef> stack = {f};
   while (!stack.empty()) {
     BddRef n = stack.back();
-    if (memo.contains(n)) {
+    if (computed[n]) {
       stack.pop_back();
       continue;
     }
     BddRef lo = nodes_[n].low;
     BddRef hi = nodes_[n].high;
-    auto lo_it = memo.find(lo);
-    auto hi_it = memo.find(hi);
-    if (lo_it != memo.end() && hi_it != memo.end()) {
-      uint64_t lo_scaled = lo_it->second
+    if (computed[lo] && computed[hi]) {
+      uint64_t lo_scaled = memo[lo]
                            << (nodes_[lo].level - nodes_[n].level - 1);
-      uint64_t hi_scaled = hi_it->second
+      uint64_t hi_scaled = memo[hi]
                            << (nodes_[hi].level - nodes_[n].level - 1);
       memo[n] = lo_scaled + hi_scaled;
+      computed[n] = 1;
       stack.pop_back();
     } else {
-      if (lo_it == memo.end()) stack.push_back(lo);
-      if (hi_it == memo.end()) stack.push_back(hi);
+      if (!computed[lo]) stack.push_back(lo);
+      if (!computed[hi]) stack.push_back(hi);
     }
   }
   return memo[f] << nodes_[f].level;
@@ -167,11 +162,17 @@ uint64_t BddManager::CountModels(BddRef f) {
 BddRef BddManager::Restrict(BddRef f, uint32_t level, bool value) {
   TUD_CHECK_LT(level, num_levels_);
   if (nodes_[f].level > level) return f;  // Variable below f's support.
-  std::unordered_map<BddRef, BddRef> memo;
+  // Flat memo over the refs that exist on entry; MakeNode may append
+  // nodes during the walk, but recursion only ever visits descendants of
+  // f, which all predate the call. Sizing by the whole manager trades
+  // O(total nodes) zero-fill per call for O(1) probes — the right trade
+  // while callers restrict roots comparable in size to the manager; a
+  // cone-sized sparse memo would win for tiny cones in huge managers.
+  constexpr BddRef kUnset = UINT32_MAX;
+  std::vector<BddRef> memo(nodes_.size(), kUnset);
   std::function<BddRef(BddRef)> rec = [&](BddRef g) -> BddRef {
     if (IsTerminal(g) || nodes_[g].level > level) return g;
-    auto it = memo.find(g);
-    if (it != memo.end()) return it->second;
+    if (memo[g] != kUnset) return memo[g];
     BddRef result;
     if (nodes_[g].level == level) {
       result = value ? nodes_[g].high : nodes_[g].low;
@@ -179,7 +180,7 @@ BddRef BddManager::Restrict(BddRef f, uint32_t level, bool value) {
       result = MakeNode(nodes_[g].level, rec(nodes_[g].low),
                         rec(nodes_[g].high));
     }
-    memo.emplace(g, result);
+    memo[g] = result;
     return result;
   };
   return rec(f);

@@ -6,24 +6,64 @@
 
 namespace tud {
 
-size_t BoolCircuit::HashKeyHasher::operator()(const HashKey& key) const {
-  size_t h = static_cast<size_t>(key.kind) * 0x9e3779b97f4a7c15ULL;
-  h ^= key.var + 0x9e3779b9 + (h << 6) + (h >> 2);
-  for (GateId g : key.inputs) {
-    h ^= g + 0x9e3779b9 + (h << 6) + (h >> 2);
+namespace {
+
+size_t HashGateKey(GateKind kind, EventId var, const GateId* inputs,
+                   size_t num_inputs) {
+  size_t h = static_cast<size_t>(kind) * 0x9e3779b97f4a7c15ULL;
+  h ^= var + 0x9e3779b9 + (h << 6) + (h >> 2);
+  for (size_t i = 0; i < num_inputs; ++i) {
+    h ^= inputs[i] + 0x9e3779b9 + (h << 6) + (h >> 2);
   }
   return h;
 }
 
+}  // namespace
+
+size_t BoolCircuit::HashKeyHasher::operator()(const HashKey& key) const {
+  return HashGateKey(key.kind, key.var, key.inputs.data(),
+                     key.inputs.size());
+}
+
+size_t BoolCircuit::HashKeyHasher::operator()(const HashKeyView& key) const {
+  return HashGateKey(key.kind, key.var, key.inputs, key.num_inputs);
+}
+
+bool BoolCircuit::HashKeyEq::operator()(const HashKey& a,
+                                        const HashKey& b) const {
+  return a.kind == b.kind && a.var == b.var && a.inputs == b.inputs;
+}
+
+bool BoolCircuit::HashKeyEq::operator()(const HashKeyView& a,
+                                        const HashKey& b) const {
+  return a.kind == b.kind && a.var == b.var &&
+         std::equal(a.inputs, a.inputs + a.num_inputs, b.inputs.begin(),
+                    b.inputs.end());
+}
+
+bool BoolCircuit::HashKeyEq::operator()(const HashKey& a,
+                                        const HashKeyView& b) const {
+  return operator()(b, a);
+}
+
 GateId BoolCircuit::AddGate(GateKind kind, bool const_value, EventId event,
                             std::vector<GateId> inputs) {
-  for (GateId in : inputs) TUD_CHECK_LT(in, NumGates());
   GateId id = static_cast<GateId>(kinds_.size());
+  // Append-only topological invariant: every input predates its reader.
+  for (GateId in : inputs) TUD_DCHECK(in < id);
   kinds_.push_back(kind);
   const_values_.push_back(const_value);
   vars_.push_back(event);
   inputs_.push_back(std::move(inputs));
   return id;
+}
+
+void BoolCircuit::Reserve(size_t num_gates) {
+  kinds_.reserve(num_gates);
+  const_values_.reserve(num_gates);
+  vars_.reserve(num_gates);
+  inputs_.reserve(num_gates);
+  cache_.reserve(num_gates);
 }
 
 GateId BoolCircuit::AddConst(bool value) {
@@ -56,48 +96,48 @@ GateId BoolCircuit::AddNot(GateId input) {
   return id;
 }
 
-GateId BoolCircuit::AddAnd(std::vector<GateId> inputs) {
-  std::vector<GateId> kept;
-  for (GateId in : inputs) {
+GateId BoolCircuit::AddNaryInPlace(GateKind op, std::vector<GateId>& inputs) {
+  const bool is_and = op == GateKind::kAnd;
+  // Const-fold and compact in place: no temporary set, no copy.
+  size_t kept = 0;
+  for (size_t r = 0; r < inputs.size(); ++r) {
+    const GateId in = inputs[r];
     TUD_CHECK_LT(in, NumGates());
     if (kind(in) == GateKind::kConst) {
-      if (!const_value(in)) return AddConst(false);
-      continue;
+      // Absorbing constant (false for AND, true for OR) decides the gate.
+      if (const_value(in) != is_and) return AddConst(!is_and);
+      continue;  // Neutral constant: drop.
     }
-    kept.push_back(in);
+    inputs[kept++] = in;
   }
-  std::sort(kept.begin(), kept.end());
-  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
-  if (kept.empty()) return AddConst(true);
-  if (kept.size() == 1) return kept[0];
-  HashKey key{GateKind::kAnd, kInvalidEvent, kept};
-  auto it = cache_.find(key);
+  inputs.resize(kept);
+  std::sort(inputs.begin(), inputs.end());
+  inputs.erase(std::unique(inputs.begin(), inputs.end()), inputs.end());
+  if (inputs.empty()) return AddConst(is_and);
+  if (inputs.size() == 1) return inputs[0];  // Passthrough fold.
+  auto it = cache_.find(
+      HashKeyView{op, kInvalidEvent, inputs.data(), inputs.size()});
   if (it != cache_.end()) return it->second;
-  GateId id = AddGate(GateKind::kAnd, false, kInvalidEvent, std::move(kept));
-  cache_.emplace(std::move(key), id);
+  GateId id = AddGate(op, false, kInvalidEvent,
+                      std::vector<GateId>(inputs.begin(), inputs.end()));
+  cache_.emplace(HashKey{op, kInvalidEvent, inputs_[id]}, id);
   return id;
 }
 
+GateId BoolCircuit::AddAnd(std::vector<GateId> inputs) {
+  return AddNaryInPlace(GateKind::kAnd, inputs);
+}
+
 GateId BoolCircuit::AddOr(std::vector<GateId> inputs) {
-  std::vector<GateId> kept;
-  for (GateId in : inputs) {
-    TUD_CHECK_LT(in, NumGates());
-    if (kind(in) == GateKind::kConst) {
-      if (const_value(in)) return AddConst(true);
-      continue;
-    }
-    kept.push_back(in);
-  }
-  std::sort(kept.begin(), kept.end());
-  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
-  if (kept.empty()) return AddConst(false);
-  if (kept.size() == 1) return kept[0];
-  HashKey key{GateKind::kOr, kInvalidEvent, kept};
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  GateId id = AddGate(GateKind::kOr, false, kInvalidEvent, std::move(kept));
-  cache_.emplace(std::move(key), id);
-  return id;
+  return AddNaryInPlace(GateKind::kOr, inputs);
+}
+
+GateId BoolCircuit::AddAndInPlace(std::vector<GateId>& scratch) {
+  return AddNaryInPlace(GateKind::kAnd, scratch);
+}
+
+GateId BoolCircuit::AddOrInPlace(std::vector<GateId>& scratch) {
+  return AddNaryInPlace(GateKind::kOr, scratch);
 }
 
 GateId BoolCircuit::AddFormula(const BoolFormula& formula) {
@@ -172,6 +212,7 @@ bool BoolCircuit::Evaluate(GateId g, const Valuation& valuation) const {
 
 std::pair<BoolCircuit, std::vector<GateId>> BoolCircuit::Binarize() const {
   BoolCircuit out;
+  out.Reserve(NumGates() + NumGates() / 4);
   std::vector<GateId> remap(NumGates(), kInvalidGate);
   for (GateId g = 0; g < NumGates(); ++g) {
     switch (kinds_[g]) {
@@ -253,6 +294,7 @@ std::vector<GateId> BoolCircuit::ReachableFrom(GateId root) const {
 std::pair<BoolCircuit, GateId> BoolCircuit::ExtractCone(GateId root) const {
   std::vector<GateId> reachable = ReachableFrom(root);
   BoolCircuit out;
+  out.Reserve(reachable.size());
   std::vector<GateId> remap(NumGates(), kInvalidGate);
   for (GateId g : reachable) {
     switch (kinds_[g]) {

@@ -49,12 +49,24 @@ class BoolCircuit {
   GateId AddNot(GateId input);
 
   /// Adds an n-ary conjunction / disjunction. Folds constants, drops
-  /// duplicates, flattens nothing (inputs are used as given). Empty AND is
-  /// true; empty OR is false.
+  /// duplicates (sort+unique in place, no temporary set), folds
+  /// single-input gates to a passthrough, flattens nothing (inputs are
+  /// used as given). Empty AND is true; empty OR is false.
   GateId AddAnd(std::vector<GateId> inputs);
   GateId AddOr(std::vector<GateId> inputs);
   GateId AddAnd(GateId a, GateId b) { return AddAnd({a, b}); }
   GateId AddOr(GateId a, GateId b) { return AddOr({a, b}); }
+
+  /// Bulk-producer fast path: identical semantics to AddAnd/AddOr, but
+  /// works in the caller's scratch vector (clobbering it) so a tight
+  /// gate-emitting loop — e.g. ProvenanceRun — performs no allocation on
+  /// structural-hash hits. Pair with Reserve() for batched emission.
+  GateId AddAndInPlace(std::vector<GateId>& scratch);
+  GateId AddOrInPlace(std::vector<GateId>& scratch);
+
+  /// Pre-sizes the gate arrays and the structural-hash table for a
+  /// producer that is about to emit up to `num_gates` total gates.
+  void Reserve(size_t num_gates);
 
   /// Recursively adds a propositional formula; returns its root gate.
   GateId AddFormula(const BoolFormula& formula);
@@ -112,15 +124,32 @@ class BoolCircuit {
  private:
   GateId AddGate(GateKind kind, bool const_value, EventId event,
                  std::vector<GateId> inputs);
+  GateId AddNaryInPlace(GateKind kind, std::vector<GateId>& inputs);
 
   struct HashKey {
     GateKind kind;
     EventId var;
     std::vector<GateId> inputs;
-    bool operator==(const HashKey&) const = default;
+  };
+  /// Non-owning lookup key: lets the structural-hash cache be probed
+  /// from a scratch buffer without copying it (C++20 heterogeneous
+  /// unordered lookup).
+  struct HashKeyView {
+    GateKind kind;
+    EventId var;
+    const GateId* inputs;
+    size_t num_inputs;
   };
   struct HashKeyHasher {
+    using is_transparent = void;
     size_t operator()(const HashKey& key) const;
+    size_t operator()(const HashKeyView& key) const;
+  };
+  struct HashKeyEq {
+    using is_transparent = void;
+    bool operator()(const HashKey& a, const HashKey& b) const;
+    bool operator()(const HashKeyView& a, const HashKey& b) const;
+    bool operator()(const HashKey& a, const HashKeyView& b) const;
   };
 
   std::vector<GateKind> kinds_;
@@ -130,7 +159,7 @@ class BoolCircuit {
   size_t num_events_ = 0;
   GateId true_gate_ = kInvalidGate;
   GateId false_gate_ = kInvalidGate;
-  std::unordered_map<HashKey, GateId, HashKeyHasher> cache_;
+  std::unordered_map<HashKey, GateId, HashKeyHasher, HashKeyEq> cache_;
   std::unordered_map<EventId, GateId> var_cache_;
 };
 

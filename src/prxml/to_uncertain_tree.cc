@@ -89,7 +89,10 @@ double AutomatonProbability(const TreeAutomaton& automaton,
   UncertainBinaryTree tree = PrXmlToUncertainTree(document, labels, &dead);
   TUD_CHECK_LE(tree.AlphabetSize(), automaton.alphabet_size())
       << "automaton alphabet too small for the document's labels";
-  GateId lineage = ProvenanceRun(automaton, tree);
+  // Lower to the compiled engine once; the forest run then streams
+  // through the CSR tables.
+  GateId lineage =
+      ProvenanceRun(CompiledAutomaton::Compile(automaton), tree);
   return JunctionTreeProbability(tree.circuit(), lineage,
                                  document.events());
 }

@@ -7,72 +7,17 @@
 #include <tuple>
 #include <unordered_set>
 
+#include "automata/state_set.h"  // Word-level bitset helpers.
+#include "treedec/elimination_graph.h"
 #include "util/check.h"
 
 namespace tud {
 
 namespace {
 
-constexpr VertexId kNoVertex = UINT32_MAX;
-
-// Working copy of the graph as adjacency sets that supports elimination:
-// removing a vertex and connecting its remaining neighbors into a clique.
-class EliminationGraph {
- public:
-  explicit EliminationGraph(const Graph& graph)
-      : adjacency_(graph.NumVertices()), alive_(graph.NumVertices(), true) {
-    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
-      adjacency_[v] = graph.Neighbors(v);
-    }
-  }
-
-  bool alive(VertexId v) const { return alive_[v]; }
-  uint32_t Degree(VertexId v) const {
-    return static_cast<uint32_t>(adjacency_[v].size());
-  }
-  const std::unordered_set<VertexId>& Neighbors(VertexId v) const {
-    return adjacency_[v];
-  }
-
-  // Number of fill edges elimination of v would create, saturated at
-  // `cap`: min-fill only needs exact values when they are small, and
-  // saturation keeps the cost on high-degree hub vertices bounded.
-  size_t FillCount(VertexId v, size_t cap = SIZE_MAX) const {
-    size_t fill = 0;
-    const auto& nbrs = adjacency_[v];
-    for (auto it = nbrs.begin(); it != nbrs.end(); ++it) {
-      auto jt = it;
-      for (++jt; jt != nbrs.end(); ++jt) {
-        if (!adjacency_[*it].contains(*jt)) {
-          if (++fill >= cap) return cap;
-        }
-      }
-    }
-    return fill;
-  }
-
-  // Eliminates v: clique its neighborhood, then remove it.
-  void Eliminate(VertexId v) {
-    TUD_CHECK(alive_[v]);
-    const std::vector<VertexId> nbrs(adjacency_[v].begin(),
-                                     adjacency_[v].end());
-    for (size_t i = 0; i < nbrs.size(); ++i) {
-      for (size_t j = i + 1; j < nbrs.size(); ++j) {
-        adjacency_[nbrs[i]].insert(nbrs[j]);
-        adjacency_[nbrs[j]].insert(nbrs[i]);
-      }
-    }
-    for (VertexId u : nbrs) adjacency_[u].erase(v);
-    adjacency_[v].clear();
-    alive_[v] = false;
-  }
-
- private:
-  std::vector<std::unordered_set<VertexId>> adjacency_;
-  std::vector<bool> alive_;
-};
-
-std::vector<VertexId> GreedyOrder(const Graph& graph, bool use_fill) {
+template <typename WorkGraph>
+std::vector<VertexId> GreedyOrder(const Graph& graph, bool use_fill,
+                                  bool peel) {
   // Lazy-heap greedy elimination: each heap entry snapshots a vertex's
   // (score, degree, id, version); stale entries (version mismatch) are
   // dropped on pop. Eliminating v only changes the scores of vertices in
@@ -80,8 +25,55 @@ std::vector<VertexId> GreedyOrder(const Graph& graph, bool use_fill) {
   // locally — near-linear on the sparse graphs the library produces,
   // versus a full rescan per elimination.
   const uint32_t n = graph.NumVertices();
-  EliminationGraph work(graph);
+  WorkGraph work(graph);
   std::vector<uint64_t> version(n, 0);
+
+  std::vector<VertexId> order;
+  order.reserve(n);
+
+  if (peel) {
+    // Peel phase: repeatedly eliminate vertices of degree <= 2. The
+    // islet/twig rules (degree <= 1) are always width-safe; the series
+    // rule (degree 2) is width-safe whenever treewidth >= 2, and
+    // processing the degree-<=1 bucket first guarantees it is only ever
+    // applied when no degree-<=1 vertex remains — so forests are peeled
+    // entirely by the safe rules and keep width 1. On binarised circuit
+    // graphs the peel removes the vast majority of vertices in linear
+    // time, leaving the heap machinery a small core.
+    std::vector<VertexId> low_stack, two_stack;
+    for (VertexId v = 0; v < n; ++v) {
+      if (work.Degree(v) <= 1) {
+        low_stack.push_back(v);
+      } else if (work.Degree(v) == 2) {
+        two_stack.push_back(v);
+      }
+    }
+    std::vector<VertexId> ring;
+    while (!low_stack.empty() || !two_stack.empty()) {
+      VertexId v;
+      if (!low_stack.empty()) {
+        v = low_stack.back();
+        low_stack.pop_back();
+        if (!work.alive(v) || work.Degree(v) > 1) continue;
+      } else {
+        v = two_stack.back();
+        two_stack.pop_back();
+        if (!work.alive(v) || work.Degree(v) != 2) continue;
+      }
+      order.push_back(v);
+      ring.clear();
+      work.ForEachNeighbor(v, [&](VertexId u) { ring.push_back(u); });
+      work.Eliminate(v);
+      for (VertexId u : ring) {
+        if (!work.alive(u)) continue;
+        if (work.Degree(u) <= 1) {
+          low_stack.push_back(u);
+        } else if (work.Degree(u) == 2) {
+          two_stack.push_back(u);
+        }
+      }
+    }
+  }
 
   using Entry = std::tuple<size_t, uint32_t, VertexId, uint64_t>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
@@ -92,29 +84,50 @@ std::vector<VertexId> GreedyOrder(const Graph& graph, bool use_fill) {
     uint32_t secondary = use_fill ? work.Degree(v) : 0;
     heap.emplace(primary, secondary, v, version[v]);
   };
-  for (VertexId v = 0; v < n; ++v) push(v);
-
-  std::vector<VertexId> order;
-  order.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (work.alive(v)) push(v);
+  }
+  constexpr uint16_t kRingMark = UINT16_MAX;
+  std::vector<uint16_t> mark(n, 0);
+  std::vector<VertexId> ring, affected, touched;
   while (order.size() < n) {
     TUD_CHECK(!heap.empty());
     auto [primary, secondary, v, entry_version] = heap.top();
     heap.pop();
     if (!work.alive(v) || entry_version != version[v]) continue;
     order.push_back(v);
-    // Vertices whose score may change: v's neighbors (degree and fill)
-    // plus, for min-fill, their neighbors (a fill edge between a, b in
-    // N(v) changes the fill count of common neighbors of a and b).
-    std::vector<VertexId> ring(work.Neighbors(v).begin(),
-                               work.Neighbors(v).end());
+    // Vertices whose score actually changes: v's neighbors (adjacency
+    // and degree change), plus — for min-fill — outside vertices with
+    // at least TWO neighbors in the ring: elimination only adds edges
+    // inside the ring, and a new edge (a, b) changes the fill count of
+    // exactly the common neighbors of a and b. One-ring-neighbor
+    // vertices keep their scores, and their live heap entries with them.
+    ring.clear();
+    work.ForEachNeighbor(v, [&](VertexId u) { ring.push_back(u); });
     work.Eliminate(v);
-    std::unordered_set<VertexId> affected(ring.begin(), ring.end());
+    affected.clear();
+    touched.clear();
+    for (VertexId u : ring) {
+      mark[u] = kRingMark;
+      affected.push_back(u);
+    }
     if (use_fill) {
       for (VertexId u : ring) {
-        for (VertexId w : work.Neighbors(u)) affected.insert(w);
+        work.ForEachNeighbor(u, [&](VertexId w) {
+          if (mark[w] == kRingMark || mark[w] == 2) return;
+          if (mark[w] == 0) {
+            touched.push_back(w);
+            mark[w] = 1;
+          } else {
+            mark[w] = 2;
+            affected.push_back(w);
+          }
+        });
       }
+      for (VertexId w : touched) mark[w] = 0;
     }
     for (VertexId u : affected) {
+      mark[u] = 0;
       if (!work.alive(u)) continue;
       ++version[u];
       push(u);
@@ -123,20 +136,77 @@ std::vector<VertexId> GreedyOrder(const Graph& graph, bool use_fill) {
   return order;
 }
 
+std::vector<VertexId> GreedyOrderDispatch(const Graph& graph,
+                                          bool use_fill, bool peel) {
+  if (graph.NumVertices() <= kDenseVertexLimit) {
+    return GreedyOrder<DenseEliminationGraph>(graph, use_fill, peel);
+  }
+  return GreedyOrder<SparseEliminationGraph>(graph, use_fill, peel);
+}
+
 }  // namespace
 
 std::vector<VertexId> MinFillOrder(const Graph& graph) {
-  return GreedyOrder(graph, /*use_fill=*/true);
+  return GreedyOrderDispatch(graph, /*use_fill=*/true, /*peel=*/false);
 }
 
 std::vector<VertexId> MinDegreeOrder(const Graph& graph) {
-  return GreedyOrder(graph, /*use_fill=*/false);
+  return GreedyOrderDispatch(graph, /*use_fill=*/false, /*peel=*/false);
+}
+
+std::vector<VertexId> PeeledMinFillOrder(const Graph& graph) {
+  return GreedyOrderDispatch(graph, /*use_fill=*/true, /*peel=*/true);
+}
+
+std::vector<VertexId> CircuitMinDegreeOrder(const Graph& graph) {
+  // Min-degree with a bucket queue instead of a binary heap: degrees are
+  // small integers and only change for the eliminated vertex's ring, so
+  // every queue operation is O(1) (stale entries are dropped on pop by
+  // re-checking the live degree). On binarised circuit primal graphs
+  // this produces the same widths as min-fill at a fraction of the cost;
+  // the junction-tree pipeline verifies the width and falls back to
+  // min-fill when the result is wide.
+  const uint32_t n = graph.NumVertices();
+  std::vector<VertexId> order;
+  order.reserve(n);
+  auto run = [&](auto work) {
+    std::vector<std::vector<VertexId>> buckets;
+    auto bucket_push = [&](VertexId v, uint32_t degree) {
+      if (buckets.size() <= degree) buckets.resize(degree + 1);
+      buckets[degree].push_back(v);
+    };
+    for (VertexId v = 0; v < n; ++v) bucket_push(v, work.Degree(v));
+    uint32_t d = 0;
+    std::vector<VertexId> ring;
+    while (order.size() < n) {
+      while (d < buckets.size() && buckets[d].empty()) ++d;
+      TUD_CHECK_LT(d, buckets.size());
+      const VertexId v = buckets[d].back();
+      buckets[d].pop_back();
+      if (!work.alive(v) || work.Degree(v) != d) continue;  // Stale entry.
+      order.push_back(v);
+      ring.clear();
+      work.ForEachNeighbor(v, [&](VertexId u) { ring.push_back(u); });
+      work.Eliminate(v);
+      for (VertexId u : ring) {
+        const uint32_t du = work.Degree(u);
+        bucket_push(u, du);
+        if (du < d) d = du;
+      }
+    }
+  };
+  if (n <= kDenseVertexLimit) {
+    run(DenseEliminationGraph(graph));
+  } else {
+    run(SparseEliminationGraph(graph));
+  }
+  return order;
 }
 
 uint32_t EliminationWidth(const Graph& graph,
                           const std::vector<VertexId>& order) {
   TUD_CHECK_EQ(order.size(), graph.NumVertices());
-  EliminationGraph work(graph);
+  SparseEliminationGraph work(graph);
   uint32_t width = 0;
   for (VertexId v : order) {
     width = std::max(width, work.Degree(v));

@@ -22,6 +22,19 @@ std::vector<VertexId> MinFillOrder(const Graph& graph);
 /// Min-degree: repeatedly eliminates a vertex of minimum current degree.
 std::vector<VertexId> MinDegreeOrder(const Graph& graph);
 
+/// Min-fill preceded by a linear-time peel of all vertices of (current)
+/// degree <= 2 — the islet/twig/series reduction rules. Degree-<=1
+/// vertices are peeled with priority, so forests stay width 1; the
+/// series rule is width-preserving on everything else (treewidth >= 2).
+std::vector<VertexId> PeeledMinFillOrder(const Graph& graph);
+
+/// Bucket-queue min-degree: every queue operation is O(1), so the order
+/// costs little more than the eliminations themselves. The fast path of
+/// the junction-tree inference pipeline for circuit primal graphs (it
+/// cross-checks the resulting width and falls back to min-fill when the
+/// cheap order comes out wide).
+std::vector<VertexId> CircuitMinDegreeOrder(const Graph& graph);
+
 /// Width of an elimination order: the maximum, over eliminated vertices,
 /// of the number of not-yet-eliminated neighbors at elimination time (in
 /// the progressively filled graph). Equals the width of the derived tree

@@ -1,0 +1,212 @@
+#ifndef TUD_TREEDEC_ELIMINATION_GRAPH_H_
+#define TUD_TREEDEC_ELIMINATION_GRAPH_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "automata/state_set.h"  // Word-level bitset helpers.
+#include "treedec/graph.h"
+#include "util/check.h"
+
+namespace tud {
+
+/// Working copies of a Graph that support vertex elimination (remove a
+/// vertex, clique its remaining neighborhood). Two interchangeable
+/// representations share the interface used by the greedy-order heap and
+/// the decomposition builder:
+///
+///   bool alive(v); uint32_t Degree(v);
+///   size_t FillCount(v, cap); void Eliminate(v);
+///   template ForEachNeighbor(v, fn);   // ascending vertex order for the
+///                                      // dense graph, unspecified for
+///                                      // the sparse one.
+///
+/// SparseEliminationGraph is the original adjacency-set implementation;
+/// DenseEliminationGraph packs each neighborhood into a bitset row of
+/// uint64_t words with a nonzero-word window, which turns FillCount and
+/// Eliminate into word operations. Scores agree exactly (fill saturated
+/// at `cap`), so greedy orders are identical across representations.
+
+class SparseEliminationGraph {
+ public:
+  explicit SparseEliminationGraph(const Graph& graph)
+      : adjacency_(graph.NumVertices()), alive_(graph.NumVertices(), true) {
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      adjacency_[v] = graph.Neighbors(v);
+    }
+  }
+
+  bool alive(VertexId v) const { return alive_[v]; }
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(adjacency_[v].size());
+  }
+
+  template <typename Fn>
+  void ForEachNeighbor(VertexId v, Fn fn) const {
+    for (VertexId u : adjacency_[v]) fn(u);
+  }
+
+  // Number of fill edges elimination of v would create, saturated at
+  // `cap`: min-fill only needs exact values when they are small, and
+  // saturation keeps the cost on high-degree hub vertices bounded.
+  size_t FillCount(VertexId v, size_t cap = SIZE_MAX) const {
+    size_t fill = 0;
+    const auto& nbrs = adjacency_[v];
+    for (auto it = nbrs.begin(); it != nbrs.end(); ++it) {
+      auto jt = it;
+      for (++jt; jt != nbrs.end(); ++jt) {
+        if (!adjacency_[*it].contains(*jt)) {
+          if (++fill >= cap) return cap;
+        }
+      }
+    }
+    return fill;
+  }
+
+  // Eliminates v: clique its neighborhood, then remove it.
+  void Eliminate(VertexId v) {
+    TUD_CHECK(alive_[v]);
+    const std::vector<VertexId> nbrs(adjacency_[v].begin(),
+                                     adjacency_[v].end());
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        adjacency_[nbrs[i]].insert(nbrs[j]);
+        adjacency_[nbrs[j]].insert(nbrs[i]);
+      }
+    }
+    for (VertexId u : nbrs) adjacency_[u].erase(v);
+    adjacency_[v].clear();
+    alive_[v] = false;
+  }
+
+ private:
+  std::vector<std::unordered_set<VertexId>> adjacency_;
+  std::vector<bool> alive_;
+};
+
+/// Dense elimination graph: one bitset row per vertex, each row carrying
+/// its nonzero-word window [lo, hi]. FillCount — the inner loop of
+/// min-fill, called on every heap repair — becomes popcounts over row
+/// intersections confined to the window, with early exit at the
+/// saturation cap (critical on high-degree hub vertices); Eliminate is a
+/// row-wide OR. Memory is n^2/8 bytes, so use is gated on vertex count
+/// (see kDenseVertexLimit).
+class DenseEliminationGraph {
+ public:
+  explicit DenseEliminationGraph(const Graph& graph)
+      : num_words_(StateWordsFor(graph.NumVertices())),
+        rows_(graph.NumVertices() * num_words_, 0),
+        degree_(graph.NumVertices(), 0),
+        lo_(graph.NumVertices(), 0),
+        hi_(graph.NumVertices(), 0),
+        alive_(graph.NumVertices(), true) {
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      for (VertexId u : graph.Neighbors(v)) SetWordBit(Row(v), u);
+      degree_[v] = static_cast<uint32_t>(graph.Degree(v));
+      // Window of nonzero words; [0, 0] for isolated vertices so the
+      // inclusive loops stay well-formed.
+      if (degree_[v] > 0) {
+        lo_[v] = num_words_ - 1;
+        ForEachSetBit(Row(v), num_words_, [&](VertexId u) {
+          lo_[v] = std::min<size_t>(lo_[v], u >> 6);
+          hi_[v] = std::max<size_t>(hi_[v], u >> 6);
+        });
+      }
+    }
+  }
+
+  bool alive(VertexId v) const { return alive_[v]; }
+  uint32_t Degree(VertexId v) const { return degree_[v]; }
+
+  template <typename Fn>
+  void ForEachNeighbor(VertexId v, Fn fn) const {
+    const uint64_t* nv = Row(v);
+    for (size_t w = lo_[v]; w <= hi_[v]; ++w) {
+      uint64_t bits = nv[w];
+      while (bits != 0) {
+        fn(static_cast<VertexId>(w * 64 + std::countr_zero(bits)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  // Fill edges elimination of v would create, saturated at `cap`. For
+  // each neighbor u (ascending) the missing pairs (u, w) with w > u are
+  // popcount(N(v) \ N(u)) over the suffix above u, so the loop can stop
+  // as soon as the cap is reached.
+  size_t FillCount(VertexId v, size_t cap = SIZE_MAX) const {
+    const uint64_t* nv = Row(v);
+    size_t fill = 0;
+    const size_t v_hi = hi_[v];
+    for (size_t w0 = lo_[v]; w0 <= v_hi; ++w0) {
+      uint64_t bits = nv[w0];
+      while (bits != 0) {
+        const uint32_t idx = static_cast<uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const VertexId u = static_cast<VertexId>(w0 * 64 + idx);
+        const uint64_t* nu = Row(u);
+        const uint64_t above =
+            (idx == 63) ? 0 : (~uint64_t{0} << (idx + 1));
+        fill += std::popcount(nv[w0] & ~nu[w0] & above);
+        for (size_t w = w0 + 1; w <= v_hi; ++w) {
+          fill += std::popcount(nv[w] & ~nu[w]);
+        }
+        if (fill >= cap) return cap;
+      }
+    }
+    return fill;
+  }
+
+  void Eliminate(VertexId v) {
+    TUD_CHECK(alive_[v]);
+    const uint64_t* nv = Row(v);
+    ForEachNeighbor(v, [&](VertexId u) {
+      uint64_t* nu = Row(u);
+      // Incremental degree: count only the bits the OR actually adds.
+      // The OR introduces u's own bit (u is in N(v); no self-loops), and
+      // u additionally loses its edge to v — hence the -2.
+      uint32_t added = 0;
+      for (size_t w = lo_[v]; w <= hi_[v]; ++w) {
+        const uint64_t add = nv[w] & ~nu[w];
+        nu[w] |= add;
+        added += static_cast<uint32_t>(std::popcount(add));
+      }
+      ClearBit(nu, u);
+      ClearBit(nu, v);
+      lo_[u] = std::min(lo_[u], lo_[v]);
+      hi_[u] = std::max(hi_[u], hi_[v]);
+      degree_[u] += added - 2;
+    });
+    std::fill(Row(v) + lo_[v], Row(v) + hi_[v] + 1, 0);
+    degree_[v] = 0;
+    alive_[v] = false;
+  }
+
+ private:
+  uint64_t* Row(VertexId v) {
+    return rows_.data() + static_cast<size_t>(v) * num_words_;
+  }
+  const uint64_t* Row(VertexId v) const {
+    return rows_.data() + static_cast<size_t>(v) * num_words_;
+  }
+  static void ClearBit(uint64_t* words, VertexId i) {
+    words[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  size_t num_words_;
+  std::vector<uint64_t> rows_;
+  std::vector<uint32_t> degree_;
+  std::vector<size_t> lo_, hi_;  // Nonzero-word window per row.
+  std::vector<bool> alive_;
+};
+
+/// Above this vertex count the dense rows' n^2/8 bytes stop being worth
+/// it and the sparse adjacency-set representation takes over.
+inline constexpr uint32_t kDenseVertexLimit = 16384;
+
+}  // namespace tud
+
+#endif  // TUD_TREEDEC_ELIMINATION_GRAPH_H_

@@ -1,0 +1,274 @@
+// Equivalence suite for the compiled (bitset-table) automaton engine:
+// every operation is cross-checked against the legacy std::set /
+// std::map implementations on randomized automata and trees, and the
+// rewritten provenance run is checked world-by-world against the legacy
+// construction on exhaustive small worlds.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "automata/automaton_library.h"
+#include "automata/binary_tree.h"
+#include "automata/compiled_automaton.h"
+#include "automata/provenance_run.h"
+#include "automata/state_set.h"
+#include "automata/tree_automaton.h"
+#include "automata/uncertain_tree.h"
+#include "events/event_registry.h"
+#include "events/valuation.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace tud {
+namespace {
+
+// A random NTA: every (label, ql, qr) key independently gets 0-2
+// targets, every label a random set of leaf states, and a random
+// nonempty set of accepting states.
+TreeAutomaton RandomAutomaton(Rng& rng, uint32_t num_states,
+                              Label alphabet) {
+  TreeAutomaton a(num_states, alphabet);
+  for (Label l = 0; l < alphabet; ++l) {
+    for (State q = 0; q < num_states; ++q) {
+      if (rng.Bernoulli(0.4)) a.AddLeafTransition(l, q);
+    }
+    for (State ql = 0; ql < num_states; ++ql) {
+      for (State qr = 0; qr < num_states; ++qr) {
+        uint64_t count = rng.UniformInt(3);
+        for (uint64_t i = 0; i < count; ++i) {
+          a.AddTransition(l, ql, qr,
+                          static_cast<State>(rng.UniformInt(num_states)));
+        }
+      }
+    }
+  }
+  a.SetAccepting(static_cast<State>(rng.UniformInt(num_states)));
+  if (rng.Bernoulli(0.5)) {
+    a.SetAccepting(static_cast<State>(rng.UniformInt(num_states)));
+  }
+  return a;
+}
+
+BinaryTree RandomTree(Rng& rng, uint32_t num_internal, Label alphabet) {
+  BinaryTree t;
+  std::vector<TreeNodeId> roots;
+  for (uint32_t i = 0; i < num_internal + 1; ++i) {
+    roots.push_back(t.AddLeaf(static_cast<Label>(rng.UniformInt(alphabet))));
+  }
+  while (roots.size() > 1) {
+    size_t i = rng.UniformInt(roots.size());
+    TreeNodeId a = roots[i];
+    roots.erase(roots.begin() + i);
+    size_t j = rng.UniformInt(roots.size());
+    TreeNodeId b = roots[j];
+    roots[j] =
+        t.AddInternal(static_cast<Label>(rng.UniformInt(alphabet)), a, b);
+  }
+  return t;
+}
+
+class CompiledEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompiledEquivalenceTest, RunAcceptanceMatchesLegacy) {
+  Rng rng(GetParam());
+  const Label alphabet = 2 + static_cast<Label>(rng.UniformInt(3));
+  const uint32_t states = 1 + static_cast<uint32_t>(rng.UniformInt(6));
+  TreeAutomaton a = RandomAutomaton(rng, states, alphabet);
+  CompiledAutomaton compiled = CompiledAutomaton::Compile(a);
+  for (int t = 0; t < 20; ++t) {
+    BinaryTree tree =
+        RandomTree(rng, static_cast<uint32_t>(rng.UniformInt(20)), alphabet);
+    EXPECT_EQ(compiled.Accepts(tree), a.AcceptsLegacy(tree));
+    EXPECT_EQ(a.Accepts(tree), a.AcceptsLegacy(tree));
+  }
+}
+
+TEST_P(CompiledEquivalenceTest, ReachableWordsMatchSetRun) {
+  Rng rng(GetParam() + 100);
+  const Label alphabet = 2 + static_cast<Label>(rng.UniformInt(2));
+  const uint32_t states = 1 + static_cast<uint32_t>(rng.UniformInt(6));
+  TreeAutomaton a = RandomAutomaton(rng, states, alphabet);
+  CompiledAutomaton compiled = CompiledAutomaton::Compile(a);
+  BinaryTree tree =
+      RandomTree(rng, 1 + static_cast<uint32_t>(rng.UniformInt(15)),
+                 alphabet);
+  std::vector<std::set<State>> reference = a.ReachableStates(tree);
+  std::vector<uint64_t> words = compiled.ReachableWords(tree);
+  ASSERT_EQ(reference.size(), tree.NumNodes());
+  for (TreeNodeId n = 0; n < tree.NumNodes(); ++n) {
+    std::set<State> from_words;
+    ForEachSetBit(words.data() + n * compiled.num_words(),
+                  compiled.num_words(),
+                  [&](State q) { from_words.insert(q); });
+    EXPECT_EQ(from_words, reference[n]) << "node " << n;
+  }
+}
+
+TEST_P(CompiledEquivalenceTest, ProductAndUnionMatchLegacy) {
+  Rng rng(GetParam() + 200);
+  const Label alphabet = 2;
+  TreeAutomaton a = RandomAutomaton(
+      rng, 1 + static_cast<uint32_t>(rng.UniformInt(4)), alphabet);
+  TreeAutomaton b = RandomAutomaton(
+      rng, 1 + static_cast<uint32_t>(rng.UniformInt(4)), alphabet);
+  for (bool conjunction : {true, false}) {
+    TreeAutomaton fast = TreeAutomaton::Product(a, b, conjunction);
+    TreeAutomaton legacy = TreeAutomaton::ProductLegacy(a, b, conjunction);
+    for (int t = 0; t < 20; ++t) {
+      BinaryTree tree = RandomTree(
+          rng, static_cast<uint32_t>(rng.UniformInt(15)), alphabet);
+      EXPECT_EQ(fast.AcceptsLegacy(tree), legacy.AcceptsLegacy(tree))
+          << (conjunction ? "conjunction" : "union");
+    }
+  }
+}
+
+TEST_P(CompiledEquivalenceTest, DeterminizeAndComplementMatchLegacy) {
+  Rng rng(GetParam() + 300);
+  const Label alphabet = 2 + static_cast<Label>(rng.UniformInt(2));
+  TreeAutomaton a = RandomAutomaton(
+      rng, 1 + static_cast<uint32_t>(rng.UniformInt(5)), alphabet);
+  TreeAutomaton det = a.Determinize();
+  TreeAutomaton det_legacy = a.DeterminizeLegacy();
+  TreeAutomaton complement = a.Complement();
+  EXPECT_EQ(det.num_states(), det_legacy.num_states());
+  for (int t = 0; t < 20; ++t) {
+    BinaryTree tree =
+        RandomTree(rng, static_cast<uint32_t>(rng.UniformInt(15)), alphabet);
+    const bool expected = a.AcceptsLegacy(tree);
+    EXPECT_EQ(det.AcceptsLegacy(tree), expected);
+    EXPECT_EQ(det_legacy.AcceptsLegacy(tree), expected);
+    EXPECT_EQ(complement.AcceptsLegacy(tree), !expected);
+    // The subset construction must be deterministic and complete:
+    // exactly one state reachable at every node.
+    CompiledAutomaton cdet = CompiledAutomaton::Compile(det);
+    std::vector<uint64_t> words = cdet.ReachableWords(tree);
+    for (TreeNodeId n = 0; n < tree.NumNodes(); ++n) {
+      uint32_t count = 0;
+      ForEachSetBit(words.data() + n * cdet.num_words(), cdet.num_words(),
+                    [&](State) { ++count; });
+      EXPECT_EQ(count, 1u) << "node " << n;
+    }
+  }
+}
+
+TEST_P(CompiledEquivalenceTest, EmptinessConsistentWithAcceptance) {
+  Rng rng(GetParam() + 400);
+  const Label alphabet = 2;
+  TreeAutomaton a = RandomAutomaton(
+      rng, 1 + static_cast<uint32_t>(rng.UniformInt(4)), alphabet);
+  if (a.IsEmpty()) {
+    for (int t = 0; t < 30; ++t) {
+      BinaryTree tree = RandomTree(
+          rng, static_cast<uint32_t>(rng.UniformInt(12)), alphabet);
+      EXPECT_FALSE(a.AcceptsLegacy(tree));
+    }
+  }
+  // A tautological library automaton is never empty, and conjoining an
+  // automaton with its complement always is.
+  TreeAutomaton exists = MakeExistsLabel(alphabet, 1);
+  EXPECT_FALSE(exists.IsEmpty());
+  EXPECT_TRUE(
+      TreeAutomaton::Product(exists, exists.Complement(), true).IsEmpty());
+}
+
+// Uncertain tree whose node labels flip between two letters guarded by
+// one event per node (as in automata_test.cc).
+UncertainBinaryTree FlipTree(Rng& rng, uint32_t num_internal,
+                             EventRegistry& registry) {
+  UncertainBinaryTree t;
+  uint32_t next_event = 0;
+  auto make_alts = [&]() {
+    EventId e = next_event++;
+    registry.Register("n" + std::to_string(e),
+                      0.2 + 0.6 * rng.UniformDouble());
+    GateId var = t.circuit().AddVar(e);
+    GateId not_var = t.circuit().AddNot(var);
+    return std::vector<std::pair<Label, GateId>>{{0, not_var}, {1, var}};
+  };
+  std::vector<TreeNodeId> roots;
+  for (uint32_t i = 0; i < num_internal + 1; ++i) {
+    roots.push_back(t.AddLeaf(make_alts()));
+  }
+  while (roots.size() > 1) {
+    size_t i = rng.UniformInt(roots.size());
+    TreeNodeId a = roots[i];
+    roots.erase(roots.begin() + i);
+    size_t j = rng.UniformInt(roots.size());
+    TreeNodeId b = roots[j];
+    roots[j] = t.AddInternal(make_alts(), a, b);
+  }
+  return t;
+}
+
+TEST_P(CompiledEquivalenceTest, ProvenanceCircuitMatchesLegacyOnAllWorlds) {
+  Rng rng(GetParam() + 500);
+  EventRegistry registry;
+  UncertainBinaryTree tree =
+      FlipTree(rng, 2 + static_cast<uint32_t>(rng.UniformInt(4)), registry);
+  const size_t num_events = registry.size();
+  ASSERT_LE(num_events, 16u);
+
+  TreeAutomaton automata[] = {
+      RandomAutomaton(rng, 1 + static_cast<uint32_t>(rng.UniformInt(4)), 2),
+      MakeExistsLabelNondet(2, 1),
+      MakeCountAtLeast(2, 1, 2),
+  };
+  for (TreeAutomaton& a : automata) {
+    GateId fast = ProvenanceRun(a, tree);
+    GateId legacy = ProvenanceRunLegacy(a, tree);
+    for (uint64_t mask = 0; mask < (uint64_t{1} << num_events); ++mask) {
+      Valuation v = Valuation::FromMask(mask, num_events);
+      ASSERT_TRUE(tree.IsWellFormedUnder(v));
+      const bool accepted = a.AcceptsLegacy(tree.World(v));
+      EXPECT_EQ(tree.circuit().Evaluate(fast, v), accepted) << mask;
+      EXPECT_EQ(tree.circuit().Evaluate(legacy, v), accepted) << mask;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledEquivalenceTest,
+                         ::testing::Range(0, 16));
+
+// Direct StateSet coverage: the word-level primitives the engine leans
+// on.
+TEST(StateSetTest, BasicOperations) {
+  StateSet s(130);
+  EXPECT_EQ(s.num_words(), 3u);
+  EXPECT_FALSE(s.Any());
+  s.Set(0);
+  s.Set(64);
+  s.Set(129);
+  EXPECT_TRUE(s.Test(64));
+  EXPECT_FALSE(s.Test(63));
+  EXPECT_EQ(s.Count(), 3u);
+  std::vector<uint32_t> seen;
+  s.ForEach([&](State q) { seen.push_back(q); });
+  EXPECT_EQ(seen, (std::vector<uint32_t>{0, 64, 129}));
+
+  StateSet other(130);
+  other.Set(64);
+  EXPECT_TRUE(s.Intersects(other));
+  other.Clear();
+  other.Set(1);
+  EXPECT_FALSE(s.Intersects(other));
+  s.OrWith(other);
+  EXPECT_TRUE(s.Test(1));
+  EXPECT_NE(s.Hash(), other.Hash());
+}
+
+TEST(CompiledAutomatonTest, RoundTripPreservesLanguage) {
+  Rng rng(7);
+  TreeAutomaton a = RandomAutomaton(rng, 4, 3);
+  TreeAutomaton round =
+      CompiledAutomaton::Compile(a).ToTreeAutomaton();
+  for (int t = 0; t < 25; ++t) {
+    BinaryTree tree =
+        RandomTree(rng, static_cast<uint32_t>(rng.UniformInt(15)), 3);
+    EXPECT_EQ(round.AcceptsLegacy(tree), a.AcceptsLegacy(tree));
+  }
+}
+
+}  // namespace
+}  // namespace tud
