@@ -6,8 +6,10 @@
 // Usage: bench_automata_json [min_ms_per_workload] [output.json]
 
 #include <cstdlib>
+#include <memory>
 #include <string>
 
+#include "automata/automaton_expr.h"
 #include "automata/automaton_library.h"
 #include "automata/compiled_automaton.h"
 #include "automata/provenance_run.h"
@@ -15,6 +17,9 @@
 #include "harness.h"
 #include "inference/junction_tree.h"
 #include "prxml/to_uncertain_tree.h"
+#include "queries/query_session.h"
+#include "uncertain/c_instance.h"
+#include "uncertain/tid_instance.h"
 #include "util/rng.h"
 #include "workloads.h"
 
@@ -107,6 +112,20 @@ int Main(int argc, char** argv) {
     ProvenanceRun(combo, tree);
   });
 
+  // --- Boolean closure: the TreeAutomaton chain (which round-trips
+  // through the std::map representation between steps) vs the same
+  // combination compiled end to end by AutomatonExpr.
+  TreeAutomaton closure_lhs = RandomNta(31, 8, 2);
+  TreeAutomaton closure_rhs = RandomNta(32, 6, 2);
+  harness.Register("closure/tree_api_round_trip", [&] {
+    TreeAutomaton::Product(closure_lhs, closure_rhs.Complement(),
+                           /*conjunction=*/true);
+  });
+  harness.Register("closure/automaton_expr_compiled", [&] {
+    (AutomatonExpr::Atom(closure_lhs) && !AutomatonExpr::Atom(closure_rhs))
+        .Compile();
+  });
+
   // --- End-to-end §2.2 pipeline (tree + automaton + provenance + JT).
   harness.Register("pipeline_e2e/boolean_combination", [&] {
     XmlLabelMap labels;
@@ -120,6 +139,46 @@ int Main(int argc, char** argv) {
         has_musician, has_statement.Complement(), /*conjunction=*/true);
     GateId lineage = ProvenanceRun(combo, tree);
     JunctionTreeProbability(tree.circuit(), lineage, doc.events());
+  });
+  harness.Register("pipeline_e2e/boolean_combination_expr", [&] {
+    XmlLabelMap labels;
+    Label dead;
+    UncertainBinaryTree tree = build_tree(labels, dead);
+    AutomatonExpr combo =
+        AutomatonExpr::Atom(
+            MakeExistsLabel(tree.AlphabetSize(), labels.Find("musician"))) &&
+        !AutomatonExpr::Atom(MakeExistsLabel(tree.AlphabetSize(),
+                                             labels.Find("statement")));
+    GateId lineage = ProvenanceRun(combo.Compile(), tree);
+    JunctionTreeProbability(tree.circuit(), lineage, doc.events());
+  });
+
+  // --- MSO reachability, per-query derivation vs session reuse: one
+  // iteration = one s-t reachability query (lineage + probability) on a
+  // width-2 uncertain ladder.
+  Schema edge_schema;
+  edge_schema.AddRelation("E", 2);
+  Rng ladder_rng(8);
+  TidInstance ladder(edge_schema);
+  const uint32_t rungs = 48;
+  for (uint32_t i = 0; i + 2 < 2 * rungs; i += 2) {
+    ladder.AddFact(0, {i, i + 2}, 0.5 + 0.4 * ladder_rng.UniformDouble());
+    ladder.AddFact(0, {i + 1, i + 3},
+                   0.5 + 0.4 * ladder_rng.UniformDouble());
+    ladder.AddFact(0, {i, i + 1}, 0.3 + 0.4 * ladder_rng.UniformDouble());
+  }
+  CInstance ladder_pc = ladder.ToPcInstance();
+  harness.Register("mso_reachability/fresh_per_query", [&] {
+    PccInstance pcc = PccInstance::FromCInstance(ladder_pc);
+    GateId lineage = ComputeReachabilityLineage(pcc, 0, 0, 2 * rungs - 2);
+    JunctionTreeProbability(pcc.circuit(), lineage, pcc.events());
+  });
+  QuerySession ladder_session = QuerySession::FromCInstance(
+      ladder_pc, std::make_unique<JunctionTreeEngine>(
+                     /*seed_topological=*/false, /*cache_plans=*/true));
+  harness.Register("mso_reachability/session_reuse", [&] {
+    GateId lineage = ladder_session.ReachabilityLineage(0, 0, 2 * rungs - 2);
+    ladder_session.Probability(lineage);
   });
 
   std::vector<bench::BenchResult> results = harness.RunAll(min_ms);

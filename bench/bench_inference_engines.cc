@@ -1,17 +1,18 @@
 // Experiment X5: inference-engine comparison on the same lineage
-// circuits (from the Theorem-1 workload): message passing (the paper's
-// method) vs BDD compilation (ProvSQL-style knowledge compilation) vs
-// Monte-Carlo sampling vs exhaustive enumeration (tiny only).
-// Counters report probabilities so agreement is visible in the output.
+// circuits (from the Theorem-1 workload), now through the unified
+// ProbabilityEngine interface: message passing (the paper's method) vs
+// BDD compilation (ProvSQL-style knowledge compilation) vs Monte-Carlo
+// sampling vs exhaustive enumeration (tiny only), plus the AutoEngine
+// planner that picks among them per cone. Counters report probabilities
+// so agreement is visible in the output.
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <string>
 
-#include "bdd/bdd.h"
-#include "inference/exhaustive.h"
+#include "inference/engine.h"
 #include "inference/junction_tree.h"
-#include "inference/sampling.h"
 #include "queries/conjunctive_query.h"
 #include "queries/lineage.h"
 #include "uncertain/c_instance.h"
@@ -36,39 +37,41 @@ Workload MakeWorkload(uint32_t n) {
   return w;
 }
 
+void RunEngine(benchmark::State& state, ProbabilityEngine& engine,
+               const Workload& w) {
+  EngineResult result;
+  for (auto _ : state) {
+    result = engine.Estimate(w.pcc.circuit(), w.lineage, w.pcc.events());
+    benchmark::DoNotOptimize(result.value);
+  }
+  state.counters["P"] = result.value;
+  if (result.stats.bdd_nodes > 0) {
+    state.counters["bdd_nodes"] = static_cast<double>(result.stats.bdd_nodes);
+  }
+}
+
 void BM_EngineMessagePassing(benchmark::State& state) {
   Workload w = MakeWorkload(static_cast<uint32_t>(state.range(0)));
-  double p = 0;
-  for (auto _ : state) {
-    p = JunctionTreeProbability(w.pcc.circuit(), w.lineage, w.pcc.events());
-    benchmark::DoNotOptimize(p);
-  }
-  state.counters["P"] = p;
+  JunctionTreeEngine engine;
+  RunEngine(state, engine, w);
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_EngineMessagePassing)->RangeMultiplier(2)->Range(16, 512)
     ->Complexity();
 
+void BM_EngineMessagePassingSeeded(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<uint32_t>(state.range(0)));
+  JunctionTreeEngine engine(/*seed_topological=*/true);
+  RunEngine(state, engine, w);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EngineMessagePassingSeeded)->RangeMultiplier(2)->Range(16, 512)
+    ->Complexity();
+
 void BM_EngineBddCompilation(benchmark::State& state) {
   Workload w = MakeWorkload(static_cast<uint32_t>(state.range(0)));
-  const uint32_t num_events = static_cast<uint32_t>(w.pcc.events().size());
-  std::vector<uint32_t> levels(num_events);
-  std::vector<double> probs(num_events);
-  for (uint32_t e = 0; e < num_events; ++e) {
-    levels[e] = e;
-    probs[e] = w.pcc.events().probability(e);
-  }
-  double p = 0;
-  size_t nodes = 0;
-  for (auto _ : state) {
-    BddManager mgr(num_events);
-    BddRef f = mgr.FromCircuit(w.pcc.circuit(), w.lineage, levels);
-    p = mgr.Wmc(f, probs);
-    nodes = mgr.NumNodes();
-    benchmark::DoNotOptimize(p);
-  }
-  state.counters["P"] = p;
-  state.counters["bdd_nodes"] = static_cast<double>(nodes);
+  BddEngine engine;
+  RunEngine(state, engine, w);
   state.SetComplexityN(state.range(0));
 }
 // Capped at 32: on the k-tree lineages the OBDD size explodes (1.6M
@@ -81,15 +84,15 @@ void BM_EngineSampling(benchmark::State& state) {
   Workload w = MakeWorkload(static_cast<uint32_t>(state.range(0)));
   double exact =
       JunctionTreeProbability(w.pcc.circuit(), w.lineage, w.pcc.events());
-  Rng rng(1);
-  double p = 0;
+  SamplingEngine engine(10000, 1);
+  EngineResult result;
   for (auto _ : state) {
-    p = SampleProbability(w.pcc.circuit(), w.lineage, w.pcc.events(), 10000,
-                          rng);
-    benchmark::DoNotOptimize(p);
+    result = engine.Estimate(w.pcc.circuit(), w.lineage, w.pcc.events());
+    benchmark::DoNotOptimize(result.value);
   }
-  state.counters["P_estimate"] = p;
-  state.counters["abs_error"] = std::abs(p - exact);
+  state.counters["P_estimate"] = result.value;
+  state.counters["abs_error"] = std::abs(result.value - exact);
+  state.counters["error_bound"] = result.error_bound;
 }
 BENCHMARK(BM_EngineSampling)->RangeMultiplier(2)->Range(16, 512);
 
@@ -99,14 +102,33 @@ void BM_EngineExhaustive(benchmark::State& state) {
     state.SkipWithError("too many events");
     return;
   }
-  double p = 0;
-  for (auto _ : state) {
-    p = ExhaustiveProbability(w.pcc.circuit(), w.lineage, w.pcc.events());
-    benchmark::DoNotOptimize(p);
-  }
-  state.counters["P"] = p;
+  ExhaustiveEngine engine;
+  RunEngine(state, engine, w);
 }
 BENCHMARK(BM_EngineExhaustive)->DenseRange(4, 8, 2);
+
+// The planner end to end: cone inspection + the engine it picks. The
+// chosen engine's name is reported via the counters (0 = exhaustive,
+// 1 = bdd, 2 = junction_tree, 3 = hybrid, 4 = sampling).
+void BM_EngineAuto(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<uint32_t>(state.range(0)));
+  AutoEngine engine;
+  EngineResult result;
+  for (auto _ : state) {
+    result = engine.Estimate(w.pcc.circuit(), w.lineage, w.pcc.events());
+    benchmark::DoNotOptimize(result.value);
+  }
+  state.counters["P"] = result.value;
+  double choice = -1;
+  const std::string name = result.engine;
+  if (name == "exhaustive") choice = 0;
+  else if (name == "bdd") choice = 1;
+  else if (name == "junction_tree") choice = 2;
+  else if (name == "hybrid") choice = 3;
+  else if (name == "sampling") choice = 4;
+  state.counters["chosen_engine"] = choice;
+}
+BENCHMARK(BM_EngineAuto)->RangeMultiplier(2)->Range(16, 512);
 
 }  // namespace
 }  // namespace tud

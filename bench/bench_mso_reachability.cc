@@ -4,10 +4,18 @@
 // Shapes: ~linear in n at fixed width; state count per node bounded;
 // exact probabilities match the CQ engines' guarantees (validated in
 // tests; counters report P and the width actually used).
+//
+// The primary benchmarks go through QuerySession: the instance's tree
+// encoding is derived once and every iteration (= one query) reuses it,
+// which is the paper's compile-once/evaluate-many shape. The *Fresh
+// variants keep the old per-query derivation as the baseline.
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "inference/junction_tree.h"
+#include "queries/query_session.h"
 #include "queries/reachability.h"
 #include "uncertain/c_instance.h"
 #include "uncertain/pcc_instance.h"
@@ -39,14 +47,20 @@ void BM_ReachabilityLadder(benchmark::State& state) {
   const uint32_t length = static_cast<uint32_t>(state.range(0));
   Rng rng(8);
   TidInstance tid = LadderTid(rng, length);
-  CInstance pc = tid.ToPcInstance();
+  // Policy picked once: exact message passing with plan caching — the
+  // lineage gate is stable across iterations (structural hashing), so
+  // the elimination order is derived once and only the numeric pass
+  // reruns.
+  QuerySession session = QuerySession::FromCInstance(
+      tid.ToPcInstance(),
+      std::make_unique<JunctionTreeEngine>(
+          /*seed_topological=*/false, /*cache_plans=*/true));
   double p = 0;
   LineageStats stats;
   for (auto _ : state) {
-    PccInstance pcc = PccInstance::FromCInstance(pc);
     GateId lineage =
-        ComputeReachabilityLineage(pcc, 0, 0, 2 * length - 2, &stats);
-    p = JunctionTreeProbability(pcc.circuit(), lineage, pcc.events());
+        session.ReachabilityLineage(0, 0, 2 * length - 2, &stats);
+    p = session.Probability(lineage).value;
     benchmark::DoNotOptimize(p);
   }
   state.counters["rungs"] = length;
@@ -61,6 +75,32 @@ BENCHMARK(BM_ReachabilityLadder)
     ->Range(8, 256)
     ->Complexity();
 
+// Baseline: the pre-session shape — every query rebuilds the
+// pcc-instance and re-derives the decomposition from scratch.
+void BM_ReachabilityLadderFresh(benchmark::State& state) {
+  const uint32_t length = static_cast<uint32_t>(state.range(0));
+  Rng rng(8);
+  TidInstance tid = LadderTid(rng, length);
+  CInstance pc = tid.ToPcInstance();
+  double p = 0;
+  LineageStats stats;
+  for (auto _ : state) {
+    PccInstance pcc = PccInstance::FromCInstance(pc);
+    GateId lineage =
+        ComputeReachabilityLineage(pcc, 0, 0, 2 * length - 2, &stats);
+    p = JunctionTreeProbability(pcc.circuit(), lineage, pcc.events());
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["rungs"] = length;
+  state.counters["instance_width"] = stats.decomposition_width;
+  state.counters["P_connected"] = p;
+  state.SetComplexityN(length);
+}
+BENCHMARK(BM_ReachabilityLadderFresh)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Complexity();
+
 void BM_ReachabilityKTree(benchmark::State& state) {
   const uint32_t n = static_cast<uint32_t>(state.range(0));
   const uint32_t k = static_cast<uint32_t>(state.range(1));
@@ -69,13 +109,15 @@ void BM_ReachabilityKTree(benchmark::State& state) {
   for (const auto& [a, b] : bench::PartialKTreeEdges(rng, n, k, 0.7)) {
     tid.AddFact(0, {a, b}, 0.3 + 0.5 * rng.UniformDouble());
   }
-  CInstance pc = tid.ToPcInstance();
+  QuerySession session = QuerySession::FromCInstance(
+      tid.ToPcInstance(),
+      std::make_unique<JunctionTreeEngine>(
+          /*seed_topological=*/false, /*cache_plans=*/true));
   double p = 0;
   LineageStats stats;
   for (auto _ : state) {
-    PccInstance pcc = PccInstance::FromCInstance(pc);
-    GateId lineage = ComputeReachabilityLineage(pcc, 0, 0, n - 1, &stats);
-    p = JunctionTreeProbability(pcc.circuit(), lineage, pcc.events());
+    GateId lineage = session.ReachabilityLineage(0, 0, n - 1, &stats);
+    p = session.Probability(lineage).value;
     benchmark::DoNotOptimize(p);
   }
   state.counters["n"] = n;

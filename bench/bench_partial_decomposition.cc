@@ -33,19 +33,19 @@ void BM_HybridCoreTentacles(benchmark::State& state) {
   double exact = registry.size() <= 22
                      ? ExhaustiveProbability(circuit, root, registry)
                      : -1;
-  HybridResult result;
+  EngineResult result;
   Rng rng(9);
   for (auto _ : state) {
     result = HybridProbability(circuit, root, registry, core_events,
                                samples, rng);
-    benchmark::DoNotOptimize(result.estimate);
+    benchmark::DoNotOptimize(result.value);
   }
   state.counters["core_events_chosen"] =
       static_cast<double>(core_events.size());
-  state.counters["restricted_width"] = result.max_restricted_width;
-  state.counters["estimate"] = result.estimate;
+  state.counters["restricted_width"] = result.stats.width;
+  state.counters["estimate"] = result.value;
   if (exact >= 0) {
-    state.counters["abs_error"] = std::abs(result.estimate - exact);
+    state.counters["abs_error"] = std::abs(result.value - exact);
   }
 }
 BENCHMARK(BM_HybridCoreTentacles)
@@ -96,7 +96,7 @@ void BM_HybridVsSamplingRmse(benchmark::State& state) {
       Rng rng(100 + t);
       double h = HybridProbability(circuit, root, registry, core_events,
                                    samples, rng)
-                     .estimate;
+                     .value;
       Rng rng2(100 + t);
       double m = SampleProbability(circuit, root, registry, samples, rng2);
       hybrid_se += (h - exact) * (h - exact);

@@ -31,7 +31,7 @@ void BM_Theorem1Pipeline(benchmark::State& state) {
   ConjunctiveQuery q = ConjunctiveQuery::RstPath(0, 1, 2);
   double p = 0;
   LineageStats stats;
-  JunctionTreeStats jt_stats;
+  EngineStats jt_stats;
   for (auto _ : state) {
     PccInstance pcc = PccInstance::FromCInstance(pc);
     GateId lineage = ComputeCqLineage(q, pcc, &stats);

@@ -24,7 +24,7 @@ void BM_Theorem2Window(benchmark::State& state) {
   Rng rng(42);
   ConjunctiveQuery q = ConjunctiveQuery::RstPath(0, 1, 2);
   double p = 0;
-  JunctionTreeStats jt_stats;
+  EngineStats jt_stats;
   for (auto _ : state) {
     state.PauseTiming();
     Rng fresh_rng(42);

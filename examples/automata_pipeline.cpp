@@ -1,17 +1,17 @@
-// The §2.2 machinery end to end: compile a query as a tree automaton,
-// translate a PrXML document into an uncertain tree (FCNS over the
-// ordinary skeleton), run the automaton symbolically to get a lineage
-// circuit, and read off probabilities — plus Boolean combinations of
-// automata via product/complement.
+// The §2.2 machinery end to end through the compiled-first API: state
+// queries as AutomatonExpr combinators, translate a PrXML document into
+// an uncertain tree, and let a TreeQuerySession compile each expression
+// (compiled-to-compiled, never back through the std::map automaton),
+// run it symbolically and read off probabilities.
 //
 //   $ ./examples/automata_pipeline
 
 #include <cstdio>
 
+#include "automata/automaton_expr.h"
 #include "automata/automaton_library.h"
-#include "automata/provenance_run.h"
-#include "inference/junction_tree.h"
 #include "prxml/to_uncertain_tree.h"
+#include "queries/query_session.h"
 
 int main() {
   using namespace tud;
@@ -31,39 +31,45 @@ int main() {
   }
   doc.Finalize();
 
-  // Translate once; build automata against the resulting alphabet.
+  // Translate once; the session owns the uncertain tree and caches
+  // every expression it compiles.
   XmlLabelMap labels;
   Label dead;
   UncertainBinaryTree tree = PrXmlToUncertainTree(doc, labels, &dead);
   const Label alphabet = tree.AlphabetSize();
   std::printf("Uncertain tree: %zu binary nodes, alphabet %u, %zu gates\n\n",
               tree.NumNodes(), alphabet, tree.circuit().NumGates());
+  TreeQuerySession session(std::move(tree), doc.events());
 
-  auto prob = [&](const TreeAutomaton& automaton) {
-    GateId lineage = ProvenanceRun(automaton, tree);
-    return JunctionTreeProbability(tree.circuit(), lineage, doc.events());
-  };
+  // Queries as expressions over the automaton library.
+  AutomatonExpr has_price =
+      AutomatonExpr::Atom(MakeExistsLabel(alphabet, labels.Find("price")));
+  AutomatonExpr has_review =
+      AutomatonExpr::Atom(MakeExistsLabel(alphabet, labels.Find("review")));
+  AutomatonExpr two_prices = AutomatonExpr::Atom(
+      MakeCountAtLeast(alphabet, labels.Find("price"), 2));
 
-  TreeAutomaton has_price = MakeExistsLabel(alphabet, labels.Find("price"));
-  TreeAutomaton has_review =
-      MakeExistsLabel(alphabet, labels.Find("review"));
-  TreeAutomaton two_prices =
-      MakeCountAtLeast(alphabet, labels.Find("price"), 2);
-
-  std::printf("P(some price)            = %.4f\n", prob(has_price));
+  std::printf("P(some price)            = %.4f\n",
+              session.Probability(has_price).value);
   std::printf("P(both prices)           = %.4f   (0.9 * 0.4)\n",
-              prob(two_prices));
+              session.Probability(two_prices).value);
   std::printf("P(some review)           = %.4f   (the shared feed event)\n",
-              prob(has_review));
+              session.Probability(has_review).value);
 
-  // Boolean closure: price AND NOT review, via product + complement.
-  TreeAutomaton combo = TreeAutomaton::Product(
-      has_price, has_review.Complement(), /*conjunction=*/true);
-  std::printf("P(price and no review)   = %.4f\n", prob(combo));
+  // Boolean closure: price AND NOT review — one combinator expression,
+  // compiled product/complement end to end.
+  AutomatonExpr combo = has_price && !has_review;
+  std::printf("P(price and no review)   = %.4f\n",
+              session.Probability(combo).value);
 
   // The automaton route and the direct computation agree:
   // P(price ∧ ¬review) = P(some price) * (1 - 0.8) by independence.
-  double direct = prob(has_price) * 0.2;
+  double direct = session.Probability(has_price).value * 0.2;
   std::printf("  (independence check:     %.4f)\n", direct);
+
+  // Evidence pinning through the same interface: the feed turns out
+  // trustworthy, so reviews are certain.
+  std::printf("P(some review | feed ok) = %.4f\n",
+              session.Probability(has_review, {{feed, true}}).value);
   return 0;
 }

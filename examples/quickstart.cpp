@@ -1,20 +1,20 @@
-// Quickstart: build a small tuple-independent database, ask the paper's
-// running query q = ∃xy R(x) S(x,y) T(y), and compute its probability
-// exactly three independent ways — plus its Why-provenance.
+// Quickstart: build a small tuple-independent database, open a
+// QuerySession on it — the intended entry point: the instance's tree
+// encoding is derived once and shared by every query — and ask the
+// paper's running query q = ∃xy R(x) S(x,y) T(y) through the unified
+// ProbabilityEngine interface, plus its Why-provenance.
 //
 //   $ ./examples/quickstart
 
 #include <cstdio>
+#include <memory>
 
-#include "bdd/bdd.h"
-#include "inference/exhaustive.h"
-#include "inference/junction_tree.h"
+#include "inference/engine.h"
 #include "queries/conjunctive_query.h"
-#include "queries/lineage.h"
+#include "queries/query_session.h"
 #include "semiring/provenance_eval.h"
 #include "semiring/semiring.h"
 #include "uncertain/c_instance.h"
-#include "uncertain/pcc_instance.h"
 #include "uncertain/tid_instance.h"
 
 int main() {
@@ -42,41 +42,44 @@ int main() {
 
   std::printf("Instance:\n%s\n", tid.instance().ToString(dict).c_str());
 
-  // 2. The query and its lineage over the pcc-instance view (Theorem 1
-  //    pipeline: decompose, run the DP, get a circuit).
-  PccInstance pcc = PccInstance::FromCInstance(tid.ToPcInstance());
+  // 2. A session owns the pcc-instance view and its tree encoding
+  //    (Theorem 1 pipeline: decompose once, run the lineage DP per
+  //    query). The default engine is the AutoEngine planner.
+  QuerySession session = QuerySession::FromCInstance(tid.ToPcInstance());
   ConjunctiveQuery q = ConjunctiveQuery::RstPath(r, s, t);
   std::printf("Query: %s\n\n", q.ToString(schema).c_str());
 
   LineageStats stats;
-  GateId lineage = ComputeCqLineage(q, pcc, &stats);
+  GateId lineage = session.CqLineage(q, &stats);
   std::printf("Lineage built over a width-%d decomposition, %zu DP states\n",
               stats.decomposition_width, stats.total_states);
 
-  // 3. Probability, three ways.
-  double exhaustive =
-      ExhaustiveProbability(pcc.circuit(), lineage, pcc.events());
-  double message_passing =
-      JunctionTreeProbability(pcc.circuit(), lineage, pcc.events());
+  EngineResult planned = session.Probability(lineage);
+  std::printf("P(q) = %.9f  (planner chose the %s engine)\n\n",
+              planned.value, planned.engine);
 
-  BddManager bdd(static_cast<uint32_t>(pcc.events().size()));
-  std::vector<uint32_t> levels(pcc.events().size());
-  std::vector<double> probs(pcc.events().size());
-  for (EventId e = 0; e < pcc.events().size(); ++e) {
-    levels[e] = e;
-    probs[e] = pcc.events().probability(e);
+  // 3. The same probability through every exact engine of the unified
+  //    interface — one Estimate signature instead of five ad-hoc ones.
+  ExhaustiveEngine exhaustive;
+  JunctionTreeEngine message_passing(/*seed_topological=*/true);
+  BddEngine bdd;
+  ProbabilityEngine* engines[] = {&exhaustive, &message_passing, &bdd};
+  for (ProbabilityEngine* engine : engines) {
+    EngineResult result = engine->Estimate(
+        session.pcc().circuit(), lineage, session.pcc().events());
+    std::printf("P(q) by %-15s : %.9f\n", engine->name(), result.value);
   }
-  double wmc = bdd.Wmc(bdd.FromCircuit(pcc.circuit(), lineage, levels), probs);
 
-  std::printf("P(q) by world enumeration : %.9f\n", exhaustive);
-  std::printf("P(q) by message passing   : %.9f\n", message_passing);
-  std::printf("P(q) by BDD compilation   : %.9f\n\n", wmc);
+  // 4. Conditioning comes free with the interface: pin the first fact's
+  //    event to false and re-ask.
+  EngineResult conditioned = session.Probability(lineage, {{0, false}});
+  std::printf("P(q | R(a) absent)       : %.9f\n\n", conditioned.value);
 
-  // 4. Why-provenance from the same (monotone) lineage circuit.
+  // 5. Why-provenance from the same (monotone) lineage circuit.
   auto why = EvalMonotoneCircuit<WhySemiring>(
-      pcc.circuit(), lineage,
+      session.pcc().circuit(), lineage,
       [](EventId e) { return WhySemiring::Value{{e}}; });
   std::printf("Why-provenance (minimal witness sets of fact events):\n  %s\n",
-              WhySemiring::ToString(why, pcc.events()).c_str());
+              WhySemiring::ToString(why, session.pcc().events()).c_str());
   return 0;
 }

@@ -1,0 +1,105 @@
+#include "automata/automaton_expr.h"
+
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+
+namespace tud {
+
+struct AutomatonExpr::Node {
+  enum class Kind : uint8_t { kAtom, kAnd, kOr, kNot };
+
+  Kind kind;
+  // kAtom only (optional because CompiledAutomaton is not
+  // default-constructible — it only exists compiled).
+  std::optional<CompiledAutomaton> atom;
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;  // kAnd/kOr only.
+};
+
+AutomatonExpr AutomatonExpr::Atom(const TreeAutomaton& automaton) {
+  return Atom(CompiledAutomaton::Compile(automaton));
+}
+
+AutomatonExpr AutomatonExpr::Atom(CompiledAutomaton automaton) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kAtom;
+  node->atom = std::move(automaton);
+  return AutomatonExpr(std::move(node));
+}
+
+AutomatonExpr AutomatonExpr::And(AutomatonExpr a, AutomatonExpr b) {
+  TUD_CHECK(a.node_ != nullptr && b.node_ != nullptr);
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kAnd;
+  node->left = std::move(a.node_);
+  node->right = std::move(b.node_);
+  return AutomatonExpr(std::move(node));
+}
+
+AutomatonExpr AutomatonExpr::Or(AutomatonExpr a, AutomatonExpr b) {
+  TUD_CHECK(a.node_ != nullptr && b.node_ != nullptr);
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kOr;
+  node->left = std::move(a.node_);
+  node->right = std::move(b.node_);
+  return AutomatonExpr(std::move(node));
+}
+
+AutomatonExpr AutomatonExpr::Not(AutomatonExpr a) {
+  TUD_CHECK(a.node_ != nullptr);
+  if (a.node_->kind == Node::Kind::kNot) {
+    return AutomatonExpr(a.node_->left);  // !!e == e.
+  }
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kNot;
+  node->left = std::move(a.node_);
+  return AutomatonExpr(std::move(node));
+}
+
+CompiledAutomaton AutomatonExpr::Compile(CompileStats* stats) const {
+  TUD_CHECK(node_ != nullptr);
+  CompileStats local;
+  CompiledAutomaton result = CompileNode(*node_, &local);
+  local.result_states = result.num_states();
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+uintptr_t AutomatonExpr::CacheKey() const {
+  return reinterpret_cast<uintptr_t>(node_.get());
+}
+
+CompiledAutomaton AutomatonExpr::CompileNode(const Node& node,
+                                             CompileStats* stats) {
+  switch (node.kind) {
+    case Node::Kind::kAtom:
+      return *node.atom;
+    case Node::Kind::kAnd: {
+      CompiledAutomaton left = CompileNode(*node.left, stats);
+      CompiledAutomaton right = CompileNode(*node.right, stats);
+      ++stats->products;
+      return CompiledAutomaton::Product(left, right, /*conjunction=*/true);
+    }
+    case Node::Kind::kOr: {
+      // Union-by-product only means language union when both operands
+      // are complete (an operand with no run on a tree would otherwise
+      // veto the pair run); complete them first — a no-op for the
+      // deterministic library automata and for nested union results.
+      CompiledAutomaton left = CompileNode(*node.left, stats).Completed();
+      CompiledAutomaton right = CompileNode(*node.right, stats).Completed();
+      ++stats->products;
+      return CompiledAutomaton::Product(left, right, /*conjunction=*/false);
+    }
+    case Node::Kind::kNot: {
+      CompiledAutomaton operand = CompileNode(*node.left, stats);
+      ++stats->complements;
+      return operand.Complement();
+    }
+  }
+  TUD_CHECK(false) << "unreachable";
+  return *node.atom;
+}
+
+}  // namespace tud

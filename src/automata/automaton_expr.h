@@ -1,0 +1,88 @@
+#ifndef TUD_AUTOMATA_AUTOMATON_EXPR_H_
+#define TUD_AUTOMATA_AUTOMATON_EXPR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "automata/compiled_automaton.h"
+#include "automata/tree_automaton.h"
+
+namespace tud {
+
+/// A lazy Boolean combination of tree automata — the compiled-first
+/// query surface of the §2.2 pipeline ("one compiles the MSO query q,
+/// in a data-independent fashion, to a tree automaton A").
+///
+/// Expressions are cheap immutable values (a shared expression DAG):
+///
+///   AutomatonExpr q = Atom(MakeExistsLabel(s, price)) &&
+///                     !Atom(MakeExistsLabel(s, review));
+///   CompiledAutomaton a = q.Compile();
+///
+/// Compile() composes product, union and complement *compiled to
+/// compiled*: atoms are lowered to the bitset-table engine once, at
+/// construction, and every closure step consumes and produces
+/// CompiledAutomaton — the std::map-based TreeAutomaton representation
+/// is only ever touched at the edges (construction of atoms, or an
+/// explicit ToTreeAutomaton() by the caller). This removes the map
+/// churn that TreeAutomaton::Product/Complement chains paid between
+/// steps, and is checkable: CompiledAutomaton::ToTreeAutomatonCalls()
+/// must not move across a Compile().
+///
+/// Negation folds double complements at construction (!!e shares e's
+/// node), so expression rewriting never pays for a determinisation it
+/// does not need.
+class AutomatonExpr {
+ public:
+  /// Diagnostics of one Compile() pass.
+  struct CompileStats {
+    size_t products = 0;         ///< Binary product/union constructions.
+    size_t complements = 0;      ///< Determinise-and-flip steps.
+    uint32_t result_states = 0;  ///< States of the compiled result.
+  };
+
+  /// Leaf: an already-constructed automaton. The TreeAutomaton overload
+  /// lowers to the compiled representation here, once, regardless of
+  /// how many expressions or Compile() calls reuse the atom.
+  static AutomatonExpr Atom(const TreeAutomaton& automaton);
+  static AutomatonExpr Atom(CompiledAutomaton automaton);
+
+  /// Intersection / union / complement of the operand languages.
+  /// Operand alphabets must agree (checked at Compile()). Unlike a raw
+  /// union product, Or is the language union for *arbitrary* NTAs: the
+  /// compilation completes incomplete operands with a sink state first.
+  static AutomatonExpr And(AutomatonExpr a, AutomatonExpr b);
+  static AutomatonExpr Or(AutomatonExpr a, AutomatonExpr b);
+  static AutomatonExpr Not(AutomatonExpr a);
+
+  /// Operator sugar for the combinators above.
+  AutomatonExpr operator&&(AutomatonExpr rhs) const {
+    return And(*this, std::move(rhs));
+  }
+  AutomatonExpr operator||(AutomatonExpr rhs) const {
+    return Or(*this, std::move(rhs));
+  }
+  AutomatonExpr operator!() const { return Not(*this); }
+
+  /// Evaluates the expression compiled-to-compiled. Deterministic cost:
+  /// one Product per And/Or node, one Determinize per Not node.
+  CompiledAutomaton Compile(CompileStats* stats = nullptr) const;
+
+  /// Stable identity of the root expression node (shared across copies
+  /// of this expression); lets sessions memoise Compile() results.
+  uintptr_t CacheKey() const;
+
+ private:
+  struct Node;
+  explicit AutomatonExpr(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  static CompiledAutomaton CompileNode(const Node& node, CompileStats* stats);
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace tud
+
+#endif  // TUD_AUTOMATA_AUTOMATON_EXPR_H_

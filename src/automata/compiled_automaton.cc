@@ -1,6 +1,7 @@
 #include "automata/compiled_automaton.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -144,7 +145,16 @@ CompiledAutomaton CompiledAutomaton::Compile(const TreeAutomaton& automaton) {
   return std::move(builder).Build();
 }
 
+namespace {
+std::atomic<uint64_t> g_to_tree_automaton_calls{0};
+}  // namespace
+
+uint64_t CompiledAutomaton::ToTreeAutomatonCalls() {
+  return g_to_tree_automaton_calls.load(std::memory_order_relaxed);
+}
+
 TreeAutomaton CompiledAutomaton::ToTreeAutomaton() const {
+  g_to_tree_automaton_calls.fetch_add(1, std::memory_order_relaxed);
   TreeAutomaton out(num_states_, alphabet_size_);
   for (Label l = 0; l < alphabet_size_; ++l) {
     leaf_states_[l].ForEach(
@@ -339,6 +349,50 @@ CompiledAutomaton CompiledAutomaton::Determinize() const {
     if (num_words_ > 0 && IntersectsWords(interner.SubsetWords(id),
                                           accepting_.words(), num_words_)) {
       builder.SetAccepting(id);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+bool CompiledAutomaton::IsComplete() const {
+  const size_t square = static_cast<size_t>(num_states_) * num_states_;
+  const size_t stride = static_cast<size_t>(num_states_) + 1;
+  for (Label l = 0; l < alphabet_size_; ++l) {
+    if (!leaf_states_[l].Any()) return false;
+    // Cells are unique per (ql, qr), so a full label has exactly
+    // num_states^2 of them.
+    const size_t cells = row_start_[l * stride + num_states_] -
+                         row_start_[l * stride];
+    if (cells != square) return false;
+  }
+  // A 0-state automaton over a nonempty alphabet was caught by the
+  // empty-leaf-set check above, so every surviving case is complete.
+  return true;
+}
+
+CompiledAutomaton CompiledAutomaton::Completed() const {
+  if (IsComplete()) return *this;
+  const State sink = num_states_;
+  Builder builder(num_states_ + 1, alphabet_size_);
+  accepting_.ForEach([&](State q) { builder.SetAccepting(q); });
+  for (Label l = 0; l < alphabet_size_; ++l) {
+    leaf_states_[l].ForEach(
+        [&](State q) { builder.AddLeafTransition(l, q); });
+    if (!leaf_states_[l].Any()) builder.AddLeafTransition(l, sink);
+    for (State ql = 0; ql <= sink; ++ql) {
+      uint32_t cell = ql < sink ? RowBegin(l, ql) : 0;
+      const uint32_t end = ql < sink ? RowEnd(l, ql) : 0;
+      for (State qr = 0; qr <= sink; ++qr) {
+        if (ql < sink && qr < sink && cell < end && cell_qr_[cell] == qr) {
+          for (const State* t = CellTargetsBegin(cell);
+               t != CellTargetsEnd(cell); ++t) {
+            builder.AddTransition(l, ql, qr, *t);
+          }
+          ++cell;
+        } else {
+          builder.AddTransition(l, ql, qr, sink);
+        }
+      }
     }
   }
   return std::move(builder).Build();

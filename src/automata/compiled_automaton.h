@@ -126,9 +126,27 @@ class CompiledAutomaton {
   /// Determinise, then flip accepting states.
   CompiledAutomaton Complement() const;
 
+  /// True iff every label has a nonempty leaf-state set and every
+  /// (label, q_left, q_right) has at least one target — i.e. every tree
+  /// admits at least one run. Product-with-union acceptance only
+  /// computes the language union for complete operands.
+  bool IsComplete() const;
+
+  /// An equivalent complete automaton: *this if already complete,
+  /// otherwise *this plus a non-accepting sink state absorbing every
+  /// missing transition. Used by AutomatonExpr's union compilation so
+  /// Or means language union for arbitrary NTAs.
+  CompiledAutomaton Completed() const;
+
   /// Rebuilds the std::map-based representation (for callers that want
   /// to keep composing through the TreeAutomaton API).
   TreeAutomaton ToTreeAutomaton() const;
+
+  /// Process-wide count of ToTreeAutomaton() rebuilds. Compiled-first
+  /// pipelines (AutomatonExpr::Compile) must never round-trip through
+  /// the std::map representation between closure steps; tests pin that
+  /// down by asserting this counter does not move.
+  static uint64_t ToTreeAutomatonCalls();
 
  private:
   CompiledAutomaton() = default;

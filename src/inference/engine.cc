@@ -1,0 +1,307 @@
+#include "inference/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "bdd/bdd.h"
+#include "inference/conditioning.h"
+#include "inference/exhaustive.h"
+#include "inference/hybrid.h"
+#include "inference/junction_tree.h"
+#include "inference/sampling.h"
+#include "treedec/elimination.h"
+#include "treedec/graph.h"
+#include "util/check.h"
+
+namespace tud {
+
+namespace {
+
+/// Restricts the cone by pinning the evidence literals to constants:
+/// the probability of the restricted root is exactly the conditional
+/// P(root | pins) (pinned events carry no weight). Engines without a
+/// native evidence path all condition this way.
+std::pair<BoolCircuit, GateId> PinEvidence(const BoolCircuit& circuit,
+                                           GateId root,
+                                           const EventRegistry& registry,
+                                           const Evidence& evidence) {
+  std::vector<std::optional<bool>> fixed(registry.size());
+  for (const auto& [e, v] : evidence) {
+    TUD_CHECK_LT(e, fixed.size());
+    fixed[e] = v;
+  }
+  return RestrictCircuit(circuit, root, fixed);
+}
+
+size_t CountConeEvents(const BoolCircuit& circuit, GateId root) {
+  std::vector<bool> seen(circuit.NumEvents(), false);
+  size_t count = 0;
+  for (GateId g : circuit.ReachableFrom(root)) {
+    if (circuit.kind(g) != GateKind::kVar) continue;
+    EventId e = circuit.var(g);
+    if (!seen[e]) {
+      seen[e] = true;
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Exact adapters
+// ---------------------------------------------------------------------------
+
+EngineResult ExhaustiveEngine::Estimate(const BoolCircuit& circuit,
+                                        GateId root,
+                                        const EventRegistry& registry,
+                                        const Evidence& evidence) {
+  EngineResult result;
+  result.engine = name();
+  if (!evidence.empty()) {
+    auto [restricted, restricted_root] =
+        PinEvidence(circuit, root, registry, evidence);
+    result.value = ExhaustiveProbability(restricted, restricted_root,
+                                         registry);
+    result.stats.cone_events = CountConeEvents(restricted, restricted_root);
+    return result;
+  }
+  result.value = ExhaustiveProbability(circuit, root, registry);
+  result.stats.cone_events = CountConeEvents(circuit, root);
+  return result;
+}
+
+EngineResult JunctionTreeEngine::Estimate(const BoolCircuit& circuit,
+                                          GateId root,
+                                          const EventRegistry& registry,
+                                          const Evidence& evidence) {
+  EngineResult result;
+  result.engine = name();
+  if (!cache_plans_) {
+    JunctionTreePlan plan =
+        JunctionTreePlan::Build(circuit, root, seed_topological_);
+    plan.FillStats(&result.stats);
+    result.value = plan.Execute(registry, evidence);
+    return result;
+  }
+  // Plan caching is only sound against one append-only circuit: a gate's
+  // cone never changes once created, but another circuit's gate ids mean
+  // something else entirely. The root-kind revalidation below guards the
+  // case the pointer identity cannot: the bound circuit was destroyed
+  // and a different one reallocated at the same address.
+  if (bound_circuit_ == nullptr) bound_circuit_ = &circuit;
+  TUD_CHECK(bound_circuit_ == &circuit)
+      << "a plan-caching JunctionTreeEngine is bound to its first circuit";
+  TUD_CHECK_LT(root, circuit.NumGates());
+  auto it = plans_.find(root);
+  if (it == plans_.end()) {
+    it = plans_
+             .emplace(root,
+                      CachedPlan{std::make_shared<const JunctionTreePlan>(
+                                     JunctionTreePlan::Build(
+                                         circuit, root, seed_topological_)),
+                                 circuit.kind(root)})
+             .first;
+  }
+  TUD_CHECK(it->second.root_kind == circuit.kind(root))
+      << "cached plan does not match the circuit it is executed against";
+  it->second.plan->FillStats(&result.stats);
+  result.value = it->second.plan->Execute(registry, evidence);
+  return result;
+}
+
+EngineResult BddEngine::Estimate(const BoolCircuit& circuit, GateId root,
+                                 const EventRegistry& registry,
+                                 const Evidence& evidence) {
+  EngineResult result;
+  result.engine = name();
+  auto [cone, cone_root] = evidence.empty()
+                               ? circuit.ExtractCone(root)
+                               : PinEvidence(circuit, root, registry,
+                                             evidence);
+  const uint32_t num_levels = static_cast<uint32_t>(registry.size());
+  std::vector<uint32_t> levels(num_levels);
+  std::vector<double> probs(num_levels);
+  for (uint32_t e = 0; e < num_levels; ++e) {
+    levels[e] = e;
+    probs[e] = registry.probability(e);
+  }
+  BddManager manager(num_levels);
+  BddRef f = manager.FromCircuit(cone, cone_root, levels);
+  result.value = manager.Wmc(f, probs);
+  result.stats.bdd_nodes = manager.NumNodes();
+  result.stats.cone_events = CountConeEvents(cone, cone_root);
+  return result;
+}
+
+EngineResult ConditioningEngine::Estimate(const BoolCircuit& circuit,
+                                          GateId root,
+                                          const EventRegistry& registry,
+                                          const Evidence& evidence) {
+  EngineResult result;
+  result.engine = name();
+  if (evidence.empty()) {
+    result.value =
+        JunctionTreeProbability(circuit, root, registry, &result.stats);
+    return result;
+  }
+  // The §4 route: materialise the observation as a gate and compute
+  // P(root ∧ obs) / P(obs) with two message-passing runs. Works on a
+  // copy — the adapter's contract is not to grow the caller's circuit.
+  BoolCircuit working = circuit;
+  std::vector<GateId> literals;
+  literals.reserve(evidence.size());
+  for (const auto& [e, v] : evidence) {
+    GateId var = working.AddVar(e);
+    literals.push_back(v ? var : working.AddNot(var));
+  }
+  GateId observation = working.AddAnd(std::move(literals));
+  std::optional<double> conditional =
+      ConditionalProbability(working, root, observation, registry);
+  TUD_CHECK(conditional.has_value())
+      << "conditioning on a zero-probability observation";
+  result.value = *conditional;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Sampling-based adapters
+// ---------------------------------------------------------------------------
+
+EngineResult SamplingEngine::Estimate(const BoolCircuit& circuit, GateId root,
+                                      const EventRegistry& registry,
+                                      const Evidence& evidence) {
+  EngineResult result;
+  result.engine = name();
+  result.stats.num_samples = num_samples_;
+  double p;
+  if (!evidence.empty()) {
+    auto [restricted, restricted_root] =
+        PinEvidence(circuit, root, registry, evidence);
+    p = SampleProbability(restricted, restricted_root, registry, num_samples_,
+                          rng_);
+  } else {
+    p = SampleProbability(circuit, root, registry, num_samples_, rng_);
+  }
+  result.value = p;
+  // Normal approximation, with the rule-of-three at the degenerate
+  // empirical extremes (p-hat of exactly 0 or 1 would otherwise report
+  // error 0, i.e. claim an unconverged estimate is exact).
+  result.error_bound = p > 0.0 && p < 1.0
+                           ? 1.96 * std::sqrt(p * (1.0 - p) / num_samples_)
+                           : 3.0 / num_samples_;
+  return result;
+}
+
+EngineResult HybridEngine::Estimate(const BoolCircuit& circuit, GateId root,
+                                    const EventRegistry& registry,
+                                    const Evidence& evidence) {
+  if (!evidence.empty()) {
+    auto [restricted, restricted_root] =
+        PinEvidence(circuit, root, registry, evidence);
+    Evidence none;
+    return Estimate(restricted, restricted_root, registry, none);
+  }
+  std::vector<EventId> core =
+      SelectCoreEvents(circuit, root, target_width_, max_core_);
+  if (core.empty()) {
+    // Already narrow: one exact message-passing run, no sampling.
+    EngineResult result;
+    result.engine = name();
+    result.value =
+        JunctionTreeProbability(circuit, root, registry, &result.stats);
+    return result;
+  }
+  EngineResult result =
+      HybridProbability(circuit, root, registry, core, num_samples_, rng_);
+  result.engine = name();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// AutoEngine
+// ---------------------------------------------------------------------------
+
+AutoEngine::AutoEngine(const Limits& limits)
+    : limits_(limits),
+      junction_tree_(limits.seed_topological),
+      hybrid_(limits.hybrid_target_width, limits.hybrid_max_core,
+              limits.hybrid_num_samples, limits.seed),
+      sampling_(limits.sampling_num_samples, limits.seed) {}
+
+EngineResult AutoEngine::Estimate(const BoolCircuit& circuit, GateId root,
+                                  const EventRegistry& registry,
+                                  const Evidence& evidence) {
+  if (!evidence.empty()) {
+    // Pin once, then plan on the restricted circuit: pinning both
+    // shrinks the cone and is how every delegate would condition anyway.
+    auto [restricted, restricted_root] =
+        PinEvidence(circuit, root, registry, evidence);
+    return Plan(restricted, restricted_root, registry);
+  }
+  return Plan(circuit, root, registry);
+}
+
+EngineResult AutoEngine::Plan(const BoolCircuit& circuit, GateId root,
+                              const EventRegistry& registry) {
+  const size_t cone_events = CountConeEvents(circuit, root);
+  if (cone_events <= limits_.exhaustive_max_events) {
+    return exhaustive_.Estimate(circuit, root, registry);
+  }
+  if (cone_events <= limits_.bdd_max_events) {
+    return bdd_.Estimate(circuit, root, registry);
+  }
+
+  // Cheap width estimate of the binarised cone's primal graph — the
+  // same min-degree order the junction tree itself would try first.
+  auto [cone, cone_root] = circuit.ExtractCone(root);
+  auto [bin, remap] = cone.Binarize();
+  GateId bin_root = remap[cone_root];
+  int width = 0;
+  if (bin.kind(bin_root) != GateKind::kConst) {
+    Graph graph(static_cast<uint32_t>(bin.NumGates()));
+    for (const auto& [a, b] : bin.PrimalEdges()) graph.AddEdge(a, b);
+    width = static_cast<int>(
+        EliminationWidth(graph, CircuitMinDegreeOrder(graph)));
+  }
+  if (width <= limits_.jt_max_width) {
+    EngineResult result = junction_tree_.Estimate(circuit, root, registry);
+    result.stats.cone_events = cone_events;
+    return result;
+  }
+  std::vector<EventId> core = SelectCoreEvents(
+      circuit, root, limits_.hybrid_target_width, limits_.hybrid_max_core);
+  if (!core.empty()) {
+    // Only worth the per-sample exact runs if the core actually tames
+    // the width; SelectCoreEvents stops early when it cannot.
+    std::vector<std::optional<bool>> fixed(registry.size());
+    for (EventId e : core) fixed[e] = true;
+    auto [restricted, restricted_root] =
+        RestrictCircuit(circuit, root, fixed);
+    auto [rbin, rremap] = restricted.Binarize();
+    GateId rroot = rremap[restricted_root];
+    int rwidth = 0;
+    if (rbin.kind(rroot) != GateKind::kConst) {
+      Graph rgraph(static_cast<uint32_t>(rbin.NumGates()));
+      for (const auto& [a, b] : rbin.PrimalEdges()) rgraph.AddEdge(a, b);
+      rwidth = static_cast<int>(
+          EliminationWidth(rgraph, CircuitMinDegreeOrder(rgraph)));
+    }
+    if (rwidth <= limits_.jt_max_width) {
+      EngineResult result = hybrid_.Estimate(circuit, root, registry);
+      result.stats.cone_events = cone_events;
+      return result;
+    }
+  }
+  EngineResult result = sampling_.Estimate(circuit, root, registry);
+  result.stats.cone_events = cone_events;
+  return result;
+}
+
+std::unique_ptr<ProbabilityEngine> MakeAutoEngine() {
+  return std::make_unique<AutoEngine>();
+}
+
+}  // namespace tud

@@ -1,0 +1,222 @@
+#ifndef TUD_INFERENCE_ENGINE_H_
+#define TUD_INFERENCE_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "circuits/bool_circuit.h"
+#include "events/event_registry.h"
+#include "util/rng.h"
+
+namespace tud {
+
+class JunctionTreePlan;
+
+/// Pinned event literals: the result of an Estimate is the conditional
+/// probability P(root = true | pinned values), with pinned events
+/// contributing no probability weight.
+using Evidence = std::vector<std::pair<EventId, bool>>;
+
+/// Diagnostics shared by every inference engine. One struct instead of
+/// the former JunctionTreeStats / HybridResult / ad-hoc sampling
+/// counters: each engine fills the fields that apply to it and leaves
+/// the rest at their defaults.
+struct EngineStats {
+  int width = -1;          ///< Decomposition width actually used (message
+                           ///< passing; for hybrid, the widest restricted
+                           ///< decomposition over samples).
+  size_t num_bags = 0;     ///< Bags in the decomposition.
+  size_t num_gates = 0;    ///< Gates of the (binarised) cone processed.
+  size_t num_samples = 0;  ///< Monte-Carlo samples drawn (0 for exact).
+  size_t bdd_nodes = 0;    ///< Nodes of the compiled BDD (BDD engine).
+  size_t cone_events = 0;  ///< Distinct events under the root.
+};
+
+/// The uniform answer shape of every engine.
+struct EngineResult {
+  double value = 0.0;        ///< The (estimated) probability.
+  double error_bound = 0.0;  ///< 0 for exact engines; for sampling-based
+                             ///< ones, a 95% normal-approximation
+                             ///< half-width of the estimate.
+  const char* engine = "";   ///< Name of the engine that produced it
+                             ///< (the delegate's name under AutoEngine).
+  EngineStats stats;
+};
+
+/// The unified inference interface of the evaluation pipeline (§2.2:
+/// "the probability that I satisfies q can be computed from C"): every
+/// engine estimates P(root = true | evidence) over the independent
+/// events of `registry`. Implementations are the five adapters below
+/// plus the AutoEngine planner; QuerySession calls whichever it is
+/// handed, so callers pick a policy once instead of hand-dispatching
+/// per query.
+class ProbabilityEngine {
+ public:
+  virtual ~ProbabilityEngine() = default;
+
+  virtual EngineResult Estimate(const BoolCircuit& circuit, GateId root,
+                                const EventRegistry& registry,
+                                const Evidence& evidence = {}) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Exact, by enumerating the valuations of the events in the cone (at
+/// most 30). Evidence is applied by restriction.
+class ExhaustiveEngine : public ProbabilityEngine {
+ public:
+  EngineResult Estimate(const BoolCircuit& circuit, GateId root,
+                        const EventRegistry& registry,
+                        const Evidence& evidence = {}) override;
+  const char* name() const override { return "exhaustive"; }
+};
+
+/// Exact, by message passing over a tree decomposition of the cone (the
+/// paper's method; see JunctionTreePlan in junction_tree.h). With
+/// `seed_topological`, the decomposition is seeded from the circuit's
+/// own construction order — the right choice for DP-produced lineage
+/// circuits, whose gate order follows a tree.
+///
+/// With `cache_plans`, the compiled message-passing plan of each root
+/// gate is memoised, so re-estimating the same lineage (repeated
+/// queries of a QuerySession, evidence sweeps, question selection)
+/// reruns only the numeric pass. The cache relies on circuits being
+/// append-only: it is only sound while the engine is used against one
+/// circuit object, which the first Estimate() call pins (checked).
+class JunctionTreeEngine : public ProbabilityEngine {
+ public:
+  explicit JunctionTreeEngine(bool seed_topological = false,
+                              bool cache_plans = false)
+      : seed_topological_(seed_topological), cache_plans_(cache_plans) {}
+  EngineResult Estimate(const BoolCircuit& circuit, GateId root,
+                        const EventRegistry& registry,
+                        const Evidence& evidence = {}) override;
+  const char* name() const override { return "junction_tree"; }
+
+ private:
+  struct CachedPlan {
+    std::shared_ptr<const JunctionTreePlan> plan;
+    GateKind root_kind;  ///< Revalidated on every hit: catches a stale
+                         ///< bind through a recycled circuit address.
+  };
+
+  bool seed_topological_;
+  bool cache_plans_;
+  const BoolCircuit* bound_circuit_ = nullptr;
+  std::unordered_map<GateId, CachedPlan> plans_;
+};
+
+/// Exact, by OBDD compilation + weighted model counting (the
+/// knowledge-compilation baseline). Evidence is applied by restriction.
+class BddEngine : public ProbabilityEngine {
+ public:
+  EngineResult Estimate(const BoolCircuit& circuit, GateId root,
+                        const EventRegistry& registry,
+                        const Evidence& evidence = {}) override;
+  const char* name() const override { return "bdd"; }
+};
+
+/// Monte-Carlo estimate over `num_samples` valuations. Evidence is
+/// applied by restriction (so the estimate is of the conditional).
+class SamplingEngine : public ProbabilityEngine {
+ public:
+  explicit SamplingEngine(uint32_t num_samples = 10000, uint64_t seed = 1)
+      : num_samples_(num_samples), rng_(seed) {}
+  EngineResult Estimate(const BoolCircuit& circuit, GateId root,
+                        const EventRegistry& registry,
+                        const Evidence& evidence = {}) override;
+  const char* name() const override { return "sampling"; }
+
+ private:
+  uint32_t num_samples_;
+  Rng rng_;
+};
+
+/// The core/tentacle estimator: samples a heuristically-selected core
+/// event set and runs exact message passing on each restricted circuit
+/// (Rao-Blackwellised; §2.2 end). Falls back to a single exact run when
+/// no core is needed.
+class HybridEngine : public ProbabilityEngine {
+ public:
+  HybridEngine(int target_width = 8, size_t max_core = 16,
+               uint32_t num_samples = 1000, uint64_t seed = 1)
+      : target_width_(target_width),
+        max_core_(max_core),
+        num_samples_(num_samples),
+        rng_(seed) {}
+  EngineResult Estimate(const BoolCircuit& circuit, GateId root,
+                        const EventRegistry& registry,
+                        const Evidence& evidence = {}) override;
+  const char* name() const override { return "hybrid"; }
+
+ private:
+  int target_width_;
+  size_t max_core_;
+  uint32_t num_samples_;
+  Rng rng_;
+};
+
+/// Exact, via the conditioning machinery of §4: evidence literals become
+/// an observation gate and the result is P(root ∧ obs) / P(obs), each
+/// computed by message passing. Numerically identical to pinning; kept
+/// as an adapter because it exercises the revision pipeline.
+class ConditioningEngine : public ProbabilityEngine {
+ public:
+  EngineResult Estimate(const BoolCircuit& circuit, GateId root,
+                        const EventRegistry& registry,
+                        const Evidence& evidence = {}) override;
+  const char* name() const override { return "conditioning"; }
+};
+
+/// The planner: inspects the cone (event count, then a cheap min-degree
+/// width estimate of the binarised primal graph) and escalates
+/// exhaustive → BDD → junction tree → hybrid → sampling, replacing the
+/// hand-rolled dispatch that benches and examples used to copy-paste.
+/// The returned EngineResult names the engine actually chosen.
+class AutoEngine : public ProbabilityEngine {
+ public:
+  struct Limits {
+    uint32_t exhaustive_max_events = 10;  ///< Cone events for 2^n sweep.
+    uint32_t bdd_max_events = 18;         ///< Cone events for compilation.
+    int jt_max_width = 16;                ///< Width estimate for exact MP.
+    int hybrid_target_width = 8;          ///< Core selection target.
+    size_t hybrid_max_core = 12;
+    uint32_t hybrid_num_samples = 2000;
+    uint32_t sampling_num_samples = 20000;
+    uint64_t seed = 1;
+    // Off by default: the construction-order seed matches min-degree's
+    // width on lineage workloads but not its bag-size profile, and a
+    // seed accepted at the width cap skips the min-degree comparison
+    // entirely (see ROADMAP).
+    bool seed_topological = false;
+  };
+
+  AutoEngine() : AutoEngine(Limits{}) {}
+  explicit AutoEngine(const Limits& limits);
+  EngineResult Estimate(const BoolCircuit& circuit, GateId root,
+                        const EventRegistry& registry,
+                        const Evidence& evidence = {}) override;
+  const char* name() const override { return "auto"; }
+
+ private:
+  EngineResult Plan(const BoolCircuit& circuit, GateId root,
+                    const EventRegistry& registry);
+
+  Limits limits_;
+  ExhaustiveEngine exhaustive_;
+  BddEngine bdd_;
+  JunctionTreeEngine junction_tree_;
+  HybridEngine hybrid_;
+  SamplingEngine sampling_;
+};
+
+/// Convenience factory for the common default.
+std::unique_ptr<ProbabilityEngine> MakeAutoEngine();
+
+}  // namespace tud
+
+#endif  // TUD_INFERENCE_ENGINE_H_

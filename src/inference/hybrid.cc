@@ -1,6 +1,7 @@
 #include "inference/hybrid.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "inference/junction_tree.h"
@@ -47,26 +48,38 @@ std::pair<BoolCircuit, GateId> RestrictCircuit(
   return {std::move(out), remap[root]};
 }
 
-HybridResult HybridProbability(const BoolCircuit& circuit, GateId root,
+EngineResult HybridProbability(const BoolCircuit& circuit, GateId root,
                                const EventRegistry& registry,
                                const std::vector<EventId>& core_events,
                                uint32_t num_samples, Rng& rng) {
   TUD_CHECK_GT(num_samples, 0u);
-  HybridResult result;
+  EngineResult result;
+  result.engine = "hybrid";
+  result.stats.num_samples = num_samples;
   double total = 0.0;
+  double total_sq = 0.0;
   std::vector<std::optional<bool>> fixed(registry.size());
   for (uint32_t s = 0; s < num_samples; ++s) {
     for (EventId e : core_events) {
       fixed[e] = rng.Bernoulli(registry.probability(e));
     }
     auto [restricted, restricted_root] = RestrictCircuit(circuit, root, fixed);
-    JunctionTreeStats stats;
-    total += JunctionTreeProbability(restricted, restricted_root, registry,
-                                     &stats);
-    result.max_restricted_width =
-        std::max(result.max_restricted_width, stats.width);
+    EngineStats stats;
+    double p = JunctionTreeProbability(restricted, restricted_root, registry,
+                                       &stats);
+    total += p;
+    total_sq += p * p;
+    result.stats.width = std::max(result.stats.width, stats.width);
   }
-  result.estimate = total / num_samples;
+  result.value = total / num_samples;
+  if (num_samples > 1) {
+    // 95% half-width from the sample variance of the per-sample exact
+    // conditionals (the Rao-Blackwellised estimator's spread).
+    double variance =
+        (total_sq - total * total / num_samples) / (num_samples - 1);
+    result.error_bound =
+        1.96 * std::sqrt(std::max(variance, 0.0) / num_samples);
+  }
   return result;
 }
 

@@ -8,6 +8,7 @@
 
 #include "circuits/bool_circuit.h"
 #include "events/event_registry.h"
+#include "inference/engine.h"
 #include "util/rng.h"
 
 namespace tud {
@@ -33,15 +34,12 @@ std::pair<BoolCircuit, GateId> RestrictCircuit(
     const BoolCircuit& circuit, GateId root,
     const std::vector<std::optional<bool>>& fixed);
 
-struct HybridResult {
-  double estimate = 0.0;
-  int max_restricted_width = -1;  ///< Widest decomposition over samples.
-};
-
 /// Samples `core_events` `num_samples` times; for each sample, restricts
 /// the circuit and computes the exact conditional probability by message
-/// passing. Returns the averaged estimate.
-HybridResult HybridProbability(const BoolCircuit& circuit, GateId root,
+/// passing. Returns the averaged estimate in the shared EngineResult
+/// shape: `value` is the estimate, `stats.width` the widest restricted
+/// decomposition over samples, `stats.num_samples` the sample count.
+EngineResult HybridProbability(const BoolCircuit& circuit, GateId root,
                                const EventRegistry& registry,
                                const std::vector<EventId>& core_events,
                                uint32_t num_samples, Rng& rng);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <numeric>
 #include <unordered_map>
 
 #include "treedec/elimination.h"
@@ -13,73 +14,66 @@ namespace tud {
 
 namespace {
 
-// A local factor: a table over the Boolean assignments of `scope`
-// (scope[0] is the least significant bit of the table index). After
-// binarisation every logic gate has one of three shapes, so gate
-// factors point at shared static tables; only variable factors carry
-// their own two probabilities in `unary` (table == nullptr then).
-struct Factor {
-  std::vector<VertexId> scope;
-  const double* table = nullptr;
-  std::array<double, 2> unary = {0.0, 0.0};
-
-  const double* values() const { return table != nullptr ? table : unary.data(); }
-};
-
-// Index bit 0 is the gate output, bits 1.. its inputs (scope order).
+// Static tables for the binarised gate factors. Index bit 0 is the gate
+// output, bits 1.. its inputs (scope order).
 constexpr double kNotTable[4] = {0, 1, 1, 0};
 constexpr double kAndTable[8] = {1, 0, 1, 0, 1, 0, 0, 1};
 constexpr double kOrTable[8] = {1, 0, 0, 1, 0, 1, 0, 1};
 constexpr double kTrueTable[2] = {0, 1};
 constexpr double kFalseTable[2] = {1, 0};
 
-double Run(const BoolCircuit& input, GateId input_root,
-           const EventRegistry& registry,
-           const std::vector<std::pair<EventId, bool>>& evidence,
-           JunctionTreeStats* stats) {
+size_t BitOf(const std::vector<VertexId>& bag, VertexId v) {
+  auto it = std::lower_bound(bag.begin(), bag.end(), v);
+  TUD_CHECK(it != bag.end() && *it == v);
+  return static_cast<size_t>(it - bag.begin());
+}
+
+}  // namespace
+
+JunctionTreePlan JunctionTreePlan::Build(const BoolCircuit& input,
+                                         GateId input_root,
+                                         bool seed_topological) {
+  JunctionTreePlan plan;
+
   // 1. Work on the binarised cone of the root.
   auto [cone, cone_root] = input.ExtractCone(input_root);
   auto [circuit, remap] = cone.Binarize();
   GateId root = remap[cone_root];
 
   if (circuit.kind(root) == GateKind::kConst) {
-    if (stats != nullptr) *stats = JunctionTreeStats{0, 0, 1};
-    return circuit.const_value(root) ? 1.0 : 0.0;
+    plan.trivial_ = true;
+    plan.trivial_value_ = circuit.const_value(root) ? 1.0 : 0.0;
+    plan.num_gates_ = 1;
+    return plan;
   }
-
-  std::unordered_map<EventId, bool> pinned;
-  for (const auto& [e, v] : evidence) pinned[e] = v;
 
   // 2. Dense vertex ids for the gates reachable from the root.
   std::vector<GateId> gates = circuit.ReachableFrom(root);
   std::vector<VertexId> vertex_of(circuit.NumGates(), UINT32_MAX);
   for (uint32_t i = 0; i < gates.size(); ++i) vertex_of[gates[i]] = i;
   const uint32_t n = static_cast<uint32_t>(gates.size());
+  plan.num_gates_ = gates.size();
 
-  // 3. Factors: one per gate, plus the root evidence.
-  std::vector<Factor> factors;
-  factors.reserve(gates.size() + 1);
+  // 3. Factors: one per gate, plus the root-is-true evidence indicator.
+  // Scopes are collected here; bit positions are filled in once the
+  // bags are known.
+  std::vector<std::vector<VertexId>> scopes;
+  plan.factors_.reserve(gates.size() + 1);
+  scopes.reserve(gates.size() + 1);
   for (GateId g : gates) {
-    Factor f;
-    f.scope.push_back(vertex_of[g]);
+    Factor f{nullptr, 0, {}};
+    std::vector<VertexId> scope = {vertex_of[g]};
     switch (circuit.kind(g)) {
       case GateKind::kConst:
         f.table = circuit.const_value(g) ? kTrueTable : kFalseTable;
         break;
-      case GateKind::kVar: {
-        EventId e = circuit.var(g);
-        auto it = pinned.find(e);
-        if (it != pinned.end()) {
-          f.table = it->second ? kTrueTable : kFalseTable;
-        } else {
-          double p = registry.probability(e);
-          f.unary = {1.0 - p, p};
-        }
+      case GateKind::kVar:
+        f.event = circuit.var(g);  // Resolved against the registry (or
+                                   // the pinned evidence) at Execute().
         break;
-      }
       case GateKind::kNot:
         TUD_CHECK_EQ(circuit.inputs(g).size(), 1u);
-        f.scope.push_back(vertex_of[circuit.inputs(g)[0]]);
+        scope.push_back(vertex_of[circuit.inputs(g)[0]]);
         f.table = kNotTable;
         break;
       case GateKind::kAnd:
@@ -87,40 +81,60 @@ double Run(const BoolCircuit& input, GateId input_root,
         TUD_CHECK_EQ(circuit.inputs(g).size(), 2u)
             << "gate fan-in must be binarised first";
         for (GateId in : circuit.inputs(g)) {
-          f.scope.push_back(vertex_of[in]);
+          scope.push_back(vertex_of[in]);
         }
         f.table = circuit.kind(g) == GateKind::kAnd ? kAndTable : kOrTable;
         break;
     }
-    factors.push_back(std::move(f));
+    plan.factors_.push_back(std::move(f));
+    scopes.push_back(std::move(scope));
   }
-  {
-    Factor evidence_factor;
-    evidence_factor.scope = {vertex_of[root]};
-    evidence_factor.table = kTrueTable;
-    factors.push_back(std::move(evidence_factor));
-  }
+  plan.factors_.push_back(Factor{kTrueTable, 0, {}});
+  scopes.push_back({vertex_of[root]});
 
   // 4. Primal graph: a clique per factor scope.
   Graph graph(n);
-  for (const Factor& f : factors) {
-    for (size_t i = 0; i < f.scope.size(); ++i) {
-      for (size_t j = i + 1; j < f.scope.size(); ++j) {
-        graph.AddEdge(f.scope[i], f.scope[j]);
+  for (const std::vector<VertexId>& scope : scopes) {
+    for (size_t i = 0; i < scope.size(); ++i) {
+      for (size_t j = i + 1; j < scope.size(); ++j) {
+        graph.AddEdge(scope[i], scope[j]);
       }
     }
   }
 
-  // 5. Tree decomposition: try the O(1)-per-operation bucket min-degree
-  // order first — on circuit primal graphs it matches min-fill's width
-  // at a fraction of the cost. Only when it comes out wide (where an
-  // extra unit of width doubles every message table) pay for min-fill
-  // and keep the narrower of the two.
-  std::vector<VertexId> order = CircuitMinDegreeOrder(graph);
-  std::vector<BagId> bag_of_vertex;
-  TreeDecomposition td =
-      TreeDecomposition::FromEliminationOrder(graph, order, &bag_of_vertex);
+  // 5. Tree decomposition. With `seed_topological`, first try the
+  // circuit's own construction order: dense vertex ids ascend with gate
+  // ids, so the identity order eliminates inputs before the gates that
+  // read them — for DP-produced lineage circuits this follows the tree
+  // the circuit was built along, and costs no ordering work at all.
+  // Otherwise (or when the seed comes out wide) fall back to the
+  // O(1)-per-operation bucket min-degree order — on circuit primal
+  // graphs it matches min-fill's width at a fraction of the cost — and
+  // only when that too is wide (where an extra unit of width doubles
+  // every message table) pay for min-fill and keep the narrower.
   constexpr int kAcceptWidth = 10;
+  std::vector<VertexId> order;
+  std::vector<BagId> bag_of_vertex;
+  TreeDecomposition td;
+  bool accepted = false;
+  if (seed_topological) {
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0);
+    td = TreeDecomposition::FromEliminationOrder(graph, order,
+                                                 &bag_of_vertex);
+    accepted = td.Width() <= kAcceptWidth;
+  }
+  if (!accepted) {
+    std::vector<VertexId> md_order = CircuitMinDegreeOrder(graph);
+    std::vector<BagId> md_bag_of;
+    TreeDecomposition md_td = TreeDecomposition::FromEliminationOrder(
+        graph, md_order, &md_bag_of);
+    if (!seed_topological || md_td.Width() < td.Width()) {
+      order = std::move(md_order);
+      td = std::move(md_td);
+      bag_of_vertex = std::move(md_bag_of);
+    }
+  }
   if (td.Width() > kAcceptWidth) {
     std::vector<VertexId> fill_order = PeeledMinFillOrder(graph);
     std::vector<BagId> fill_bag_of;
@@ -134,23 +148,25 @@ double Run(const BoolCircuit& input, GateId input_root,
   }
   std::vector<uint32_t> position(n);
   for (uint32_t i = 0; i < n; ++i) position[order[i]] = i;
-  if (stats != nullptr) {
-    stats->width = td.Width();
-    stats->num_bags = td.NumBags();
-    stats->num_gates = gates.size();
-  }
+  plan.width_ = td.Width();
   TUD_CHECK_LE(td.Width(), 25)
       << "decomposition too wide for exact message passing";
 
-  // 6. Assign each factor to the bag of the earliest-eliminated vertex of
-  // its scope (that bag contains the whole scope: the scope is a clique).
-  std::vector<std::vector<const Factor*>> factors_at(td.NumBags());
-  for (const Factor& f : factors) {
-    VertexId earliest = f.scope[0];
-    for (VertexId v : f.scope) {
+  // 6. Assign each factor to the bag of the earliest-eliminated vertex
+  // of its scope (that bag contains the whole scope: the scope is a
+  // clique), and precompute every bit position.
+  plan.bags_.assign(td.NumBags(), Bag{});
+  for (uint32_t fi = 0; fi < plan.factors_.size(); ++fi) {
+    const std::vector<VertexId>& scope = scopes[fi];
+    VertexId earliest = scope[0];
+    for (VertexId v : scope) {
       if (position[v] < position[earliest]) earliest = v;
     }
-    factors_at[bag_of_vertex[earliest]].push_back(&f);
+    const BagId b = bag_of_vertex[earliest];
+    for (VertexId v : scope) {
+      plan.factors_[fi].bits.push_back(BitOf(td.bag(b), v));
+    }
+    plan.bags_[b].factors.push_back(fi);
   }
 
   // Decompositions from elimination orders have one bag per vertex, and
@@ -160,77 +176,98 @@ double Run(const BoolCircuit& input, GateId input_root,
   std::vector<VertexId> vertex_of_bag(td.NumBags(), UINT32_MAX);
   for (VertexId v = 0; v < n; ++v) vertex_of_bag[bag_of_vertex[v]] = v;
 
-  // 7. One bottom-up sum-product pass. Children have larger BagIds than
-  // parents, so descending id order is bottom-up. The per-bag table and
-  // index buffers are reused across the (many, mostly tiny) bags.
-  std::vector<std::vector<double>> message(td.NumBags());
-  std::vector<double> table;
-  std::vector<size_t> bits;
-  for (BagId b = static_cast<BagId>(td.NumBags()); b-- > 0;) {
-    const std::vector<VertexId>& bag = td.bag(b);
-    const size_t k = bag.size();
-    table.assign(size_t{1} << k, 1.0);
+  for (BagId b = 0; b < td.NumBags(); ++b) {
+    Bag& bag = plan.bags_[b];
+    const std::vector<VertexId>& members = td.bag(b);
+    bag.k = static_cast<uint32_t>(members.size());
+    bag.is_root = td.parent(b) == kInvalidBag;
+    for (BagId c : td.children(b)) {
+      ChildMessage message{c, {}};
+      const VertexId child_vertex = vertex_of_bag[c];
+      for (VertexId v : td.bag(c)) {
+        if (v != child_vertex) message.bits.push_back(BitOf(members, v));
+      }
+      bag.children.push_back(std::move(message));
+    }
+    if (!bag.is_root) {
+      const VertexId own_vertex = vertex_of_bag[b];
+      for (size_t i = 0; i < members.size(); ++i) {
+        if (members[i] != own_vertex) bag.out_bits.push_back(i);
+      }
+    }
+  }
+  return plan;
+}
 
-    // Position of each bag vertex (vertex id -> bit index in `table`).
-    auto bit_of = [&bag](VertexId v) {
-      auto it = std::lower_bound(bag.begin(), bag.end(), v);
-      TUD_CHECK(it != bag.end() && *it == v);
-      return static_cast<size_t>(it - bag.begin());
-    };
+double JunctionTreePlan::Execute(const EventRegistry& registry,
+                                 const Evidence& evidence) const {
+  if (trivial_) return trivial_value_;
+
+  std::unordered_map<EventId, bool> pinned;
+  for (const auto& [e, v] : evidence) pinned[e] = v;
+
+  // One bottom-up sum-product pass. Children have larger BagIds than
+  // parents, so descending id order is bottom-up. The per-bag table is
+  // reused across the (many, mostly tiny) bags.
+  std::vector<std::vector<double>> message(bags_.size());
+  std::vector<double> table;
+  for (uint32_t b = static_cast<uint32_t>(bags_.size()); b-- > 0;) {
+    const Bag& bag = bags_[b];
+    table.assign(size_t{1} << bag.k, 1.0);
 
     // Multiply assigned factors in.
-    for (const Factor* f : factors_at[b]) {
-      bits.clear();
-      for (VertexId v : f->scope) bits.push_back(bit_of(v));
-      const double* values = f->values();
+    for (uint32_t fi : bag.factors) {
+      const Factor& f = factors_[fi];
+      const double* values;
+      std::array<double, 2> unary = {0.0, 0.0};
+      if (f.table != nullptr) {
+        values = f.table;
+      } else {
+        auto it = pinned.find(f.event);
+        if (it != pinned.end()) {
+          values = it->second ? kTrueTable : kFalseTable;
+        } else {
+          double p = registry.probability(f.event);
+          unary = {1.0 - p, p};
+          values = unary.data();
+        }
+      }
       for (size_t idx = 0; idx < table.size(); ++idx) {
         size_t fidx = 0;
-        for (size_t i = 0; i < bits.size(); ++i) {
-          fidx |= ((idx >> bits[i]) & 1) << i;
+        for (size_t i = 0; i < f.bits.size(); ++i) {
+          fidx |= ((idx >> f.bits[i]) & 1) << i;
         }
         table[idx] *= values[fidx];
       }
     }
 
     // Multiply child messages in. Each message is over the child's
-    // separator — the child bag minus its defining vertex — whose
-    // members all live in this bag.
-    for (BagId c : td.children(b)) {
-      const std::vector<VertexId>& child_bag = td.bag(c);
-      const VertexId child_vertex = vertex_of_bag[c];
-      bits.clear();
-      for (VertexId v : child_bag) {
-        if (v != child_vertex) bits.push_back(bit_of(v));
-      }
-      const std::vector<double>& msg = message[c];
-      TUD_CHECK_EQ(msg.size(), size_t{1} << bits.size());
+    // separator, whose members all live in this bag.
+    for (const ChildMessage& child : bag.children) {
+      const std::vector<double>& msg = message[child.child];
+      TUD_CHECK_EQ(msg.size(), size_t{1} << child.bits.size());
       for (size_t idx = 0; idx < table.size(); ++idx) {
         size_t midx = 0;
-        for (size_t i = 0; i < bits.size(); ++i) {
-          midx |= ((idx >> bits[i]) & 1) << i;
+        for (size_t i = 0; i < child.bits.size(); ++i) {
+          midx |= ((idx >> child.bits[i]) & 1) << i;
         }
         table[idx] *= msg[midx];
       }
-      message[c] = {};  // Used exactly once: free it eagerly.
+      message[child.child] = {};  // Used exactly once: free it eagerly.
     }
 
     // Produce the message to the parent: marginalise out this bag's
     // defining vertex.
-    if (td.parent(b) == kInvalidBag) {
+    if (bag.is_root) {
       double total = 0.0;
       for (double v : table) total += v;
       return total;
     }
-    const VertexId own_vertex = vertex_of_bag[b];
-    bits.clear();
-    for (VertexId v : bag) {
-      if (v != own_vertex) bits.push_back(bit_of(v));
-    }
-    std::vector<double> out(size_t{1} << bits.size(), 0.0);
+    std::vector<double> out(size_t{1} << bag.out_bits.size(), 0.0);
     for (size_t idx = 0; idx < table.size(); ++idx) {
       size_t midx = 0;
-      for (size_t i = 0; i < bits.size(); ++i) {
-        midx |= ((idx >> bits[i]) & 1) << i;
+      for (size_t i = 0; i < bag.out_bits.size(); ++i) {
+        midx |= ((idx >> bag.out_bits[i]) & 1) << i;
       }
       out[midx] += table[idx];
     }
@@ -240,19 +277,40 @@ double Run(const BoolCircuit& input, GateId input_root,
   return 0.0;
 }
 
-}  // namespace
+void JunctionTreePlan::FillStats(EngineStats* stats) const {
+  if (stats == nullptr) return;
+  *stats = EngineStats{};
+  stats->width = trivial_ ? 0 : width_;
+  stats->num_bags = bags_.size();
+  stats->num_gates = num_gates_;
+}
 
 double JunctionTreeProbability(const BoolCircuit& circuit, GateId root,
                                const EventRegistry& registry,
-                               JunctionTreeStats* stats) {
-  return Run(circuit, root, registry, {}, stats);
+                               EngineStats* stats) {
+  JunctionTreePlan plan = JunctionTreePlan::Build(circuit, root);
+  plan.FillStats(stats);
+  return plan.Execute(registry);
 }
 
-double JunctionTreeProbabilityWithEvidence(
-    const BoolCircuit& circuit, GateId root, const EventRegistry& registry,
-    const std::vector<std::pair<EventId, bool>>& evidence,
-    JunctionTreeStats* stats) {
-  return Run(circuit, root, registry, evidence, stats);
+double JunctionTreeProbabilityWithEvidence(const BoolCircuit& circuit,
+                                           GateId root,
+                                           const EventRegistry& registry,
+                                           const Evidence& evidence,
+                                           EngineStats* stats) {
+  JunctionTreePlan plan = JunctionTreePlan::Build(circuit, root);
+  plan.FillStats(stats);
+  return plan.Execute(registry, evidence);
+}
+
+double JunctionTreeProbabilitySeeded(const BoolCircuit& circuit, GateId root,
+                                     const EventRegistry& registry,
+                                     const Evidence& evidence,
+                                     EngineStats* stats) {
+  JunctionTreePlan plan =
+      JunctionTreePlan::Build(circuit, root, /*seed_topological=*/true);
+  plan.FillStats(stats);
+  return plan.Execute(registry, evidence);
 }
 
 }  // namespace tud

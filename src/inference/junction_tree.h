@@ -2,51 +2,107 @@
 #define TUD_INFERENCE_JUNCTION_TREE_H_
 
 #include <cstdint>
-#include <optional>
 #include <utility>
 #include <vector>
 
 #include "circuits/bool_circuit.h"
 #include "events/event_registry.h"
+#include "inference/engine.h"
 
 namespace tud {
 
-/// Diagnostics of one junction-tree run.
-struct JunctionTreeStats {
-  int width = -1;          ///< Width of the decomposition actually used.
-  size_t num_bags = 0;     ///< Bags in the decomposition.
-  size_t num_gates = 0;    ///< Gates of the (binarised) cone processed.
+/// A compiled message-passing plan for one lineage gate — the paper's
+/// inference method ("the probability that I satisfies q can be
+/// computed from C via standard message passing techniques [37]",
+/// §2.2), split compile-once / evaluate-many:
+///
+/// Build() does everything query-shape-dependent exactly once: extract
+/// the cone of `root`, binarise it, tree-decompose its primal graph
+/// (min-degree with a min-fill fallback, or seeded from the circuit's
+/// construction order), assign one local factor per gate to its bag and
+/// precompute every table bit position. Execute() reruns only the
+/// numeric bottom-up sum-product pass, so many evaluations — updated
+/// probabilities, different pinned evidence, repeated queries in a
+/// QuerySession — share one elimination order instead of re-deriving it
+/// per query.
+///
+/// Cost O(2^{w+1}) per bag: PTIME whenever the lineage has bounded
+/// treewidth, which Theorems 1-2 guarantee for bounded-treewidth
+/// instances. Bags are capped at 26 vertices (checked) — beyond that
+/// the decomposition is too wide for exact message passing and callers
+/// should fall back to sampling.
+class JunctionTreePlan {
+ public:
+  /// Compiles the cone of `root`. With `seed_topological`, the
+  /// elimination order is seeded from the circuit's own construction
+  /// order (gates are append-only, so ascending id is a topological,
+  /// inputs-first order that follows the tree structure DP-produced
+  /// lineage circuits were built along — ROADMAP item (a)); the generic
+  /// heuristics remain the fallback whenever the seed comes out wide.
+  static JunctionTreePlan Build(const BoolCircuit& circuit, GateId root,
+                                bool seed_topological = false);
+
+  /// P(root = true | evidence): events listed in `evidence` are pinned
+  /// to the given truth value and contribute no probability weight.
+  double Execute(const EventRegistry& registry,
+                 const Evidence& evidence = {}) const;
+
+  int width() const { return width_; }
+  size_t num_bags() const { return bags_.size(); }
+  /// Gates of the binarised cone the plan covers.
+  size_t num_gates() const { return num_gates_; }
+
+  void FillStats(EngineStats* stats) const;
+
+ private:
+  struct Factor {
+    const double* table;  ///< Static gate table; nullptr = variable.
+    EventId event;        ///< Variable factors only.
+    std::vector<size_t> bits;  ///< Scope bit positions in the bag table.
+  };
+  struct ChildMessage {
+    uint32_t child;            ///< Bag id of the child.
+    std::vector<size_t> bits;  ///< Separator bit positions in this bag.
+  };
+  struct Bag {
+    uint32_t k = 0;  ///< Bag size; the local table has 2^k entries.
+    std::vector<uint32_t> factors;     ///< Indices into factors_.
+    std::vector<ChildMessage> children;
+    std::vector<size_t> out_bits;      ///< Marginalisation bits (parent
+                                       ///< message); unused for the root.
+    bool is_root = false;
+  };
+
+  JunctionTreePlan() = default;
+
+  bool trivial_ = false;      ///< Cone folded to a constant.
+  double trivial_value_ = 0;
+  int width_ = 0;
+  size_t num_gates_ = 0;
+  std::vector<Factor> factors_;
+  std::vector<Bag> bags_;  ///< Descending id order is bottom-up.
 };
 
-/// Exact probability that gate `root` of `circuit` is true, by message
-/// passing over a tree decomposition of the circuit — the paper's
-/// inference method ("the probability that I satisfies q can be computed
-/// from C via standard message passing techniques [37]", §2.2).
-///
-/// Pipeline: extract the cone of `root`, binarise it, tree-decompose its
-/// primal graph with min-fill, attach one local factor per gate (variable
-/// gates weighted by their event probability, other gates as 0/1
-/// consistency indicators, plus the root-is-true evidence indicator), and
-/// run one bottom-up sum-product pass. Cost O(2^{w+1}) per bag: PTIME
-/// whenever the lineage has bounded treewidth, which Theorems 1-2
-/// guarantee for bounded-treewidth instances. Bags are capped at 26
-/// vertices (checked) — beyond that the decomposition is too wide for
-/// exact message passing and callers should fall back to sampling.
-///
-/// If `stats` is non-null it receives run diagnostics.
+/// One-shot convenience: Build + Execute. If `stats` is non-null it
+/// receives run diagnostics (the width, bag and gate fields of the
+/// shared EngineStats shape).
 double JunctionTreeProbability(const BoolCircuit& circuit, GateId root,
                                const EventRegistry& registry,
-                               JunctionTreeStats* stats = nullptr);
+                               EngineStats* stats = nullptr);
 
-/// As above, but events listed in `evidence` are *pinned* to the given
-/// truth value: the result is the conditional probability
-/// P(root = true | pinned values), with pinned events contributing no
-/// probability weight. Used by conditioning and by the hybrid
-/// core/tentacle engine.
+/// As above with evidence pinning: the result is the conditional
+/// probability P(root = true | pinned values). Used by conditioning and
+/// by the hybrid core/tentacle engine.
 double JunctionTreeProbabilityWithEvidence(
     const BoolCircuit& circuit, GateId root, const EventRegistry& registry,
-    const std::vector<std::pair<EventId, bool>>& evidence,
-    JunctionTreeStats* stats = nullptr);
+    const Evidence& evidence, EngineStats* stats = nullptr);
+
+/// One-shot convenience for the seeded-order path (see
+/// JunctionTreePlan::Build).
+double JunctionTreeProbabilitySeeded(const BoolCircuit& circuit, GateId root,
+                                     const EventRegistry& registry,
+                                     const Evidence& evidence = {},
+                                     EngineStats* stats = nullptr);
 
 }  // namespace tud
 

@@ -1,0 +1,105 @@
+#include "queries/query_session.h"
+
+#include <utility>
+
+#include "automata/provenance_run.h"
+#include "uncertain/c_instance.h"
+#include "util/check.h"
+
+namespace tud {
+
+QuerySession::QuerySession(PccInstance pcc,
+                           std::unique_ptr<ProbabilityEngine> engine)
+    : pcc_(std::move(pcc)),
+      engine_(engine != nullptr ? std::move(engine) : MakeAutoEngine()) {}
+
+QuerySession QuerySession::FromCInstance(
+    const CInstance& ci, std::unique_ptr<ProbabilityEngine> engine) {
+  return QuerySession(PccInstance::FromCInstance(ci), std::move(engine));
+}
+
+const DecomposedInstance& QuerySession::Decomposition() {
+  if (!decomposition_.has_value()) {
+    decomposition_ = DecomposeInstance(pcc_.instance());
+  }
+  return *decomposition_;
+}
+
+GateId QuerySession::CqLineage(const ConjunctiveQuery& query,
+                               LineageStats* stats) {
+  const DecomposedInstance& dec = Decomposition();
+  return ComputeCqLineageOnDecomposition(query, pcc_, dec.ntd,
+                                         dec.facts_at_node, stats);
+}
+
+GateId QuerySession::UcqLineage(const UnionOfConjunctiveQueries& query,
+                                LineageStats* stats) {
+  const DecomposedInstance& dec = Decomposition();
+  std::vector<GateId> parts;
+  parts.reserve(query.disjuncts().size());
+  LineageStats accumulated;
+  for (const ConjunctiveQuery& cq : query.disjuncts()) {
+    LineageStats one;
+    parts.push_back(ComputeCqLineageOnDecomposition(cq, pcc_, dec.ntd,
+                                                    dec.facts_at_node, &one));
+    accumulated.decomposition_width = one.decomposition_width;
+    accumulated.num_nice_nodes = one.num_nice_nodes;
+    accumulated.total_states += one.total_states;
+    accumulated.max_states_per_node =
+        std::max(accumulated.max_states_per_node, one.max_states_per_node);
+  }
+  if (stats != nullptr) *stats = accumulated;
+  return pcc_.circuit().AddOr(std::move(parts));
+}
+
+GateId QuerySession::ReachabilityLineage(RelationId edge_relation,
+                                         Value source, Value target,
+                                         LineageStats* stats) {
+  const DecomposedInstance& dec = Decomposition();
+  return ComputeReachabilityLineageOnDecomposition(
+      pcc_, edge_relation, source, target, dec.ntd, dec.facts_at_node,
+      stats);
+}
+
+EngineResult QuerySession::Probability(GateId lineage,
+                                       const Evidence& evidence) {
+  return engine_->Estimate(pcc_.circuit(), lineage, pcc_.events(), evidence);
+}
+
+EngineResult QuerySession::Query(const ConjunctiveQuery& query,
+                                 const Evidence& evidence) {
+  return Probability(CqLineage(query), evidence);
+}
+
+// ---------------------------------------------------------------------------
+// TreeQuerySession
+// ---------------------------------------------------------------------------
+
+TreeQuerySession::TreeQuerySession(UncertainBinaryTree tree,
+                                   const EventRegistry& events,
+                                   std::unique_ptr<ProbabilityEngine> engine)
+    : tree_(std::move(tree)),
+      events_(&events),
+      engine_(engine != nullptr ? std::move(engine) : MakeAutoEngine()) {}
+
+const CompiledAutomaton& TreeQuerySession::Compiled(
+    const AutomatonExpr& expr) {
+  auto it = compiled_.find(expr.CacheKey());
+  if (it == compiled_.end()) {
+    exprs_kept_.push_back(expr);  // Pin the node: see the member comment.
+    it = compiled_.emplace(expr.CacheKey(), expr.Compile()).first;
+  }
+  return it->second;
+}
+
+GateId TreeQuerySession::Lineage(const AutomatonExpr& expr) {
+  return ProvenanceRun(Compiled(expr), tree_);
+}
+
+EngineResult TreeQuerySession::Probability(const AutomatonExpr& expr,
+                                           const Evidence& evidence) {
+  return engine_->Estimate(tree_.circuit(), Lineage(expr), *events_,
+                           evidence);
+}
+
+}  // namespace tud

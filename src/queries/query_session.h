@@ -1,0 +1,122 @@
+#ifndef TUD_QUERIES_QUERY_SESSION_H_
+#define TUD_QUERIES_QUERY_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "automata/automaton_expr.h"
+#include "automata/uncertain_tree.h"
+#include "inference/engine.h"
+#include "queries/conjunctive_query.h"
+#include "queries/lineage.h"
+#include "queries/reachability.h"
+#include "uncertain/pcc_instance.h"
+
+namespace tud {
+
+class CInstance;
+
+/// The compile-once / evaluate-many entry point of the §2.2 pipeline
+/// for relational instances: a session owns a pcc-instance, derives its
+/// tree encoding (the min-fill nice decomposition of the Gaifman graph)
+/// exactly once, and answers any number of lineage/probability queries
+/// against it — instead of each query re-deriving the decomposition
+/// generically, the pattern the update-maintenance literature (FO+MOD
+/// under updates, CQs with free access patterns) builds on.
+///
+///   QuerySession session(PccInstance::FromCInstance(tid.ToPcInstance()));
+///   EngineResult r = session.Query(ConjunctiveQuery::RstPath(r, s, t));
+///
+/// Probabilities go through the session's ProbabilityEngine (default:
+/// the AutoEngine planner; hot loops typically pass
+/// JunctionTreeEngine(cache_plans=true) so repeated lineages rerun only
+/// the numeric message pass). Lineage gates share the instance's
+/// annotation circuit, so repeated queries reuse gates via structural
+/// hashing.
+class QuerySession {
+ public:
+  /// Takes ownership of the instance. `engine` defaults to AutoEngine.
+  explicit QuerySession(PccInstance pcc,
+                        std::unique_ptr<ProbabilityEngine> engine = nullptr);
+
+  /// Convenience: compile a (p)c-instance and open a session on it.
+  static QuerySession FromCInstance(
+      const CInstance& ci, std::unique_ptr<ProbabilityEngine> engine = nullptr);
+
+  PccInstance& pcc() { return pcc_; }
+  const PccInstance& pcc() const { return pcc_; }
+  ProbabilityEngine& engine() { return *engine_; }
+
+  /// The shared tree encoding: built on first use, reused by every
+  /// query of this session.
+  const DecomposedInstance& Decomposition();
+
+  /// Lineage construction over the shared decomposition.
+  GateId CqLineage(const ConjunctiveQuery& query,
+                   LineageStats* stats = nullptr);
+  GateId UcqLineage(const UnionOfConjunctiveQueries& query,
+                    LineageStats* stats = nullptr);
+  GateId ReachabilityLineage(RelationId edge_relation, Value source,
+                             Value target, LineageStats* stats = nullptr);
+
+  /// P(lineage | evidence) via the session's engine.
+  EngineResult Probability(GateId lineage, const Evidence& evidence = {});
+
+  /// Lineage + probability in one call.
+  EngineResult Query(const ConjunctiveQuery& query,
+                     const Evidence& evidence = {});
+
+ private:
+  PccInstance pcc_;
+  std::unique_ptr<ProbabilityEngine> engine_;
+  std::optional<DecomposedInstance> decomposition_;
+};
+
+/// The tree-shaped counterpart for automaton-defined queries: owns an
+/// uncertain tree, compiles AutomatonExprs (memoised per expression
+/// identity), runs them symbolically over the tree — the provenance-run
+/// construction, growing the tree's circuit, with gates shared across
+/// queries via structural hashing — and estimates probabilities with
+/// the session's engine. Together with AutomatonExpr this is the
+/// compiled-first surface for the PrXML / uncertain-tree workloads.
+class TreeQuerySession {
+ public:
+  /// `events` is the registry the tree's guard circuit reads (e.g. the
+  /// owning PrXmlDocument's); it must outlive the session.
+  TreeQuerySession(UncertainBinaryTree tree, const EventRegistry& events,
+                   std::unique_ptr<ProbabilityEngine> engine = nullptr);
+
+  UncertainBinaryTree& tree() { return tree_; }
+  const EventRegistry& events() const { return *events_; }
+  ProbabilityEngine& engine() { return *engine_; }
+
+  /// The compiled form of `expr` (compiled on first use per expression
+  /// node; compiled-to-compiled, never through TreeAutomaton).
+  const CompiledAutomaton& Compiled(const AutomatonExpr& expr);
+
+  /// Lineage of "the automaton accepts this world" over the tree's
+  /// circuit.
+  GateId Lineage(const AutomatonExpr& expr);
+
+  /// P(expr accepts | evidence) via the session's engine.
+  EngineResult Probability(const AutomatonExpr& expr,
+                           const Evidence& evidence = {});
+
+ private:
+  UncertainBinaryTree tree_;
+  const EventRegistry* events_;
+  std::unique_ptr<ProbabilityEngine> engine_;
+  // Memoised compilations, keyed by expression-node identity. The kept
+  // expression copies pin the nodes so a key cannot be recycled by a
+  // later allocation while the cache entry is alive.
+  std::unordered_map<uintptr_t, CompiledAutomaton> compiled_;
+  std::vector<AutomatonExpr> exprs_kept_;
+};
+
+}  // namespace tud
+
+#endif  // TUD_QUERIES_QUERY_SESSION_H_

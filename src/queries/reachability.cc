@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
@@ -49,21 +48,105 @@ struct RState {
   uint16_t s_mask = 0;         // Bit b: block b's component contains source.
   uint16_t t_mask = 0;
   bool done = false;
-
-  bool operator==(const RState&) const = default;
 };
 
-struct RStateHash {
-  size_t operator()(const RState& s) const {
-    size_t h = s.done ? 0x9e3779b9u : 0x85ebca6bu;
-    h = h * 31 + s.s_mask;
-    h = h * 31 + s.t_mask;
-    for (uint8_t b : s.block) h = h * 131 + b;
-    return h;
+// A normalized RState packed into two words: 4 bits per bag position
+// (bag sizes are capped at 15 by the width check, so block ids fit),
+// the done flag in bit 60 of `lo`, and the flag masks in `hi`. This is
+// the flat-table key replacing the heap-allocated block vectors the
+// unordered_map keys used to carry.
+struct PackedRState {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  bool operator==(const PackedRState&) const = default;
+};
+
+PackedRState Pack(const RState& state) {
+  PackedRState packed;
+  for (size_t i = 0; i < state.block.size(); ++i) {
+    packed.lo |= uint64_t{state.block[i]} << (4 * i);
   }
-};
+  if (state.done) packed.lo |= uint64_t{1} << 60;
+  packed.hi = uint64_t{state.s_mask} | (uint64_t{state.t_mask} << 16);
+  return packed;
+}
 
-using RStateMap = std::unordered_map<RState, GateId, RStateHash>;
+void Unpack(const PackedRState& packed, size_t bag_size, RState& out) {
+  out.block.resize(bag_size);
+  for (size_t i = 0; i < bag_size; ++i) {
+    out.block[i] = static_cast<uint8_t>((packed.lo >> (4 * i)) & 0xF);
+  }
+  out.done = (packed.lo >> 60) & 1;
+  out.s_mask = static_cast<uint16_t>(packed.hi & 0xFFFF);
+  out.t_mask = static_cast<uint16_t>(packed.hi >> 16);
+}
+
+bool PackedDone(const PackedRState& packed) {
+  return (packed.lo >> 60) & 1;
+}
+
+// Open-addressed (state -> gate) table over packed keys: a flat entry
+// vector plus a power-of-two probe array, no per-entry allocation —
+// the same treatment the automaton engine gave its subset interner.
+class RTable {
+ public:
+  struct Entry {
+    PackedRState key;
+    GateId gate;
+  };
+
+  size_t size() const { return entries_.size(); }
+  const Entry& entry(size_t i) const { return entries_[i]; }
+
+  /// Inserts `state`, ORing gates on collision (the DP's Merge).
+  void Merge(BoolCircuit& circuit, const PackedRState& key, GateId gate) {
+    if ((entries_.size() + 1) * 4 > buckets_.size() * 3) Grow();
+    const size_t mask = buckets_.size() - 1;
+    size_t slot = Hash(key) & mask;
+    while (true) {
+      const uint32_t idx = buckets_[slot];
+      if (idx == 0) {
+        buckets_[slot] = static_cast<uint32_t>(entries_.size() + 1);
+        entries_.push_back({key, gate});
+        return;
+      }
+      Entry& existing = entries_[idx - 1];
+      if (existing.key == key) {
+        existing.gate = circuit.AddOr(existing.gate, gate);
+        return;
+      }
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  /// Frees the table's memory (child tables are consumed exactly once).
+  void Release() {
+    entries_ = {};
+    buckets_ = {};
+  }
+
+ private:
+  static size_t Hash(const PackedRState& key) {
+    uint64_t h = key.lo * 0x9e3779b97f4a7c15ull;
+    h ^= key.hi + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdull;
+    return static_cast<size_t>(h ^ (h >> 33));
+  }
+
+  void Grow() {
+    const size_t capacity = buckets_.empty() ? 16 : buckets_.size() * 2;
+    buckets_.assign(capacity, 0);
+    const size_t mask = capacity - 1;
+    for (uint32_t i = 0; i < entries_.size(); ++i) {
+      size_t slot = Hash(entries_[i].key) & mask;
+      while (buckets_[slot] != 0) slot = (slot + 1) & mask;
+      buckets_[slot] = i + 1;
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> buckets_;  // Entry index + 1; 0 = empty.
+};
 
 // Renumbers blocks in order of first appearance and permutes the flag
 // masks accordingly. The done state is collapsed to a unique shape.
@@ -93,11 +176,6 @@ RState Normalize(RState state) {
   return state;
 }
 
-void Merge(RStateMap& map, BoolCircuit& circuit, RState state, GateId gate) {
-  auto [it, inserted] = map.try_emplace(std::move(state), gate);
-  if (!inserted) it->second = circuit.AddOr(it->second, gate);
-}
-
 size_t BagIndex(const std::vector<VertexId>& bag, VertexId v) {
   auto it = std::lower_bound(bag.begin(), bag.end(), v);
   TUD_CHECK(it != bag.end() && *it == v);
@@ -106,48 +184,53 @@ size_t BagIndex(const std::vector<VertexId>& bag, VertexId v) {
 
 }  // namespace
 
-GateId ComputeReachabilityLineage(PccInstance& pcc, RelationId edge_relation,
-                                  Value source, Value target,
-                                  LineageStats* stats) {
+GateId ComputeReachabilityLineageOnDecomposition(
+    PccInstance& pcc, RelationId edge_relation, Value source, Value target,
+    const NiceTreeDecomposition& ntd,
+    const std::vector<std::vector<FactId>>& facts_at_node,
+    LineageStats* stats) {
   BoolCircuit& circuit = pcc.circuit();
   if (source == target) return circuit.AddConst(true);
   const size_t domain = pcc.instance().DomainSize();
   if (source >= domain || target >= domain) return circuit.AddConst(false);
 
-  DecomposedInstance dec = DecomposeInstance(pcc.instance());
-  const NiceTreeDecomposition& ntd = dec.ntd;
   TUD_CHECK_LE(ntd.Width(), 14) << "bag too large for connectivity masks";
   if (stats != nullptr) {
-    stats->decomposition_width = dec.width;
+    stats->decomposition_width = ntd.Width();
     stats->num_nice_nodes = ntd.NumNodes();
     stats->total_states = 0;
     stats->max_states_per_node = 0;
   }
 
-  std::vector<RStateMap> table(ntd.NumNodes());
+  std::vector<RTable> table(ntd.NumNodes());
+  RState state;  // Reused unpacking scratch.
+  std::vector<std::pair<PackedRState, GateId>> additions;
   for (NiceNodeId n = 0; n < ntd.NumNodes(); ++n) {
-    RStateMap& states = table[n];
+    RTable& states = table[n];
     const std::vector<VertexId>& bag = ntd.bag(n);
     switch (ntd.kind(n)) {
       case NiceNodeKind::kLeaf: {
-        Merge(states, circuit, RState{}, circuit.AddConst(true));
+        states.Merge(circuit, Pack(RState{}), circuit.AddConst(true));
         break;
       }
       case NiceNodeKind::kIntroduce: {
         const VertexId v = ntd.vertex(n);
         const size_t pos = BagIndex(bag, v);
-        RStateMap& child = table[ntd.children(n)[0]];
-        for (auto& [state, gate] : child) {
+        RTable& child = table[ntd.children(n)[0]];
+        const size_t child_bag_size = bag.size() - 1;
+        for (size_t i = 0; i < child.size(); ++i) {
+          Unpack(child.entry(i).key, child_bag_size, state);
+          const GateId gate = child.entry(i).gate;
           RState next;
           next.done = state.done;
           next.block.reserve(bag.size());
           uint8_t fresh =
               static_cast<uint8_t>(state.block.size());  // New block id.
-          for (size_t i = 0; i < bag.size(); ++i) {
-            if (i == pos) {
+          for (size_t j = 0; j < bag.size(); ++j) {
+            if (j == pos) {
               next.block.push_back(fresh);
             } else {
-              next.block.push_back(state.block[i < pos ? i : i - 1]);
+              next.block.push_back(state.block[j < pos ? j : j - 1]);
             }
           }
           next.s_mask = state.s_mask;
@@ -156,9 +239,9 @@ GateId ComputeReachabilityLineage(PccInstance& pcc, RelationId edge_relation,
             if (v == source) next.s_mask |= (1u << fresh);
             if (v == target) next.t_mask |= (1u << fresh);
           }
-          Merge(states, circuit, Normalize(std::move(next)), gate);
+          states.Merge(circuit, Pack(Normalize(std::move(next))), gate);
         }
-        child.clear();
+        child.Release();
         break;
       }
       case NiceNodeKind::kForget: {
@@ -166,18 +249,20 @@ GateId ComputeReachabilityLineage(PccInstance& pcc, RelationId edge_relation,
         const std::vector<VertexId>& child_bag =
             ntd.bag(ntd.children(n)[0]);
         const size_t pos = BagIndex(child_bag, v);
-        RStateMap& child = table[ntd.children(n)[0]];
-        for (auto& [state, gate] : child) {
+        RTable& child = table[ntd.children(n)[0]];
+        for (size_t i = 0; i < child.size(); ++i) {
+          Unpack(child.entry(i).key, child_bag.size(), state);
+          const GateId gate = child.entry(i).gate;
           RState next;
           next.done = state.done;
           next.s_mask = state.s_mask;
           next.t_mask = state.t_mask;
           uint8_t gone = state.block[pos];
           bool block_survives = false;
-          for (size_t i = 0; i < state.block.size(); ++i) {
-            if (i == pos) continue;
-            next.block.push_back(state.block[i]);
-            if (state.block[i] == gone) block_survives = true;
+          for (size_t j = 0; j < state.block.size(); ++j) {
+            if (j == pos) continue;
+            next.block.push_back(state.block[j]);
+            if (state.block[j] == gone) block_survives = true;
           }
           if (!next.done && !block_survives) {
             // The component loses its last bag vertex: it can never be
@@ -195,17 +280,22 @@ GateId ComputeReachabilityLineage(PccInstance& pcc, RelationId edge_relation,
             next.s_mask &= ~(1u << gone);
             next.t_mask &= ~(1u << gone);
           }
-          Merge(states, circuit, Normalize(std::move(next)), gate);
+          states.Merge(circuit, Pack(Normalize(std::move(next))), gate);
         }
-        child.clear();
+        child.Release();
         break;
       }
       case NiceNodeKind::kJoin: {
-        RStateMap& left = table[ntd.children(n)[0]];
-        RStateMap& right = table[ntd.children(n)[1]];
+        RTable& left = table[ntd.children(n)[0]];
+        RTable& right = table[ntd.children(n)[1]];
         const size_t k = bag.size();
-        for (const auto& [sl, gl] : left) {
-          for (const auto& [sr, gr] : right) {
+        RState sl, sr;
+        for (size_t li = 0; li < left.size(); ++li) {
+          Unpack(left.entry(li).key, k, sl);
+          const GateId gl = left.entry(li).gate;
+          for (size_t ri = 0; ri < right.size(); ++ri) {
+            Unpack(right.entry(ri).key, k, sr);
+            const GateId gr = right.entry(ri).gate;
             GateId gate = circuit.AddAnd(gl, gr);
             if (sl.done || sr.done) {
               RState next;
@@ -214,27 +304,24 @@ GateId ComputeReachabilityLineage(PccInstance& pcc, RelationId edge_relation,
                 next.block[i] = static_cast<uint8_t>(i);
               }
               next.done = true;
-              Merge(states, circuit, Normalize(std::move(next)), gate);
+              states.Merge(circuit, Pack(Normalize(std::move(next))), gate);
               continue;
             }
             // Union-find over bag positions: both partitions constrain.
-            std::vector<uint8_t> parent(k);
+            uint8_t parent[16];
             for (size_t i = 0; i < k; ++i) {
               parent[i] = static_cast<uint8_t>(i);
             }
-            std::function<uint8_t(uint8_t)> find =
-                [&](uint8_t x) -> uint8_t {
+            auto find = [&parent](uint8_t x) -> uint8_t {
               while (parent[x] != x) x = parent[x] = parent[parent[x]];
               return x;
-            };
-            auto unite = [&](uint8_t a, uint8_t b) {
-              parent[find(a)] = find(b);
             };
             for (size_t i = 0; i < k; ++i) {
               for (size_t j = i + 1; j < k; ++j) {
                 if (sl.block[i] == sl.block[j] ||
                     sr.block[i] == sr.block[j]) {
-                  unite(static_cast<uint8_t>(i), static_cast<uint8_t>(j));
+                  parent[find(static_cast<uint8_t>(i))] =
+                      find(static_cast<uint8_t>(j));
                 }
               }
             }
@@ -249,27 +336,29 @@ GateId ComputeReachabilityLineage(PccInstance& pcc, RelationId edge_relation,
               if ((sl.t_mask >> sl.block[i]) & 1) next.t_mask |= 1u << root;
               if ((sr.t_mask >> sr.block[i]) & 1) next.t_mask |= 1u << root;
             }
-            Merge(states, circuit, Normalize(std::move(next)), gate);
+            states.Merge(circuit, Pack(Normalize(std::move(next))), gate);
           }
         }
-        left.clear();
-        right.clear();
+        left.Release();
+        right.Release();
         break;
       }
     }
 
     // Use any subset of this node's edge facts: one at a time, merging
-    // endpoint blocks (iterate to closure via the state map itself).
-    for (FactId f : dec.facts_at_node[n]) {
+    // endpoint blocks (iterate to closure via the state table itself).
+    for (FactId f : facts_at_node[n]) {
       const Fact& fact = pcc.instance().fact(f);
       if (fact.relation != edge_relation || fact.args.size() != 2) continue;
       if (fact.args[0] == fact.args[1]) continue;  // Self-loop: no effect.
       const size_t pa = BagIndex(bag, fact.args[0]);
       const size_t pb = BagIndex(bag, fact.args[1]);
       const GateId fact_gate = pcc.annotation(f);
-      std::vector<std::pair<RState, GateId>> additions;
-      for (const auto& [state, gate] : states) {
-        if (state.done) continue;
+      additions.clear();
+      for (size_t i = 0; i < states.size(); ++i) {
+        if (PackedDone(states.entry(i).key)) continue;
+        Unpack(states.entry(i).key, bag.size(), state);
+        const GateId gate = states.entry(i).gate;
         uint8_t ba = state.block[pa];
         uint8_t bb = state.block[pb];
         if (ba == bb) continue;  // Already connected: using it is moot.
@@ -281,11 +370,11 @@ GateId ComputeReachabilityLineage(PccInstance& pcc, RelationId edge_relation,
         if ((state.t_mask >> bb) & 1) next.t_mask |= (1u << ba);
         next.s_mask &= ~(1u << bb);
         next.t_mask &= ~(1u << bb);
-        additions.emplace_back(Normalize(std::move(next)),
+        additions.emplace_back(Pack(Normalize(std::move(next))),
                                circuit.AddAnd(gate, fact_gate));
       }
-      for (auto& [state, gate] : additions) {
-        Merge(states, circuit, std::move(state), gate);
+      for (const auto& [packed, gate] : additions) {
+        states.Merge(circuit, packed, gate);
       }
     }
 
@@ -298,10 +387,26 @@ GateId ComputeReachabilityLineage(PccInstance& pcc, RelationId edge_relation,
 
   // Root (empty bag): accept the done state.
   std::vector<GateId> accepting;
-  for (const auto& [state, gate] : table[ntd.root()]) {
-    if (state.done) accepting.push_back(gate);
+  const RTable& root_states = table[ntd.root()];
+  for (size_t i = 0; i < root_states.size(); ++i) {
+    if (PackedDone(root_states.entry(i).key)) {
+      accepting.push_back(root_states.entry(i).gate);
+    }
   }
   return circuit.AddOr(std::move(accepting));
+}
+
+GateId ComputeReachabilityLineage(PccInstance& pcc, RelationId edge_relation,
+                                  Value source, Value target,
+                                  LineageStats* stats) {
+  BoolCircuit& circuit = pcc.circuit();
+  if (source == target) return circuit.AddConst(true);
+  const size_t domain = pcc.instance().DomainSize();
+  if (source >= domain || target >= domain) return circuit.AddConst(false);
+
+  DecomposedInstance dec = DecomposeInstance(pcc.instance());
+  return ComputeReachabilityLineageOnDecomposition(
+      pcc, edge_relation, source, target, dec.ntd, dec.facts_at_node, stats);
 }
 
 }  // namespace tud

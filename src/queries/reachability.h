@@ -28,9 +28,25 @@ namespace tud {
 /// The returned gate is true in exactly the possible worlds where a path
 /// of present edges connects `source` to `target` (true trivially if
 /// source == target).
+///
+/// The DP tables are flat: states are packed into two words (4 bits per
+/// bag position for the partition, plus the flag masks and the done bit)
+/// and interned in an open-addressed table, replacing the former
+/// per-node unordered_map<RState, GateId> — the same dense-table
+/// treatment the compiled automaton engine uses.
 GateId ComputeReachabilityLineage(PccInstance& pcc, RelationId edge_relation,
                                   Value source, Value target,
                                   LineageStats* stats = nullptr);
+
+/// Low-level entry point: the caller provides the nice decomposition of
+/// the instance's Gaifman graph and the fact-to-node assignment (see
+/// DecomposeInstance), so many queries against one instance can share
+/// one decomposition — the QuerySession reuse path.
+GateId ComputeReachabilityLineageOnDecomposition(
+    PccInstance& pcc, RelationId edge_relation, Value source, Value target,
+    const NiceTreeDecomposition& ntd,
+    const std::vector<std::vector<FactId>>& facts_at_node,
+    LineageStats* stats = nullptr);
 
 /// Ground-truth evaluation on a certain instance (BFS over present
 /// edges); used by tests and the per-world cross-validation.

@@ -108,7 +108,7 @@ TEST(JunctionTreeTest, StatsPopulated) {
   GateId root;
   BoolCircuit c = RandomCircuit(rng, 6, 20, &root);
   EventRegistry registry = RandomRegistry(rng, 6);
-  JunctionTreeStats stats;
+  EngineStats stats;
   JunctionTreeProbability(c, root, registry, &stats);
   EXPECT_GE(stats.width, 0);
   EXPECT_GT(stats.num_bags, 0u);
@@ -268,9 +268,9 @@ TEST(HybridTest, ExactWhenCoreEmpty) {
   BoolCircuit c = RandomCircuit(rng, 6, 20, &root);
   EventRegistry registry = RandomRegistry(rng, 6);
   Rng sample_rng(1);
-  HybridResult result =
+  EngineResult result =
       HybridProbability(c, root, registry, {}, 1, sample_rng);
-  EXPECT_NEAR(result.estimate, ExhaustiveProbability(c, root, registry),
+  EXPECT_NEAR(result.value, ExhaustiveProbability(c, root, registry),
               1e-9);
 }
 
@@ -283,9 +283,9 @@ TEST_P(HybridConvergenceTest, ConvergesWithSampledCore) {
   EventRegistry registry = RandomRegistry(rng, 8);
   double exact = ExhaustiveProbability(c, root, registry);
   Rng sample_rng(GetParam());
-  HybridResult result =
+  EngineResult result =
       HybridProbability(c, root, registry, {0, 1}, 4000, sample_rng);
-  EXPECT_NEAR(result.estimate, exact, 0.05);
+  EXPECT_NEAR(result.value, exact, 0.05);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HybridConvergenceTest,
