@@ -181,6 +181,46 @@ int Main(int argc, char** argv) {
     ladder_session.Probability(lineage);
   });
 
+  // --- The numeric junction-tree Execute alone (the pass the flat
+  // arenas and small-bag kernels target), on the ladder lineage's
+  // prebuilt plan; the *_generic variant downgrades every small-bag
+  // kernel to the generic strided loop to expose the dispatch win.
+  PccInstance jt_pcc = PccInstance::FromCInstance(ladder_pc);
+  GateId jt_lineage = ComputeReachabilityLineage(jt_pcc, 0, 0, 2 * rungs - 2);
+  JunctionTreePlan jt_plan =
+      JunctionTreePlan::Build(jt_pcc.circuit(), jt_lineage);
+  JunctionTreePlan jt_plan_generic =
+      JunctionTreePlan::Build(jt_pcc.circuit(), jt_lineage);
+  jt_plan_generic.ForceGenericKernelsForTest();
+  harness.Register("jt_execute/ladder48_small_bag_kernels", [&] {
+    jt_plan.Execute(jt_pcc.events());
+  });
+  harness.Register("jt_execute/ladder48_generic_loops", [&] {
+    jt_plan_generic.Execute(jt_pcc.events());
+  });
+
+  // --- Batched evaluation: a 32-query battery over one lineage's
+  // sub-gates (the question-selection workload: the marginal of every
+  // internal hypothesis of one reachability lineage), sequentially vs
+  // one ProbabilityBatch call. The cones coincide, so the batch runs as
+  // a single calibrating pass over the shared decomposition.
+  GateId battery_lineage =
+      ladder_session.ReachabilityLineage(0, 0, 2 * rungs - 2);
+  std::vector<GateId> battery_cone =
+      ladder_session.pcc().circuit().ReachableFrom(battery_lineage);
+  std::vector<GateId> battery;
+  for (size_t i = 0; i < battery_cone.size() && battery.size() < 31;
+       i += battery_cone.size() / 31) {
+    battery.push_back(battery_cone[i]);
+  }
+  battery.push_back(battery_lineage);
+  harness.Register("batch/sequential_32_queries", [&] {
+    for (GateId g : battery) ladder_session.Probability(g);
+  });
+  harness.Register("batch/probability_batch_32", [&] {
+    ladder_session.ProbabilityBatch(battery);
+  });
+
   std::vector<bench::BenchResult> results = harness.RunAll(min_ms);
   if (!bench::Harness::WriteJson(results, out)) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());

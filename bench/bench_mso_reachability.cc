@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "inference/junction_tree.h"
 #include "queries/query_session.h"
@@ -100,6 +101,55 @@ BENCHMARK(BM_ReachabilityLadderFresh)
     ->RangeMultiplier(2)
     ->Range(8, 256)
     ->Complexity();
+
+// Batched evaluation: the marginal of every internal hypothesis of one
+// reachability lineage (32 sub-lineage roots), sequentially (one
+// plan-cached message pass per root) vs one ProbabilityBatch call (a
+// single calibrating pass over the shared decomposition — the cones
+// coincide, so the batch path shares every subtree message).
+void BM_ReachabilityBatch32(benchmark::State& state) {
+  const uint32_t length = static_cast<uint32_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  Rng rng(8);
+  TidInstance tid = LadderTid(rng, length);
+  QuerySession session = QuerySession::FromCInstance(
+      tid.ToPcInstance(),
+      std::make_unique<JunctionTreeEngine>(
+          /*seed_topological=*/false, /*cache_plans=*/true));
+  GateId lineage = session.ReachabilityLineage(0, 0, 2 * length - 2);
+  std::vector<GateId> cone = session.pcc().circuit().ReachableFrom(lineage);
+  std::vector<GateId> roots;
+  for (size_t i = 0; i < cone.size() && roots.size() < 31;
+       i += cone.size() / 31) {
+    roots.push_back(cone[i]);
+  }
+  roots.push_back(lineage);
+  double checksum = 0;
+  size_t bags_visited = 0;
+  for (auto _ : state) {
+    checksum = 0;
+    bags_visited = 0;
+    if (batched) {
+      std::vector<EngineResult> results = session.ProbabilityBatch(roots);
+      for (const EngineResult& r : results) checksum += r.value;
+      bags_visited = results[0].stats.bags_visited;
+    } else {
+      for (GateId g : roots) {
+        EngineResult r = session.Probability(g);
+        checksum += r.value;
+        bags_visited += r.stats.bags_visited;
+      }
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.counters["rungs"] = length;
+  state.counters["batch_size"] = static_cast<double>(roots.size());
+  state.counters["bags_visited"] = static_cast<double>(bags_visited);
+  state.counters["P_sum"] = checksum;
+}
+BENCHMARK(BM_ReachabilityBatch32)
+    ->ArgsProduct({{24, 48, 96}, {0, 1}})
+    ->ArgNames({"rungs", "batched"});
 
 void BM_ReachabilityKTree(benchmark::State& state) {
   const uint32_t n = static_cast<uint32_t>(state.range(0));

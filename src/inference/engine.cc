@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <thread>
 
 #include "bdd/bdd.h"
 #include "inference/conditioning.h"
@@ -50,6 +51,18 @@ size_t CountConeEvents(const BoolCircuit& circuit, GateId root) {
 
 }  // namespace
 
+std::vector<EngineResult> ProbabilityEngine::EstimateBatch(
+    const BoolCircuit& circuit, const std::vector<GateId>& roots,
+    const EventRegistry& registry, const Evidence& evidence) {
+  std::vector<EngineResult> results;
+  results.reserve(roots.size());
+  for (GateId root : roots) {
+    results.push_back(Estimate(circuit, root, registry, evidence));
+    results.back().stats.batch_size = roots.size();
+  }
+  return results;
+}
+
 // ---------------------------------------------------------------------------
 // Exact adapters
 // ---------------------------------------------------------------------------
@@ -73,6 +86,36 @@ EngineResult ExhaustiveEngine::Estimate(const BoolCircuit& circuit,
   return result;
 }
 
+void JunctionTreeEngine::BindCircuit(const BoolCircuit& circuit) {
+  // Plan caching is only sound against one append-only circuit: a gate's
+  // cone never changes once created, but another circuit's gate ids mean
+  // something else entirely.
+  if (bound_circuit_ == nullptr) bound_circuit_ = &circuit;
+  TUD_CHECK(bound_circuit_ == &circuit)
+      << "a plan-caching JunctionTreeEngine is bound to its first circuit";
+}
+
+std::shared_ptr<const JunctionTreePlan> JunctionTreeEngine::PlanFor(
+    const BoolCircuit& circuit, GateId root) {
+  TUD_CHECK_LT(root, circuit.NumGates());
+  auto it = plans_.find(root);
+  if (it == plans_.end()) {
+    it = plans_
+             .emplace(root,
+                      CachedPlan{std::make_shared<const JunctionTreePlan>(
+                                     JunctionTreePlan::Build(
+                                         circuit, root, seed_topological_)),
+                                 circuit.kind(root)})
+             .first;
+  }
+  // The root-kind revalidation guards the case pointer identity cannot:
+  // the bound circuit was destroyed and a different one reallocated at
+  // the same address.
+  TUD_CHECK(it->second.root_kind == circuit.kind(root))
+      << "cached plan does not match the circuit it is executed against";
+  return it->second.plan;
+}
+
 EngineResult JunctionTreeEngine::Estimate(const BoolCircuit& circuit,
                                           GateId root,
                                           const EventRegistry& registry,
@@ -86,30 +129,112 @@ EngineResult JunctionTreeEngine::Estimate(const BoolCircuit& circuit,
     result.value = plan.Execute(registry, evidence);
     return result;
   }
-  // Plan caching is only sound against one append-only circuit: a gate's
-  // cone never changes once created, but another circuit's gate ids mean
-  // something else entirely. The root-kind revalidation below guards the
-  // case the pointer identity cannot: the bound circuit was destroyed
-  // and a different one reallocated at the same address.
-  if (bound_circuit_ == nullptr) bound_circuit_ = &circuit;
-  TUD_CHECK(bound_circuit_ == &circuit)
-      << "a plan-caching JunctionTreeEngine is bound to its first circuit";
-  TUD_CHECK_LT(root, circuit.NumGates());
-  auto it = plans_.find(root);
-  if (it == plans_.end()) {
-    it = plans_
-             .emplace(root,
-                      CachedPlan{std::make_shared<const JunctionTreePlan>(
-                                     JunctionTreePlan::Build(
-                                         circuit, root, seed_topological_)),
-                                 circuit.kind(root)})
-             .first;
-  }
-  TUD_CHECK(it->second.root_kind == circuit.kind(root))
-      << "cached plan does not match the circuit it is executed against";
-  it->second.plan->FillStats(&result.stats);
-  result.value = it->second.plan->Execute(registry, evidence);
+  BindCircuit(circuit);
+  std::shared_ptr<const JunctionTreePlan> plan = PlanFor(circuit, root);
+  plan->FillStats(&result.stats);
+  result.value = plan->Execute(registry, evidence);
   return result;
+}
+
+std::vector<EngineResult> JunctionTreeEngine::EstimateBatch(
+    const BoolCircuit& circuit, const std::vector<GateId>& roots,
+    const EventRegistry& registry, const Evidence& evidence) {
+  std::vector<EngineResult> results(roots.size());
+  if (roots.empty()) return results;
+
+  if (batch_threads_ > 1) {
+    // Per-root plans executed across threads. Plans are built (and
+    // cached) serially up front; Execute is const and keeps all mutable
+    // state in a per-call arena, so the parallel section only reads.
+    std::vector<std::shared_ptr<const JunctionTreePlan>> plans;
+    plans.reserve(roots.size());
+    if (cache_plans_) {
+      BindCircuit(circuit);
+      for (GateId root : roots) plans.push_back(PlanFor(circuit, root));
+    } else {
+      for (GateId root : roots) {
+        plans.push_back(std::make_shared<const JunctionTreePlan>(
+            JunctionTreePlan::Build(circuit, root, seed_topological_)));
+      }
+    }
+    const size_t num_threads =
+        std::min<size_t>(batch_threads_, roots.size());
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (size_t t = 0; t < num_threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (size_t i = t; i < roots.size(); i += num_threads) {
+          EngineResult& result = results[i];
+          result.engine = name();
+          plans[i]->FillStats(&result.stats);
+          result.stats.batch_size = roots.size();
+          result.value = plans[i]->Execute(registry, evidence);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    return results;
+  }
+
+  // Shared pass only when the union decomposition stays narrow: roots
+  // whose cones overlap heavily (sub-lineages of one query, boolean
+  // combinations over common bases) share one calibrating pass, while
+  // multi-track unions — cones coupled only through their event
+  // variables, whose widths add up — fall back to per-root cached
+  // plans, which is exactly the sequential cost, never worse.
+  constexpr int kSharedBatchMaxWidth = 12;
+  std::shared_ptr<const JunctionTreePlan> plan;  // null = per-root.
+  bool decided = false;
+  if (cache_plans_) {
+    BindCircuit(circuit);
+    for (GateId root : roots) TUD_CHECK_LT(root, circuit.NumGates());
+    auto it = batch_plans_.find(roots);
+    if (it != batch_plans_.end()) {
+      // Root-kind revalidation on every hit, as for single plans: it
+      // guards the case pointer identity cannot (the bound circuit was
+      // destroyed and another reallocated at the same address).
+      for (size_t i = 0; i < roots.size(); ++i) {
+        TUD_CHECK(it->second.root_kinds[i] == circuit.kind(roots[i]))
+            << "cached batch plan does not match the circuit it is "
+               "executed against";
+      }
+      plan = it->second.plan;
+      decided = true;
+    }
+  }
+  if (!decided) {
+    JunctionTreeAnalysis analysis =
+        JunctionTreeAnalysis::AnalyzeBatch(circuit, roots);
+    if (analysis.trivial() ||
+        analysis.MinDegreeWidth() <= kSharedBatchMaxWidth) {
+      plan = std::make_shared<const JunctionTreePlan>(
+          JunctionTreePlan::BuildBatch(std::move(analysis),
+                                       seed_topological_));
+    }
+    if (cache_plans_) {
+      if (batch_plans_.size() >= kMaxBatchPlans) batch_plans_.clear();
+      std::vector<GateKind> kinds;
+      kinds.reserve(roots.size());
+      for (GateId root : roots) kinds.push_back(circuit.kind(root));
+      batch_plans_.emplace(roots, CachedBatchPlan{plan, std::move(kinds)});
+    }
+  }
+  if (plan == nullptr) {
+    // Wide union: per-root cached plans at exactly the sequential cost
+    // — the base-class loop over Estimate.
+    return ProbabilityEngine::EstimateBatch(circuit, roots, registry,
+                                            evidence);
+  }
+  EngineStats batch_stats;
+  plan->FillStats(&batch_stats);
+  std::vector<double> values =
+      plan->ExecuteBatch(registry, evidence, &batch_stats);
+  for (size_t i = 0; i < roots.size(); ++i) {
+    results[i].engine = name();
+    results[i].value = values[i];
+    results[i].stats = batch_stats;
+  }
+  return results;
 }
 
 EngineResult BddEngine::Estimate(const BoolCircuit& circuit, GateId root,
@@ -204,8 +329,15 @@ EngineResult HybridEngine::Estimate(const BoolCircuit& circuit, GateId root,
     Evidence none;
     return Estimate(restricted, restricted_root, registry, none);
   }
-  std::vector<EventId> core =
-      SelectCoreEvents(circuit, root, target_width_, max_core_);
+  return EstimateWithCore(
+      circuit, root, registry,
+      SelectCoreEvents(circuit, root, target_width_, max_core_));
+}
+
+EngineResult HybridEngine::EstimateWithCore(const BoolCircuit& circuit,
+                                            GateId root,
+                                            const EventRegistry& registry,
+                                            const std::vector<EventId>& core) {
   if (core.empty()) {
     // Already narrow: one exact message-passing run, no sampling.
     EngineResult result;
@@ -226,7 +358,6 @@ EngineResult HybridEngine::Estimate(const BoolCircuit& circuit, GateId root,
 
 AutoEngine::AutoEngine(const Limits& limits)
     : limits_(limits),
-      junction_tree_(limits.seed_topological),
       hybrid_(limits.hybrid_target_width, limits.hybrid_max_core,
               limits.hybrid_num_samples, limits.seed),
       sampling_(limits.sampling_num_samples, limits.seed) {}
@@ -255,19 +386,18 @@ EngineResult AutoEngine::Plan(const BoolCircuit& circuit, GateId root,
   }
 
   // Cheap width estimate of the binarised cone's primal graph — the
-  // same min-degree order the junction tree itself would try first.
-  auto [cone, cone_root] = circuit.ExtractCone(root);
-  auto [bin, remap] = cone.Binarize();
-  GateId bin_root = remap[cone_root];
-  int width = 0;
-  if (bin.kind(bin_root) != GateKind::kConst) {
-    Graph graph(static_cast<uint32_t>(bin.NumGates()));
-    for (const auto& [a, b] : bin.PrimalEdges()) graph.AddEdge(a, b);
-    width = static_cast<int>(
-        EliminationWidth(graph, CircuitMinDegreeOrder(graph)));
-  }
+  // analysis *is* the first half of a junction-tree Build, so when
+  // message passing is chosen the decomposition work is handed to the
+  // plan instead of being recomputed.
+  JunctionTreeAnalysis analysis = JunctionTreeAnalysis::Analyze(circuit, root);
+  const int width = analysis.trivial() ? 0 : analysis.MinDegreeWidth();
   if (width <= limits_.jt_max_width) {
-    EngineResult result = junction_tree_.Estimate(circuit, root, registry);
+    JunctionTreePlan plan = JunctionTreePlan::Build(
+        std::move(analysis), limits_.seed_topological);
+    EngineResult result;
+    result.engine = "junction_tree";
+    plan.FillStats(&result.stats);
+    result.value = plan.Execute(registry);
     result.stats.cone_events = cone_events;
     return result;
   }
@@ -290,7 +420,10 @@ EngineResult AutoEngine::Plan(const BoolCircuit& circuit, GateId root,
           EliminationWidth(rgraph, CircuitMinDegreeOrder(rgraph)));
     }
     if (rwidth <= limits_.jt_max_width) {
-      EngineResult result = hybrid_.Estimate(circuit, root, registry);
+      // Hand the selected core over: the hybrid engine would otherwise
+      // repeat the whole SelectCoreEvents restrict/min-fill loop.
+      EngineResult result =
+          hybrid_.EstimateWithCore(circuit, root, registry, core);
       result.stats.cone_events = cone_events;
       return result;
     }

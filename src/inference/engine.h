@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -34,6 +35,13 @@ struct EngineStats {
   size_t num_samples = 0;  ///< Monte-Carlo samples drawn (0 for exact).
   size_t bdd_nodes = 0;    ///< Nodes of the compiled BDD (BDD engine).
   size_t cone_events = 0;  ///< Distinct events under the root.
+  size_t batch_size = 0;   ///< Roots answered by the run that produced
+                           ///< this result (1 for single-root runs).
+  size_t bags_visited = 0;  ///< Bags processed by the message pass(es):
+                            ///< one upward sweep for single roots, the
+                            ///< upward plus the pruned downward sweep
+                            ///< for batched runs.
+  size_t max_table = 0;    ///< Largest bag table (entries) touched.
 };
 
 /// The uniform answer shape of every engine.
@@ -62,6 +70,14 @@ class ProbabilityEngine {
                                 const EventRegistry& registry,
                                 const Evidence& evidence = {}) = 0;
 
+  /// Estimates every root of a batch under one shared evidence set. The
+  /// base implementation loops Estimate; engines with a native batch
+  /// path (JunctionTreeEngine: one shared decomposition of the union
+  /// cone, a single calibrating message pass for all roots) override it.
+  virtual std::vector<EngineResult> EstimateBatch(
+      const BoolCircuit& circuit, const std::vector<GateId>& roots,
+      const EventRegistry& registry, const Evidence& evidence = {});
+
   virtual const char* name() const = 0;
 };
 
@@ -87,14 +103,31 @@ class ExhaustiveEngine : public ProbabilityEngine {
 /// reruns only the numeric pass. The cache relies on circuits being
 /// append-only: it is only sound while the engine is used against one
 /// circuit object, which the first Estimate() call pins (checked).
+///
+/// EstimateBatch answers a set of roots adaptively: when the union
+/// cone's decomposition stays narrow (roots that share structure —
+/// sub-lineages of one query, combinations over common bases) a single
+/// calibrating message pass over one shared decomposition answers every
+/// root; when the union is wide (cones coupled only through their event
+/// variables, whose widths add up) it falls back to per-root cached
+/// plans at exactly the sequential cost. The decision and the batch
+/// plan are memoised per root set under `cache_plans`. With
+/// `batch_threads > 1` it always executes per-root cached plans across
+/// that many threads instead.
 class JunctionTreeEngine : public ProbabilityEngine {
  public:
   explicit JunctionTreeEngine(bool seed_topological = false,
-                              bool cache_plans = false)
-      : seed_topological_(seed_topological), cache_plans_(cache_plans) {}
+                              bool cache_plans = false,
+                              unsigned batch_threads = 1)
+      : seed_topological_(seed_topological),
+        cache_plans_(cache_plans),
+        batch_threads_(batch_threads == 0 ? 1 : batch_threads) {}
   EngineResult Estimate(const BoolCircuit& circuit, GateId root,
                         const EventRegistry& registry,
                         const Evidence& evidence = {}) override;
+  std::vector<EngineResult> EstimateBatch(
+      const BoolCircuit& circuit, const std::vector<GateId>& roots,
+      const EventRegistry& registry, const Evidence& evidence = {}) override;
   const char* name() const override { return "junction_tree"; }
 
  private:
@@ -104,10 +137,29 @@ class JunctionTreeEngine : public ProbabilityEngine {
                          ///< bind through a recycled circuit address.
   };
 
+  /// Pins the engine to its first circuit (plan caching is only sound
+  /// against one append-only circuit object).
+  void BindCircuit(const BoolCircuit& circuit);
+  /// The (possibly cached) single-root plan for `root`.
+  std::shared_ptr<const JunctionTreePlan> PlanFor(const BoolCircuit& circuit,
+                                                  GateId root);
+
   bool seed_topological_;
   bool cache_plans_;
+  unsigned batch_threads_;
   const BoolCircuit* bound_circuit_ = nullptr;
   std::unordered_map<GateId, CachedPlan> plans_;
+  struct CachedBatchPlan {
+    std::shared_ptr<const JunctionTreePlan> plan;  ///< null = per-root.
+    std::vector<GateKind> root_kinds;  ///< Revalidated on every hit, like
+                                       ///< CachedPlan::root_kind.
+  };
+  /// Batch plans memoised per exact root sequence (ordered map: root
+  /// vectors are short and sessions reissue identical batches). Cleared
+  /// wholesale past kMaxBatchPlans so varying batches cannot grow it
+  /// without bound.
+  static constexpr size_t kMaxBatchPlans = 64;
+  std::map<std::vector<GateId>, CachedBatchPlan> batch_plans_;
 };
 
 /// Exact, by OBDD compilation + weighted model counting (the
@@ -151,6 +203,13 @@ class HybridEngine : public ProbabilityEngine {
   EngineResult Estimate(const BoolCircuit& circuit, GateId root,
                         const EventRegistry& registry,
                         const Evidence& evidence = {}) override;
+  /// As Estimate with the core event set already selected — the
+  /// AutoEngine handoff: the planner runs SelectCoreEvents to decide
+  /// whether hybrid inference is worthwhile, and hands the core over so
+  /// the engine does not repeat the selection's restrict/min-fill loop.
+  EngineResult EstimateWithCore(const BoolCircuit& circuit, GateId root,
+                                const EventRegistry& registry,
+                                const std::vector<EventId>& core);
   const char* name() const override { return "hybrid"; }
 
  private:
@@ -177,6 +236,14 @@ class ConditioningEngine : public ProbabilityEngine {
 /// exhaustive → BDD → junction tree → hybrid → sampling, replacing the
 /// hand-rolled dispatch that benches and examples used to copy-paste.
 /// The returned EngineResult names the engine actually chosen.
+///
+/// The width estimate *is* a JunctionTreeAnalysis (cone, binarisation,
+/// primal graph, min-degree order), and the planner hands it to the
+/// junction-tree plan it builds instead of the engine recomputing the
+/// decomposition — `auto` costs the same as a direct engine pick, and
+/// the handed-off decomposition is bit-identical to the one
+/// JunctionTreeEngine would derive itself (same code path). The hybrid
+/// escalation likewise hands its selected core event set over.
 class AutoEngine : public ProbabilityEngine {
  public:
   struct Limits {
@@ -209,7 +276,6 @@ class AutoEngine : public ProbabilityEngine {
   Limits limits_;
   ExhaustiveEngine exhaustive_;
   BddEngine bdd_;
-  JunctionTreeEngine junction_tree_;
   HybridEngine hybrid_;
   SamplingEngine sampling_;
 };

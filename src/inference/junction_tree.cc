@@ -1,12 +1,11 @@
 #include "inference/junction_tree.h"
 
 #include <algorithm>
-#include <array>
+#include <cstring>
+#include <memory>
 #include <numeric>
-#include <unordered_map>
 
 #include "treedec/elimination.h"
-#include "treedec/graph.h"
 #include "treedec/tree_decomposition.h"
 #include "util/check.h"
 
@@ -28,90 +27,203 @@ size_t BitOf(const std::vector<VertexId>& bag, VertexId v) {
   return static_cast<size_t>(it - bag.begin());
 }
 
+// Bags at most this large get their constant gate factors pre-fused
+// into one static table / their index maps expanded into gather tables;
+// beyond it the 2^k precomputation would not pay for itself (such bags
+// only exist when even min-fill came out wide) and the generic
+// bit-recombination loops run instead. Mutable only through the
+// SetKernelThresholdsForTest hook.
+int g_fuse_max_k = 16;
+int g_gather_max_k = 16;
+
 }  // namespace
 
-JunctionTreePlan JunctionTreePlan::Build(const BoolCircuit& input,
-                                         GateId input_root,
+// ---------------------------------------------------------------------------
+// JunctionTreeAnalysis
+// ---------------------------------------------------------------------------
+
+JunctionTreeAnalysis JunctionTreeAnalysis::Analyze(const BoolCircuit& circuit,
+                                                   GateId root) {
+  return AnalyzeBatch(circuit, std::vector<GateId>{root});
+}
+
+JunctionTreeAnalysis JunctionTreeAnalysis::AnalyzeBatch(
+    const BoolCircuit& circuit, const std::vector<GateId>& roots) {
+  TUD_CHECK(!roots.empty());
+  JunctionTreeAnalysis a;
+
+  // Work on the binarised union cone of the roots.
+  auto [cone, cone_roots] = circuit.ExtractCones(roots);
+  auto [bin, remap] = cone.Binarize();
+  a.roots_.reserve(roots.size());
+  for (GateId r : cone_roots) a.roots_.push_back(remap[r]);
+
+  // Dense vertex ids for the gates reachable from any non-constant
+  // root (binarisation folds constants, which can orphan gates).
+  std::vector<bool> seen(bin.NumGates(), false);
+  std::vector<GateId> stack;
+  for (GateId r : a.roots_) {
+    if (bin.kind(r) == GateKind::kConst) continue;
+    if (!seen[r]) {
+      seen[r] = true;
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    GateId g = stack.back();
+    stack.pop_back();
+    for (GateId in : bin.inputs(g)) {
+      if (!seen[in]) {
+        seen[in] = true;
+        stack.push_back(in);
+      }
+    }
+  }
+  a.vertex_of_.assign(bin.NumGates(), UINT32_MAX);
+  for (GateId g = 0; g < bin.NumGates(); ++g) {
+    if (seen[g]) {
+      a.vertex_of_[g] = static_cast<VertexId>(a.gates_.size());
+      a.gates_.push_back(g);
+    }
+  }
+
+  // Primal graph: a clique per gate scope ({gate} and its inputs) —
+  // identical to the cliques of the factor scopes the plan assigns to
+  // bags (the root-indicator factor is unary and adds no edges).
+  a.graph_ = Graph(static_cast<uint32_t>(a.gates_.size()));
+  for (VertexId v = 0; v < a.gates_.size(); ++v) {
+    const GateId g = a.gates_[v];
+    const std::vector<GateId>& ins = bin.inputs(g);
+    for (size_t i = 0; i < ins.size(); ++i) {
+      const VertexId vi = a.vertex_of_[ins[i]];
+      a.graph_.AddEdge(v, vi);
+      for (size_t j = i + 1; j < ins.size(); ++j) {
+        a.graph_.AddEdge(vi, a.vertex_of_[ins[j]]);
+      }
+    }
+  }
+  a.bin_ = std::move(bin);
+  return a;
+}
+
+int JunctionTreeAnalysis::MinDegreeWidth() {
+  if (!has_min_degree_) {
+    md_order_ = CircuitMinDegreeOrder(graph_);
+    md_width_ = static_cast<int>(EliminationWidth(graph_, md_order_));
+    has_min_degree_ = true;
+  }
+  return md_width_;
+}
+
+// ---------------------------------------------------------------------------
+// Build: lower every bag to a flat program
+// ---------------------------------------------------------------------------
+
+JunctionTreePlan JunctionTreePlan::Build(const BoolCircuit& circuit,
+                                         GateId root, bool seed_topological) {
+  return BuildImpl(JunctionTreeAnalysis::Analyze(circuit, root),
+                   seed_topological, /*batch=*/false);
+}
+
+JunctionTreePlan JunctionTreePlan::Build(JunctionTreeAnalysis analysis,
                                          bool seed_topological) {
+  TUD_CHECK_EQ(analysis.roots_.size(), 1u)
+      << "single-root Build from a batch analysis; use BuildBatch";
+  return BuildImpl(std::move(analysis), seed_topological, /*batch=*/false);
+}
+
+JunctionTreePlan JunctionTreePlan::BuildBatch(const BoolCircuit& circuit,
+                                              const std::vector<GateId>& roots,
+                                              bool seed_topological) {
+  return BuildImpl(JunctionTreeAnalysis::AnalyzeBatch(circuit, roots),
+                   seed_topological, /*batch=*/true);
+}
+
+JunctionTreePlan JunctionTreePlan::BuildBatch(JunctionTreeAnalysis analysis,
+                                              bool seed_topological) {
+  return BuildImpl(std::move(analysis), seed_topological, /*batch=*/true);
+}
+
+JunctionTreePlan JunctionTreePlan::BuildImpl(JunctionTreeAnalysis a,
+                                             bool seed_topological,
+                                             bool batch) {
   JunctionTreePlan plan;
+  plan.batch_ = batch;
+  const BoolCircuit& bin = a.bin_;
 
-  // 1. Work on the binarised cone of the root.
-  auto [cone, cone_root] = input.ExtractCone(input_root);
-  auto [circuit, remap] = cone.Binarize();
-  GateId root = remap[cone_root];
-
-  if (circuit.kind(root) == GateKind::kConst) {
+  if (batch) {
+    plan.query_roots_.resize(a.roots_.size());
+    for (size_t i = 0; i < a.roots_.size(); ++i) {
+      if (bin.kind(a.roots_[i]) == GateKind::kConst) {
+        plan.query_roots_[i].trivial_value =
+            bin.const_value(a.roots_[i]) ? 1 : 0;
+      }
+    }
+  }
+  if (a.trivial()) {
     plan.trivial_ = true;
-    plan.trivial_value_ = circuit.const_value(root) ? 1.0 : 0.0;
-    plan.num_gates_ = 1;
+    if (!batch) {
+      plan.trivial_value_ = bin.const_value(a.roots_[0]) ? 1.0 : 0.0;
+      plan.num_gates_ = 1;
+    }
     return plan;
   }
 
-  // 2. Dense vertex ids for the gates reachable from the root.
-  std::vector<GateId> gates = circuit.ReachableFrom(root);
-  std::vector<VertexId> vertex_of(circuit.NumGates(), UINT32_MAX);
-  for (uint32_t i = 0; i < gates.size(); ++i) vertex_of[gates[i]] = i;
-  const uint32_t n = static_cast<uint32_t>(gates.size());
-  plan.num_gates_ = gates.size();
+  const uint32_t n = static_cast<uint32_t>(a.gates_.size());
+  plan.num_gates_ = n;
 
-  // 3. Factors: one per gate, plus the root-is-true evidence indicator.
-  // Scopes are collected here; bit positions are filled in once the
-  // bags are known.
-  std::vector<std::vector<VertexId>> scopes;
-  plan.factors_.reserve(gates.size() + 1);
-  scopes.reserve(gates.size() + 1);
-  for (GateId g : gates) {
-    Factor f{nullptr, 0, {}};
-    std::vector<VertexId> scope = {vertex_of[g]};
-    switch (circuit.kind(g)) {
+  // 1. Factors: one per gate, plus (single-root plans) the root-is-true
+  // evidence indicator. Scope bit 0 is the gate output, bits 1.. its
+  // inputs.
+  struct TmpFactor {
+    const double* table;  ///< Static gate table; nullptr = variable.
+    EventId event;        ///< Variable factors only.
+    std::vector<VertexId> scope;
+  };
+  std::vector<TmpFactor> factors;
+  factors.reserve(n + 1);
+  for (VertexId v = 0; v < n; ++v) {
+    const GateId g = a.gates_[v];
+    TmpFactor f{nullptr, 0, {v}};
+    switch (bin.kind(g)) {
       case GateKind::kConst:
-        f.table = circuit.const_value(g) ? kTrueTable : kFalseTable;
+        f.table = bin.const_value(g) ? kTrueTable : kFalseTable;
         break;
       case GateKind::kVar:
-        f.event = circuit.var(g);  // Resolved against the registry (or
-                                   // the pinned evidence) at Execute().
+        f.event = bin.var(g);
         break;
       case GateKind::kNot:
-        TUD_CHECK_EQ(circuit.inputs(g).size(), 1u);
-        scope.push_back(vertex_of[circuit.inputs(g)[0]]);
+        TUD_CHECK_EQ(bin.inputs(g).size(), 1u);
+        f.scope.push_back(a.vertex_of_[bin.inputs(g)[0]]);
         f.table = kNotTable;
         break;
       case GateKind::kAnd:
       case GateKind::kOr:
-        TUD_CHECK_EQ(circuit.inputs(g).size(), 2u)
+        TUD_CHECK_EQ(bin.inputs(g).size(), 2u)
             << "gate fan-in must be binarised first";
-        for (GateId in : circuit.inputs(g)) {
-          scope.push_back(vertex_of[in]);
+        for (GateId in : bin.inputs(g)) {
+          f.scope.push_back(a.vertex_of_[in]);
         }
-        f.table = circuit.kind(g) == GateKind::kAnd ? kAndTable : kOrTable;
+        f.table = bin.kind(g) == GateKind::kAnd ? kAndTable : kOrTable;
         break;
     }
-    plan.factors_.push_back(std::move(f));
-    scopes.push_back(std::move(scope));
+    factors.push_back(std::move(f));
   }
-  plan.factors_.push_back(Factor{kTrueTable, 0, {}});
-  scopes.push_back({vertex_of[root]});
-
-  // 4. Primal graph: a clique per factor scope.
-  Graph graph(n);
-  for (const std::vector<VertexId>& scope : scopes) {
-    for (size_t i = 0; i < scope.size(); ++i) {
-      for (size_t j = i + 1; j < scope.size(); ++j) {
-        graph.AddEdge(scope[i], scope[j]);
-      }
-    }
+  if (!batch) {
+    factors.push_back(TmpFactor{kTrueTable, 0, {a.vertex_of_[a.roots_[0]]}});
   }
 
-  // 5. Tree decomposition. With `seed_topological`, first try the
+  // 2. Tree decomposition. With `seed_topological`, first try the
   // circuit's own construction order: dense vertex ids ascend with gate
   // ids, so the identity order eliminates inputs before the gates that
   // read them — for DP-produced lineage circuits this follows the tree
   // the circuit was built along, and costs no ordering work at all.
   // Otherwise (or when the seed comes out wide) fall back to the
-  // O(1)-per-operation bucket min-degree order — on circuit primal
-  // graphs it matches min-fill's width at a fraction of the cost — and
-  // only when that too is wide (where an extra unit of width doubles
-  // every message table) pay for min-fill and keep the narrower.
+  // analysis's O(1)-per-operation bucket min-degree order — on circuit
+  // primal graphs it matches min-fill's width at a fraction of the cost
+  // — and only when that too is wide (where an extra unit of width
+  // doubles every message table) pay for min-fill and keep the
+  // narrower.
   constexpr int kAcceptWidth = 10;
   std::vector<VertexId> order;
   std::vector<BagId> bag_of_vertex;
@@ -120,26 +232,26 @@ JunctionTreePlan JunctionTreePlan::Build(const BoolCircuit& input,
   if (seed_topological) {
     order.resize(n);
     std::iota(order.begin(), order.end(), 0);
-    td = TreeDecomposition::FromEliminationOrder(graph, order,
+    td = TreeDecomposition::FromEliminationOrder(a.graph_, order,
                                                  &bag_of_vertex);
     accepted = td.Width() <= kAcceptWidth;
   }
   if (!accepted) {
-    std::vector<VertexId> md_order = CircuitMinDegreeOrder(graph);
+    a.MinDegreeWidth();  // Ensures the cached min-degree order.
     std::vector<BagId> md_bag_of;
     TreeDecomposition md_td = TreeDecomposition::FromEliminationOrder(
-        graph, md_order, &md_bag_of);
+        a.graph_, a.md_order_, &md_bag_of);
     if (!seed_topological || md_td.Width() < td.Width()) {
-      order = std::move(md_order);
+      order = a.md_order_;
       td = std::move(md_td);
       bag_of_vertex = std::move(md_bag_of);
     }
   }
   if (td.Width() > kAcceptWidth) {
-    std::vector<VertexId> fill_order = PeeledMinFillOrder(graph);
+    std::vector<VertexId> fill_order = PeeledMinFillOrder(a.graph_);
     std::vector<BagId> fill_bag_of;
     TreeDecomposition fill_td = TreeDecomposition::FromEliminationOrder(
-        graph, fill_order, &fill_bag_of);
+        a.graph_, fill_order, &fill_bag_of);
     if (fill_td.Width() < td.Width()) {
       order = std::move(fill_order);
       td = std::move(fill_td);
@@ -152,130 +264,589 @@ JunctionTreePlan JunctionTreePlan::Build(const BoolCircuit& input,
   TUD_CHECK_LE(td.Width(), 25)
       << "decomposition too wide for exact message passing";
 
-  // 6. Assign each factor to the bag of the earliest-eliminated vertex
+  // 3. Assign each factor to the bag of the earliest-eliminated vertex
   // of its scope (that bag contains the whole scope: the scope is a
-  // clique), and precompute every bit position.
-  plan.bags_.assign(td.NumBags(), Bag{});
-  for (uint32_t fi = 0; fi < plan.factors_.size(); ++fi) {
-    const std::vector<VertexId>& scope = scopes[fi];
+  // clique).
+  const size_t num_bags = td.NumBags();
+  std::vector<std::vector<uint32_t>> bag_factors(num_bags);
+  for (uint32_t fi = 0; fi < factors.size(); ++fi) {
+    const std::vector<VertexId>& scope = factors[fi].scope;
     VertexId earliest = scope[0];
     for (VertexId v : scope) {
       if (position[v] < position[earliest]) earliest = v;
     }
-    const BagId b = bag_of_vertex[earliest];
-    for (VertexId v : scope) {
-      plan.factors_[fi].bits.push_back(BitOf(td.bag(b), v));
-    }
-    plan.bags_[b].factors.push_back(fi);
+    bag_factors[bag_of_vertex[earliest]].push_back(fi);
   }
 
   // Decompositions from elimination orders have one bag per vertex, and
   // the separator towards the parent is exactly bag(v) \ {v}; knowing
   // each bag's defining vertex removes the set intersections from the
   // message pass.
-  std::vector<VertexId> vertex_of_bag(td.NumBags(), UINT32_MAX);
+  std::vector<VertexId> vertex_of_bag(num_bags, UINT32_MAX);
   for (VertexId v = 0; v < n; ++v) vertex_of_bag[bag_of_vertex[v]] = v;
 
-  for (BagId b = 0; b < td.NumBags(); ++b) {
+  // 4. Lower each bag to its flat program: pre-fused static table,
+  // variable-factor bit positions, child-message and marginalisation
+  // index maps (gather tables plus the raw bit positions as fallback).
+  auto push_bits = [&plan](const std::vector<uint8_t>& bits, uint32_t* begin,
+                           uint32_t* count) {
+    *begin = static_cast<uint32_t>(plan.bit_pool_.size());
+    *count = static_cast<uint32_t>(bits.size());
+    plan.bit_pool_.insert(plan.bit_pool_.end(), bits.begin(), bits.end());
+  };
+  auto make_gather = [&plan](const std::vector<uint8_t>& bits, uint32_t k) {
+    const uint32_t off = static_cast<uint32_t>(plan.gather_.size());
+    const size_t size = size_t{1} << k;
+    for (size_t idx = 0; idx < size; ++idx) {
+      uint32_t m = 0;
+      for (size_t i = 0; i < bits.size(); ++i) {
+        m |= static_cast<uint32_t>((idx >> bits[i]) & 1u) << i;
+      }
+      plan.gather_.push_back(m);
+    }
+    return off;
+  };
+
+  plan.bags_.assign(num_bags, Bag{});
+  for (BagId b = 0; b < num_bags; ++b) {
     Bag& bag = plan.bags_[b];
     const std::vector<VertexId>& members = td.bag(b);
-    bag.k = static_cast<uint32_t>(members.size());
+    bag.k = static_cast<uint8_t>(members.size());
     bag.is_root = td.parent(b) == kInvalidBag;
-    for (BagId c : td.children(b)) {
-      ChildMessage message{c, {}};
-      const VertexId child_vertex = vertex_of_bag[c];
-      for (VertexId v : td.bag(c)) {
-        if (v != child_vertex) message.bits.push_back(BitOf(members, v));
+    plan.max_k_ = std::max<uint32_t>(plan.max_k_, bag.k);
+
+    // Variable factors and static factors of this bag.
+    bag.var_begin = static_cast<uint32_t>(plan.var_factors_.size());
+    std::vector<std::pair<const double*, std::vector<uint8_t>>> statics;
+    for (uint32_t fi : bag_factors[b]) {
+      const TmpFactor& f = factors[fi];
+      if (f.table == nullptr) {
+        plan.var_factors_.push_back(VarFactor{
+            f.event, static_cast<uint32_t>(BitOf(members, f.scope[0]))});
+        plan.num_events_ =
+            std::max<size_t>(plan.num_events_, size_t{f.event} + 1);
+        continue;
       }
-      bag.children.push_back(std::move(message));
+      std::vector<uint8_t> bits;
+      bits.reserve(f.scope.size());
+      for (VertexId v : f.scope) {
+        bits.push_back(static_cast<uint8_t>(BitOf(members, v)));
+      }
+      statics.emplace_back(f.table, std::move(bits));
     }
+    bag.var_end = static_cast<uint32_t>(plan.var_factors_.size());
+
+    // Pre-fuse the constant gate factors into one static table so
+    // Execute only multiplies variable factors and messages in.
+    if (bag.k <= g_fuse_max_k) {
+      bag.static_off = static_cast<uint32_t>(plan.static_.size());
+      const size_t size = size_t{1} << bag.k;
+      plan.static_.resize(plan.static_.size() + size, 1.0);
+      double* st = plan.static_.data() + bag.static_off;
+      for (const auto& [table, bits] : statics) {
+        for (size_t idx = 0; idx < size; ++idx) {
+          size_t fidx = 0;
+          for (size_t i = 0; i < bits.size(); ++i) {
+            fidx |= ((idx >> bits[i]) & 1) << i;
+          }
+          st[idx] *= table[fidx];
+        }
+      }
+    } else {
+      bag.sfac_begin = static_cast<uint32_t>(plan.static_factors_.size());
+      for (const auto& [table, bits] : statics) {
+        StaticFactor sf{table, 0, 0};
+        push_bits(bits, &sf.bits_begin, &sf.bits_count);
+        plan.static_factors_.push_back(sf);
+      }
+      bag.sfac_end = static_cast<uint32_t>(plan.static_factors_.size());
+    }
+
+    // Child messages: each message is over the child's separator, whose
+    // members all live in this bag.
+    bag.child_begin = static_cast<uint32_t>(plan.children_.size());
+    for (BagId c : td.children(b)) {
+      ChildEdge edge{c, kNone, kNone, 0, 0};
+      const VertexId child_vertex = vertex_of_bag[c];
+      std::vector<uint8_t> bits;
+      for (VertexId v : td.bag(c)) {
+        if (v != child_vertex) {
+          bits.push_back(static_cast<uint8_t>(BitOf(members, v)));
+        }
+      }
+      push_bits(bits, &edge.bits_begin, &edge.bits_count);
+      if (bag.k <= g_gather_max_k) edge.gather = make_gather(bits, bag.k);
+      plan.children_.push_back(edge);
+    }
+    bag.child_end = static_cast<uint32_t>(plan.children_.size());
+
+    // Marginalisation towards the parent: sum out this bag's defining
+    // vertex.
     if (!bag.is_root) {
       const VertexId own_vertex = vertex_of_bag[b];
+      std::vector<uint8_t> bits;
       for (size_t i = 0; i < members.size(); ++i) {
-        if (members[i] != own_vertex) bag.out_bits.push_back(i);
+        if (members[i] != own_vertex) {
+          bits.push_back(static_cast<uint8_t>(i));
+        }
+      }
+      push_bits(bits, &bag.out_bits_begin, &bag.out_count);
+      if (bag.k <= g_gather_max_k) bag.out_gather = make_gather(bits, bag.k);
+    }
+
+    bag.opcode = bag.k <= 3 && bag.static_off != kNone &&
+                         (bag.k <= g_gather_max_k)
+                     ? bag.k
+                     : kOpGeneric;
+  }
+
+  // 5. Batch plans: locate each root's query bag and prune the downward
+  // pass to the subtrees that contain one.
+  std::vector<bool> is_query_bag(num_bags, false);
+  if (batch) {
+    for (size_t i = 0; i < a.roots_.size(); ++i) {
+      QueryRoot& qr = plan.query_roots_[i];
+      if (qr.trivial_value >= 0) continue;
+      const VertexId v = a.vertex_of_[a.roots_[i]];
+      qr.bag = bag_of_vertex[v];
+      qr.bit = static_cast<uint32_t>(BitOf(td.bag(qr.bag), v));
+      is_query_bag[qr.bag] = true;
+    }
+    // Children have larger bag ids than parents, so descending id order
+    // visits children first.
+    for (uint32_t b = static_cast<uint32_t>(num_bags); b-- > 0;) {
+      Bag& bag = plan.bags_[b];
+      bag.subtree_has_query = is_query_bag[b];
+      for (uint32_t ce = bag.child_begin; ce != bag.child_end; ++ce) {
+        bag.subtree_has_query = bag.subtree_has_query ||
+                                plan.bags_[plan.children_[ce].child]
+                                    .subtree_has_query;
       }
     }
   }
+
+  // 6. Arena layout, sized once per plan: resolved variable-factor
+  // values, every message slot (and, for batch plans, downward messages
+  // and kept query-bag tables), then the scratch table region.
+  plan.vals_off_ = 0;
+  size_t off = 2 * plan.var_factors_.size();
+  for (BagId b = 0; b < num_bags; ++b) {
+    Bag& bag = plan.bags_[b];
+    if (!bag.is_root) {
+      bag.up_off = static_cast<uint32_t>(off);
+      off += size_t{1} << bag.out_count;
+    }
+  }
+  if (batch) {
+    for (BagId b = 0; b < num_bags; ++b) {
+      Bag& bag = plan.bags_[b];
+      if (bag.subtree_has_query && !bag.is_root) {
+        bag.down_off = static_cast<uint32_t>(off);
+        off += size_t{1} << bag.out_count;
+      }
+      if (is_query_bag[b]) {
+        bag.table_off = static_cast<uint32_t>(off);
+        off += size_t{1} << bag.k;
+      }
+    }
+  }
+  plan.scratch_off_ = off;
+  off += (batch ? 2 : 1) * (size_t{1} << plan.max_k_);
+  plan.arena_size_ = off;
+  TUD_CHECK_LT(plan.arena_size_, size_t{UINT32_MAX})
+      << "plan arena too large for 32-bit offsets";
+
+  // Child edges read their message slot through a cached offset.
+  for (ChildEdge& edge : plan.children_) {
+    edge.msg_off = plan.bags_[edge.child].up_off;
+  }
   return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Execute kernels
+// ---------------------------------------------------------------------------
+
+template <int K>
+void JunctionTreePlan::ComputeBagTableK(const Bag& bag, const double* vals,
+                                        const double* arena,
+                                        double* table) const {
+  constexpr size_t kSize = size_t{1} << K;
+  const double* st = static_.data() + bag.static_off;
+  for (size_t i = 0; i < kSize; ++i) table[i] = st[i];
+  for (uint32_t vf = bag.var_begin; vf != bag.var_end; ++vf) {
+    const uint32_t bit = var_factors_[vf].bit;
+    const double v0 = vals[2 * vf];
+    const double v1 = vals[2 * vf + 1];
+    for (size_t i = 0; i < kSize; ++i) {
+      table[i] *= ((i >> bit) & 1) != 0 ? v1 : v0;
+    }
+  }
+  for (uint32_t ce = bag.child_begin; ce != bag.child_end; ++ce) {
+    const ChildEdge& edge = children_[ce];
+    const double* msg = arena + edge.msg_off;
+    const uint32_t* map = gather_.data() + edge.gather;
+    for (size_t i = 0; i < kSize; ++i) table[i] *= msg[map[i]];
+  }
+}
+
+template <int K>
+void JunctionTreePlan::UpStepK(const Bag& bag, const double* vals,
+                               double* arena) const {
+  constexpr size_t kSize = size_t{1} << K;
+  double table[kSize];
+  ComputeBagTableK<K>(bag, vals, arena, table);
+  double* out = arena + bag.up_off;
+  std::fill_n(out, size_t{1} << bag.out_count, 0.0);
+  const uint32_t* map = gather_.data() + bag.out_gather;
+  for (size_t i = 0; i < kSize; ++i) out[map[i]] += table[i];
+}
+
+void JunctionTreePlan::ComputeBagTableGeneric(const Bag& bag,
+                                              const double* vals,
+                                              const double* arena,
+                                              double* table) const {
+  ComputeBagBase(bag, vals, table);
+  for (uint32_t ce = bag.child_begin; ce != bag.child_end; ++ce) {
+    MultiplyChild(bag, children_[ce], arena, table);
+  }
+}
+
+void JunctionTreePlan::ComputeBagBase(const Bag& bag, const double* vals,
+                                      double* table) const {
+  const size_t size = size_t{1} << bag.k;
+  if (bag.static_off != kNone) {
+    std::memcpy(table, static_.data() + bag.static_off,
+                size * sizeof(double));
+  } else {
+    std::fill_n(table, size, 1.0);
+    for (uint32_t si = bag.sfac_begin; si != bag.sfac_end; ++si) {
+      const StaticFactor& sf = static_factors_[si];
+      const uint8_t* bits = bit_pool_.data() + sf.bits_begin;
+      for (size_t i = 0; i < size; ++i) {
+        size_t fidx = 0;
+        for (uint32_t j = 0; j < sf.bits_count; ++j) {
+          fidx |= ((i >> bits[j]) & 1) << j;
+        }
+        table[i] *= sf.table[fidx];
+      }
+    }
+  }
+  for (uint32_t vf = bag.var_begin; vf != bag.var_end; ++vf) {
+    const uint32_t bit = var_factors_[vf].bit;
+    const double v0 = vals[2 * vf];
+    const double v1 = vals[2 * vf + 1];
+    for (size_t i = 0; i < size; ++i) {
+      table[i] *= ((i >> bit) & 1) != 0 ? v1 : v0;
+    }
+  }
+}
+
+void JunctionTreePlan::ComputeBagTable(const Bag& bag, const double* vals,
+                                       const double* arena,
+                                       double* table) const {
+  switch (bag.opcode) {
+    case 0:
+      ComputeBagTableK<0>(bag, vals, arena, table);
+      break;
+    case 1:
+      ComputeBagTableK<1>(bag, vals, arena, table);
+      break;
+    case 2:
+      ComputeBagTableK<2>(bag, vals, arena, table);
+      break;
+    case 3:
+      ComputeBagTableK<3>(bag, vals, arena, table);
+      break;
+    default:
+      ComputeBagTableGeneric(bag, vals, arena, table);
+      break;
+  }
+}
+
+void JunctionTreePlan::MarginalizeOut(const Bag& bag, const double* table,
+                                      double* out) const {
+  const size_t size = size_t{1} << bag.k;
+  std::fill_n(out, size_t{1} << bag.out_count, 0.0);
+  if (bag.out_gather != kNone) {
+    const uint32_t* map = gather_.data() + bag.out_gather;
+    for (size_t i = 0; i < size; ++i) out[map[i]] += table[i];
+  } else {
+    const uint8_t* bits = bit_pool_.data() + bag.out_bits_begin;
+    for (size_t i = 0; i < size; ++i) {
+      size_t midx = 0;
+      for (uint32_t j = 0; j < bag.out_count; ++j) {
+        midx |= ((i >> bits[j]) & 1) << j;
+      }
+      out[midx] += table[i];
+    }
+  }
+}
+
+void JunctionTreePlan::ResolveVarValues(const EventRegistry& registry,
+                                        const Evidence& evidence,
+                                        double* vals) const {
+  const size_t num = var_factors_.size();
+  if (evidence.empty()) {
+    for (size_t i = 0; i < num; ++i) {
+      const double p = registry.probability(var_factors_[i].event);
+      vals[2 * i] = 1.0 - p;
+      vals[2 * i + 1] = p;
+    }
+    return;
+  }
+  // Flat dense-EventId pin table (replacing the former per-Execute
+  // unordered_map): 0 = free, 1 = pinned false, 2 = pinned true. Pinned
+  // events contribute no probability weight, so the result is the
+  // conditional P(root | pins).
+  std::vector<int8_t> pinned(num_events_, 0);
+  for (const auto& [e, v] : evidence) {
+    if (e < num_events_) pinned[e] = v ? 2 : 1;
+  }
+  for (size_t i = 0; i < num; ++i) {
+    const int8_t pin = pinned[var_factors_[i].event];
+    if (pin == 0) {
+      const double p = registry.probability(var_factors_[i].event);
+      vals[2 * i] = 1.0 - p;
+      vals[2 * i + 1] = p;
+    } else {
+      vals[2 * i] = pin == 1 ? 1.0 : 0.0;
+      vals[2 * i + 1] = pin == 2 ? 1.0 : 0.0;
+    }
+  }
 }
 
 double JunctionTreePlan::Execute(const EventRegistry& registry,
                                  const Evidence& evidence) const {
   if (trivial_) return trivial_value_;
+  TUD_CHECK(!batch_) << "single-root Execute on a batch plan";
 
-  std::unordered_map<EventId, bool> pinned;
-  for (const auto& [e, v] : evidence) pinned[e] = v;
-
-  // One bottom-up sum-product pass. Children have larger BagIds than
-  // parents, so descending id order is bottom-up. The per-bag table is
-  // reused across the (many, mostly tiny) bags.
-  std::vector<std::vector<double>> message(bags_.size());
-  std::vector<double> table;
+  // One bottom-up sum-product pass over the arena. Children have larger
+  // BagIds than parents, so descending id order is bottom-up; the
+  // scratch table is reused across the (many, mostly tiny) bags.
+  std::unique_ptr<double[]> arena(new double[arena_size_]);
+  double* vals = arena.get() + vals_off_;
+  ResolveVarValues(registry, evidence, vals);
+  double* table = arena.get() + scratch_off_;
   for (uint32_t b = static_cast<uint32_t>(bags_.size()); b-- > 0;) {
     const Bag& bag = bags_[b];
-    table.assign(size_t{1} << bag.k, 1.0);
-
-    // Multiply assigned factors in.
-    for (uint32_t fi : bag.factors) {
-      const Factor& f = factors_[fi];
-      const double* values;
-      std::array<double, 2> unary = {0.0, 0.0};
-      if (f.table != nullptr) {
-        values = f.table;
-      } else {
-        auto it = pinned.find(f.event);
-        if (it != pinned.end()) {
-          values = it->second ? kTrueTable : kFalseTable;
-        } else {
-          double p = registry.probability(f.event);
-          unary = {1.0 - p, p};
-          values = unary.data();
-        }
+    if (!bag.is_root) {
+      // Fused small-bag kernels: table build plus marginalisation in
+      // one step, every trip count a compile-time constant.
+      switch (bag.opcode) {
+        case 0:
+          UpStepK<0>(bag, vals, arena.get());
+          continue;
+        case 1:
+          UpStepK<1>(bag, vals, arena.get());
+          continue;
+        case 2:
+          UpStepK<2>(bag, vals, arena.get());
+          continue;
+        case 3:
+          UpStepK<3>(bag, vals, arena.get());
+          continue;
+        default:
+          break;
       }
-      for (size_t idx = 0; idx < table.size(); ++idx) {
-        size_t fidx = 0;
-        for (size_t i = 0; i < f.bits.size(); ++i) {
-          fidx |= ((idx >> f.bits[i]) & 1) << i;
-        }
-        table[idx] *= values[fidx];
-      }
+      ComputeBagTableGeneric(bag, vals, arena.get(), table);
+      MarginalizeOut(bag, table, arena.get() + bag.up_off);
+      continue;
     }
-
-    // Multiply child messages in. Each message is over the child's
-    // separator, whose members all live in this bag.
-    for (const ChildMessage& child : bag.children) {
-      const std::vector<double>& msg = message[child.child];
-      TUD_CHECK_EQ(msg.size(), size_t{1} << child.bits.size());
-      for (size_t idx = 0; idx < table.size(); ++idx) {
-        size_t midx = 0;
-        for (size_t i = 0; i < child.bits.size(); ++i) {
-          midx |= ((idx >> child.bits[i]) & 1) << i;
-        }
-        table[idx] *= msg[midx];
-      }
-      message[child.child] = {};  // Used exactly once: free it eagerly.
-    }
-
-    // Produce the message to the parent: marginalise out this bag's
-    // defining vertex.
-    if (bag.is_root) {
-      double total = 0.0;
-      for (double v : table) total += v;
-      return total;
-    }
-    std::vector<double> out(size_t{1} << bag.out_bits.size(), 0.0);
-    for (size_t idx = 0; idx < table.size(); ++idx) {
-      size_t midx = 0;
-      for (size_t i = 0; i < bag.out_bits.size(); ++i) {
-        midx |= ((idx >> bag.out_bits[i]) & 1) << i;
-      }
-      out[midx] += table[idx];
-    }
-    message[b] = std::move(out);
+    ComputeBagTable(bag, vals, arena.get(), table);
+    double total = 0.0;
+    const size_t size = size_t{1} << bag.k;
+    for (size_t i = 0; i < size; ++i) total += table[i];
+    return total;
   }
   TUD_CHECK(false) << "tree decomposition had no root bag";
   return 0.0;
 }
+
+std::vector<double> JunctionTreePlan::ExecuteBatch(
+    const EventRegistry& registry, const Evidence& evidence,
+    EngineStats* stats) const {
+  TUD_CHECK(batch_) << "ExecuteBatch requires a BuildBatch plan";
+  std::vector<double> result(query_roots_.size(), 0.0);
+  size_t visited = 0;
+  if (!trivial_) {
+    std::unique_ptr<double[]> arena(new double[arena_size_]);
+    double* vals = arena.get() + vals_off_;
+    ResolveVarValues(registry, evidence, vals);
+    double* base = arena.get() + scratch_off_;
+    double* tmp = base + (size_t{1} << max_k_);
+
+    // Upward (collect) pass; query bags keep their full table.
+    for (uint32_t b = static_cast<uint32_t>(bags_.size()); b-- > 0;) {
+      const Bag& bag = bags_[b];
+      ++visited;
+      if (!bag.is_root && bag.table_off == kNone) {
+        switch (bag.opcode) {
+          case 0:
+            UpStepK<0>(bag, vals, arena.get());
+            continue;
+          case 1:
+            UpStepK<1>(bag, vals, arena.get());
+            continue;
+          case 2:
+            UpStepK<2>(bag, vals, arena.get());
+            continue;
+          case 3:
+            UpStepK<3>(bag, vals, arena.get());
+            continue;
+          default:
+            break;
+        }
+      }
+      double* table =
+          bag.table_off != kNone ? arena.get() + bag.table_off : base;
+      ComputeBagTable(bag, vals, arena.get(), table);
+      if (!bag.is_root) MarginalizeOut(bag, table, arena.get() + bag.up_off);
+    }
+
+    // Downward (distribute) pass, pruned to subtrees containing query
+    // bags. The message to child c is the bag's base (static x variable
+    // factors x parent's downward message) times every *other* child's
+    // upward message, marginalised onto c's separator — products, never
+    // divisions, so deterministic zeros are safe.
+    for (uint32_t b = 0; b < bags_.size(); ++b) {
+      const Bag& bag = bags_[b];
+      if (!bag.subtree_has_query) continue;
+      bool any = false;
+      for (uint32_t ce = bag.child_begin; ce != bag.child_end && !any; ++ce) {
+        any = bags_[children_[ce].child].subtree_has_query;
+      }
+      if (!any) continue;
+      ComputeBagBase(bag, vals, base);
+      if (bag.down_off != kNone) {
+        ApplyDown(bag, arena.get() + bag.down_off, base);
+      }
+      ++visited;
+      const size_t size = size_t{1} << bag.k;
+      for (uint32_t ce = bag.child_begin; ce != bag.child_end; ++ce) {
+        const Bag& child = bags_[children_[ce].child];
+        if (!child.subtree_has_query) continue;
+        std::memcpy(tmp, base, size * sizeof(double));
+        for (uint32_t other = bag.child_begin; other != bag.child_end;
+             ++other) {
+          if (other == ce) continue;
+          MultiplyChild(bag, children_[other], arena.get(), tmp);
+        }
+        MarginalizeEdge(bag, children_[ce], tmp,
+                        arena.get() + child.down_off);
+      }
+    }
+
+    // Per-root beliefs: kept upward table times the downward message,
+    // marginalised to the root vertex's bit and normalised (the
+    // normaliser is 1 up to rounding; with evidence it stays 1 because
+    // pinned indicator factors carry no weight).
+    for (size_t qi = 0; qi < query_roots_.size(); ++qi) {
+      const QueryRoot& qr = query_roots_[qi];
+      if (qr.trivial_value >= 0) {
+        result[qi] = qr.trivial_value;
+        continue;
+      }
+      const Bag& bag = bags_[qr.bag];
+      const double* table = arena.get() + bag.table_off;
+      const double* down =
+          bag.down_off != kNone ? arena.get() + bag.down_off : nullptr;
+      const size_t size = size_t{1} << bag.k;
+      double p1 = 0.0, total = 0.0;
+      for (size_t i = 0; i < size; ++i) {
+        double w = table[i];
+        if (down != nullptr) {
+          size_t midx;
+          if (bag.out_gather != kNone) {
+            midx = gather_[bag.out_gather + i];
+          } else {
+            midx = 0;
+            const uint8_t* bits = bit_pool_.data() + bag.out_bits_begin;
+            for (uint32_t j = 0; j < bag.out_count; ++j) {
+              midx |= ((i >> bits[j]) & 1) << j;
+            }
+          }
+          w *= down[midx];
+        }
+        total += w;
+        if (((i >> qr.bit) & 1) != 0) p1 += w;
+      }
+      result[qi] = total > 0.0 ? p1 / total : 0.0;
+    }
+  } else {
+    for (size_t qi = 0; qi < query_roots_.size(); ++qi) {
+      result[qi] = query_roots_[qi].trivial_value;
+    }
+  }
+  if (stats != nullptr) {
+    stats->batch_size = query_roots_.size();
+    stats->bags_visited = visited;
+    stats->max_table = trivial_ ? 0 : size_t{1} << max_k_;
+  }
+  return result;
+}
+
+void JunctionTreePlan::ApplyDown(const Bag& bag, const double* down,
+                                 double* table) const {
+  const size_t size = size_t{1} << bag.k;
+  if (bag.out_gather != kNone) {
+    const uint32_t* map = gather_.data() + bag.out_gather;
+    for (size_t i = 0; i < size; ++i) table[i] *= down[map[i]];
+  } else {
+    const uint8_t* bits = bit_pool_.data() + bag.out_bits_begin;
+    for (size_t i = 0; i < size; ++i) {
+      size_t midx = 0;
+      for (uint32_t j = 0; j < bag.out_count; ++j) {
+        midx |= ((i >> bits[j]) & 1) << j;
+      }
+      table[i] *= down[midx];
+    }
+  }
+}
+
+void JunctionTreePlan::MultiplyChild(const Bag& bag, const ChildEdge& edge,
+                                     const double* arena,
+                                     double* table) const {
+  const size_t size = size_t{1} << bag.k;
+  const double* msg = arena + edge.msg_off;
+  if (edge.gather != kNone) {
+    const uint32_t* map = gather_.data() + edge.gather;
+    for (size_t i = 0; i < size; ++i) table[i] *= msg[map[i]];
+  } else {
+    const uint8_t* bits = bit_pool_.data() + edge.bits_begin;
+    for (size_t i = 0; i < size; ++i) {
+      size_t midx = 0;
+      for (uint32_t j = 0; j < edge.bits_count; ++j) {
+        midx |= ((i >> bits[j]) & 1) << j;
+      }
+      table[i] *= msg[midx];
+    }
+  }
+}
+
+void JunctionTreePlan::MarginalizeEdge(const Bag& bag, const ChildEdge& edge,
+                                       const double* table,
+                                       double* out) const {
+  const size_t size = size_t{1} << bag.k;
+  std::fill_n(out, size_t{1} << edge.bits_count, 0.0);
+  if (edge.gather != kNone) {
+    const uint32_t* map = gather_.data() + edge.gather;
+    for (size_t i = 0; i < size; ++i) out[map[i]] += table[i];
+  } else {
+    const uint8_t* bits = bit_pool_.data() + edge.bits_begin;
+    for (size_t i = 0; i < size; ++i) {
+      size_t midx = 0;
+      for (uint32_t j = 0; j < edge.bits_count; ++j) {
+        midx |= ((i >> bits[j]) & 1) << j;
+      }
+      out[midx] += table[i];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics and test hooks
+// ---------------------------------------------------------------------------
 
 void JunctionTreePlan::FillStats(EngineStats* stats) const {
   if (stats == nullptr) return;
@@ -283,7 +854,30 @@ void JunctionTreePlan::FillStats(EngineStats* stats) const {
   stats->width = trivial_ ? 0 : width_;
   stats->num_bags = bags_.size();
   stats->num_gates = num_gates_;
+  stats->batch_size = batch_size();
+  stats->max_table = trivial_ ? 0 : size_t{1} << max_k_;
+  stats->bags_visited = bags_.size();
 }
+
+void JunctionTreePlan::ForceGenericKernelsForTest() {
+  for (Bag& bag : bags_) bag.opcode = kOpGeneric;
+}
+
+void JunctionTreePlan::ForceBitLoopsForTest() {
+  ForceGenericKernelsForTest();
+  for (Bag& bag : bags_) bag.out_gather = kNone;
+  for (ChildEdge& edge : children_) edge.gather = kNone;
+}
+
+void JunctionTreePlan::SetKernelThresholdsForTest(int fuse_max_k,
+                                                  int gather_max_k) {
+  if (fuse_max_k >= 0) g_fuse_max_k = fuse_max_k;
+  if (gather_max_k >= 0) g_gather_max_k = gather_max_k;
+}
+
+// ---------------------------------------------------------------------------
+// One-shot conveniences
+// ---------------------------------------------------------------------------
 
 double JunctionTreeProbability(const BoolCircuit& circuit, GateId root,
                                const EventRegistry& registry,

@@ -8,8 +8,58 @@
 #include "circuits/bool_circuit.h"
 #include "events/event_registry.h"
 #include "inference/engine.h"
+#include "treedec/graph.h"
 
 namespace tud {
+
+/// The query-shape analysis every junction-tree plan starts from:
+/// extract the cone of the root(s), binarise it, build the primal graph
+/// of the factor scopes, and (on demand) compute the min-degree
+/// elimination order and its width. Split out of JunctionTreePlan::Build
+/// so the AutoEngine planner, whose escalation decision *is* the
+/// min-degree width estimate, can hand the analysis to the engine it
+/// selects instead of the engine redoing the cone/graph/order work —
+/// `auto` then costs the same as a direct engine pick, and the handed-off
+/// decomposition is bit-identical to the one the engine would compute
+/// (same code path).
+class JunctionTreeAnalysis {
+ public:
+  /// Analyses the cone of a single root.
+  static JunctionTreeAnalysis Analyze(const BoolCircuit& circuit,
+                                      GateId root);
+
+  /// Analyses the union of the cones of `roots` (for batched plans: one
+  /// shared decomposition answering every root).
+  static JunctionTreeAnalysis AnalyzeBatch(const BoolCircuit& circuit,
+                                           const std::vector<GateId>& roots);
+
+  /// Width of the min-degree elimination order of the binarised cone's
+  /// primal graph. Computed on first call and cached; JunctionTreePlan
+  /// reuses the cached order, so probing the width costs nothing extra
+  /// when the plan is subsequently built from this analysis.
+  int MinDegreeWidth();
+
+  /// True if every root folded to a constant (no message passing
+  /// needed).
+  bool trivial() const { return num_vertices() == 0; }
+
+  /// Gates of the binarised cone (the vertices of the primal graph).
+  size_t num_vertices() const { return gates_.size(); }
+
+ private:
+  friend class JunctionTreePlan;
+
+  JunctionTreeAnalysis() : graph_(0) {}
+
+  BoolCircuit bin_;                  ///< Binarised (union) cone.
+  std::vector<GateId> roots_;       ///< Roots in bin_ ids, input order.
+  std::vector<GateId> gates_;       ///< Dense vertex -> bin_ gate.
+  std::vector<VertexId> vertex_of_;  ///< bin_ gate -> dense vertex.
+  Graph graph_;                      ///< Primal graph of the factor scopes.
+  bool has_min_degree_ = false;
+  std::vector<VertexId> md_order_;
+  int md_width_ = 0;
+};
 
 /// A compiled message-passing plan for one lineage gate — the paper's
 /// inference method ("the probability that I satisfies q can be
@@ -19,12 +69,21 @@ namespace tud {
 /// Build() does everything query-shape-dependent exactly once: extract
 /// the cone of `root`, binarise it, tree-decompose its primal graph
 /// (min-degree with a min-fill fallback, or seeded from the circuit's
-/// construction order), assign one local factor per gate to its bag and
-/// precompute every table bit position. Execute() reruns only the
-/// numeric bottom-up sum-product pass, so many evaluations — updated
-/// probabilities, different pinned evidence, repeated queries in a
-/// QuerySession — share one elimination order instead of re-deriving it
-/// per query.
+/// construction order), and lower every bag to a flat program: the
+/// constant gate factors (And/Or/Not/True) of a bag are pre-fused into
+/// one static table, child-message and marginalisation index maps are
+/// expanded into precomputed gather tables, and all message storage is
+/// laid out in one contiguous arena sized at build time. Execute()
+/// reruns only the numeric bottom-up sum-product pass — a single arena
+/// allocation, a memcpy of each bag's static table, and multiplies of
+/// the variable (event) factors and child messages, dispatched to
+/// unrolled kernels for the many tiny bags (k <= 3) via a per-bag
+/// opcode.
+///
+/// BuildBatch()/ExecuteBatch() answer a *set* of lineage roots over one
+/// shared decomposition of the union cone: a calibrating upward +
+/// (pruned) downward pass computes every root's marginal in two sweeps
+/// instead of one full pass per root.
 ///
 /// Cost O(2^{w+1}) per bag: PTIME whenever the lineage has bounded
 /// treewidth, which Theorems 1-2 guarantee for bounded-treewidth
@@ -42,45 +101,160 @@ class JunctionTreePlan {
   static JunctionTreePlan Build(const BoolCircuit& circuit, GateId root,
                                 bool seed_topological = false);
 
+  /// As above from a precomputed analysis (the AutoEngine handoff: the
+  /// planner's width estimate already did the cone/graph/order work).
+  static JunctionTreePlan Build(JunctionTreeAnalysis analysis,
+                                bool seed_topological = false);
+
+  /// Compiles one shared plan answering every root in `roots` (per-root
+  /// marginals over the union cone's decomposition).
+  static JunctionTreePlan BuildBatch(const BoolCircuit& circuit,
+                                     const std::vector<GateId>& roots,
+                                     bool seed_topological = false);
+  static JunctionTreePlan BuildBatch(JunctionTreeAnalysis analysis,
+                                     bool seed_topological = false);
+
   /// P(root = true | evidence): events listed in `evidence` are pinned
   /// to the given truth value and contribute no probability weight.
+  /// Single-root plans only. Thread-safe (all mutable state lives in a
+  /// per-call arena), so independent cached plans may Execute in
+  /// parallel.
   double Execute(const EventRegistry& registry,
                  const Evidence& evidence = {}) const;
 
+  /// P(root_i = true | evidence) for every root of a BuildBatch plan,
+  /// in one calibrating up+down pass (the downward pass is pruned to
+  /// the subtrees that contain query bags). If `stats` is non-null its
+  /// batch fields (batch_size, bags_visited, max_table) are filled with
+  /// the actual execution counts.
+  std::vector<double> ExecuteBatch(const EventRegistry& registry,
+                                   const Evidence& evidence = {},
+                                   EngineStats* stats = nullptr) const;
+
   int width() const { return width_; }
   size_t num_bags() const { return bags_.size(); }
-  /// Gates of the binarised cone the plan covers.
+  /// Gates of the binarised (union) cone the plan covers.
   size_t num_gates() const { return num_gates_; }
+  /// Roots answered by ExecuteBatch (1 for single-root plans).
+  size_t batch_size() const { return batch_ ? query_roots_.size() : 1; }
 
   void FillStats(EngineStats* stats) const;
 
+  /// Test hooks: downgrade every small-bag kernel to the generic strided
+  /// loop, or additionally drop the precomputed gather tables so the
+  /// bit-recombination fallback runs. Cross-checked against the default
+  /// dispatch in junction_batch_test.cc.
+  void ForceGenericKernelsForTest();
+  void ForceBitLoopsForTest();
+  /// Test hook: caps below which static fusion / gather precomputation
+  /// apply (defaults 16/16; pass negative values to leave unchanged).
+  /// Affects subsequent Build calls; reset to defaults after use.
+  static void SetKernelThresholdsForTest(int fuse_max_k, int gather_max_k);
+
  private:
-  struct Factor {
-    const double* table;  ///< Static gate table; nullptr = variable.
-    EventId event;        ///< Variable factors only.
-    std::vector<size_t> bits;  ///< Scope bit positions in the bag table.
+  static constexpr uint32_t kNone = UINT32_MAX;
+  static constexpr uint8_t kOpGeneric = 4;
+
+  struct VarFactor {
+    EventId event;  ///< Resolved against the registry (or the pinned
+                    ///< evidence) at Execute().
+    uint32_t bit;   ///< Scope bit position in the owning bag's table.
   };
-  struct ChildMessage {
-    uint32_t child;            ///< Bag id of the child.
-    std::vector<size_t> bits;  ///< Separator bit positions in this bag.
+  /// Constant factor kept unfused (wide bags only, where a 2^k static
+  /// table would not pay for itself).
+  struct StaticFactor {
+    const double* table;
+    uint32_t bits_begin;  ///< Scope bit positions in bit_pool_.
+    uint32_t bits_count;
+  };
+  struct ChildEdge {
+    uint32_t child;       ///< Bag id of the child.
+    uint32_t msg_off;     ///< Child's upward-message offset in the arena.
+    uint32_t gather;      ///< Offset into gather_ (2^k entries mapping
+                          ///< this bag's index -> message index), or
+                          ///< kNone to recombine separator bits.
+    uint32_t bits_begin;  ///< Separator bit positions in bit_pool_.
+    uint32_t bits_count;
   };
   struct Bag {
-    uint32_t k = 0;  ///< Bag size; the local table has 2^k entries.
-    std::vector<uint32_t> factors;     ///< Indices into factors_.
-    std::vector<ChildMessage> children;
-    std::vector<size_t> out_bits;      ///< Marginalisation bits (parent
-                                       ///< message); unused for the root.
+    uint8_t k = 0;        ///< Bag size; the local table has 2^k entries.
+    uint8_t opcode = 0;   ///< Kernel dispatch: k for k <= 3, else generic.
     bool is_root = false;
+    bool subtree_has_query = false;  ///< Batch: downward-pass pruning.
+    uint32_t static_off = kNone;   ///< Pre-fused table in static_.
+    uint32_t sfac_begin = 0, sfac_end = 0;  ///< Unfused (static_off==kNone).
+    uint32_t var_begin = 0, var_end = 0;    ///< Range in var_factors_.
+    uint32_t child_begin = 0, child_end = 0;  ///< Range in children_.
+    uint32_t up_off = kNone;       ///< Upward message (2^out_count) slot.
+    uint32_t down_off = kNone;     ///< Batch: downward message slot.
+    uint32_t table_off = kNone;    ///< Batch: kept upward table (query bags).
+    uint32_t out_gather = kNone;   ///< Marginalisation gather (2^k entries).
+    uint32_t out_bits_begin = 0;   ///< Marginalisation bits in bit_pool_.
+    uint32_t out_count = 0;        ///< Parent-separator size.
+  };
+  struct QueryRoot {
+    uint32_t bag = kNone;     ///< Bag whose belief holds the marginal.
+    uint32_t bit = 0;         ///< Bit of the root vertex in that bag.
+    int8_t trivial_value = -1;  ///< 0/1 when the root folded to a const.
   };
 
   JunctionTreePlan() = default;
 
+  static JunctionTreePlan BuildImpl(JunctionTreeAnalysis analysis,
+                                    bool seed_topological, bool batch);
+
+  /// Computes bag `b`'s table (static x variable factors x child
+  /// messages) into `table`; `vals` holds the resolved per-var-factor
+  /// value pairs, `arena` the message storage.
+  template <int K>
+  void ComputeBagTableK(const Bag& bag, const double* vals,
+                        const double* arena, double* table) const;
+  /// One fused upward step for a small bag: table build plus
+  /// marginalisation onto the parent separator, all trip counts known
+  /// at compile time.
+  template <int K>
+  void UpStepK(const Bag& bag, const double* vals, double* arena) const;
+  void ComputeBagTableGeneric(const Bag& bag, const double* vals,
+                              const double* arena, double* table) const;
+  void ComputeBagTable(const Bag& bag, const double* vals,
+                       const double* arena, double* table) const;
+  /// As above without the child messages (downward-pass base).
+  void ComputeBagBase(const Bag& bag, const double* vals,
+                      double* table) const;
+  /// Marginalises `table` onto the parent separator.
+  void MarginalizeOut(const Bag& bag, const double* table, double* out) const;
+  /// Multiplies the parent's downward message into `table` (batch pass).
+  void ApplyDown(const Bag& bag, const double* down, double* table) const;
+  /// Multiplies one child's upward message into `table`.
+  void MultiplyChild(const Bag& bag, const ChildEdge& edge,
+                     const double* arena, double* table) const;
+  /// Marginalises `table` onto one child's separator (downward message).
+  void MarginalizeEdge(const Bag& bag, const ChildEdge& edge,
+                       const double* table, double* out) const;
+  /// Resolves the per-var-factor value pairs (registry probabilities,
+  /// overridden by pinned evidence via a flat dense-EventId vector).
+  void ResolveVarValues(const EventRegistry& registry,
+                        const Evidence& evidence, double* vals) const;
+
   bool trivial_ = false;      ///< Cone folded to a constant.
   double trivial_value_ = 0;
+  bool batch_ = false;
   int width_ = 0;
   size_t num_gates_ = 0;
-  std::vector<Factor> factors_;
-  std::vector<Bag> bags_;  ///< Descending id order is bottom-up.
+  uint32_t max_k_ = 0;
+  size_t num_events_ = 0;     ///< Bound on EventIds read by var factors.
+  size_t arena_size_ = 0;     ///< Doubles: var values + messages (+ batch
+                              ///< down messages and kept tables) + scratch.
+  size_t vals_off_ = 0;       ///< Var-factor value pairs (2 per factor).
+  size_t scratch_off_ = 0;    ///< Scratch table region (2 x 2^max_k).
+  std::vector<Bag> bags_;     ///< Descending id order is bottom-up.
+  std::vector<VarFactor> var_factors_;
+  std::vector<StaticFactor> static_factors_;
+  std::vector<ChildEdge> children_;
+  std::vector<double> static_;    ///< Pre-fused constant-factor tables.
+  std::vector<uint32_t> gather_;  ///< Precomputed index maps.
+  std::vector<uint8_t> bit_pool_;
+  std::vector<QueryRoot> query_roots_;  ///< Batch plans only.
 };
 
 /// One-shot convenience: Build + Execute. If `stats` is non-null it

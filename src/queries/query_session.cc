@@ -66,6 +66,12 @@ EngineResult QuerySession::Probability(GateId lineage,
   return engine_->Estimate(pcc_.circuit(), lineage, pcc_.events(), evidence);
 }
 
+std::vector<EngineResult> QuerySession::ProbabilityBatch(
+    const std::vector<GateId>& lineages, const Evidence& evidence) {
+  return engine_->EstimateBatch(pcc_.circuit(), lineages, pcc_.events(),
+                                evidence);
+}
+
 EngineResult QuerySession::Query(const ConjunctiveQuery& query,
                                  const Evidence& evidence) {
   return Probability(CqLineage(query), evidence);
@@ -100,6 +106,15 @@ EngineResult TreeQuerySession::Probability(const AutomatonExpr& expr,
                                            const Evidence& evidence) {
   return engine_->Estimate(tree_.circuit(), Lineage(expr), *events_,
                            evidence);
+}
+
+std::vector<EngineResult> TreeQuerySession::ProbabilityBatch(
+    const std::vector<AutomatonExpr>& exprs, const Evidence& evidence) {
+  std::vector<GateId> lineages;
+  lineages.reserve(exprs.size());
+  for (const AutomatonExpr& expr : exprs) lineages.push_back(Lineage(expr));
+  return engine_->EstimateBatch(tree_.circuit(), lineages, *events_,
+                                evidence);
 }
 
 }  // namespace tud

@@ -66,6 +66,14 @@ class QuerySession {
   /// P(lineage | evidence) via the session's engine.
   EngineResult Probability(GateId lineage, const Evidence& evidence = {});
 
+  /// P(lineage_i | evidence) for a whole set of lineages in one engine
+  /// call. Engines with a native batch path (JunctionTreeEngine) answer
+  /// every lineage over one shared decomposition in a single calibrating
+  /// message pass — the amortisation lever for dashboards / question
+  /// batteries that issue many queries against one instance.
+  std::vector<EngineResult> ProbabilityBatch(
+      const std::vector<GateId>& lineages, const Evidence& evidence = {});
+
   /// Lineage + probability in one call.
   EngineResult Query(const ConjunctiveQuery& query,
                      const Evidence& evidence = {});
@@ -105,6 +113,12 @@ class TreeQuerySession {
   /// P(expr accepts | evidence) via the session's engine.
   EngineResult Probability(const AutomatonExpr& expr,
                            const Evidence& evidence = {});
+
+  /// Batched counterpart: lineages for every expression first (all
+  /// grown into the tree's shared circuit), then one batched engine
+  /// call over the set of roots.
+  std::vector<EngineResult> ProbabilityBatch(
+      const std::vector<AutomatonExpr>& exprs, const Evidence& evidence = {});
 
  private:
   UncertainBinaryTree tree_;

@@ -192,6 +192,48 @@ TEST(AutoEngineTest, PicksJunctionTreeOnWideEventNarrowWidthCones) {
   EXPECT_NEAR(result.value, 1.0 - expected, 1e-9);
 }
 
+TEST(AutoEngineTest, HandedOffDecompositionIsBitIdentical) {
+  // The planner's width estimate is a JunctionTreeAnalysis that it hands
+  // to the junction-tree plan it builds; the engine computing its own
+  // decomposition runs the exact same Analyze+Build path, so the two
+  // results must be bit-identical (not just within tolerance).
+  AutoEngine::Limits limits;
+  limits.exhaustive_max_events = 0;  // Force the planner past the small
+  limits.bdd_max_events = 0;         // cones straight to message passing.
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(seed + 600);
+    GateId root;
+    BoolCircuit c = RandomCircuit(rng, 9, 45, &root);
+    EventRegistry registry = RandomRegistry(rng, 9);
+    AutoEngine auto_engine(limits);
+    JunctionTreeEngine direct;
+    EngineResult handed = auto_engine.Estimate(c, root, registry);
+    EngineResult computed = direct.Estimate(c, root, registry);
+    ASSERT_STREQ(handed.engine, "junction_tree") << "seed " << seed;
+    EXPECT_EQ(handed.value, computed.value) << "seed " << seed;
+    EXPECT_EQ(handed.stats.width, computed.stats.width);
+    EXPECT_EQ(handed.stats.num_bags, computed.stats.num_bags);
+    EXPECT_EQ(handed.stats.num_gates, computed.stats.num_gates);
+  }
+}
+
+TEST(AutoEngineTest, WidthEstimateMatchesPlanAnalysis) {
+  // The MinDegreeWidth probe must agree with the width the built plan
+  // reports whenever the min-degree order is the one accepted.
+  Rng rng(77);
+  GateId root;
+  BoolCircuit c = RandomCircuit(rng, 8, 40, &root);
+  JunctionTreeAnalysis analysis = JunctionTreeAnalysis::Analyze(c, root);
+  ASSERT_FALSE(analysis.trivial());
+  const int estimate = analysis.MinDegreeWidth();
+  JunctionTreePlan plan = JunctionTreePlan::Build(std::move(analysis));
+  if (estimate <= 10) {  // Below the accept threshold no fallback runs.
+    EXPECT_EQ(plan.width(), estimate);
+  } else {
+    EXPECT_LE(plan.width(), estimate);
+  }
+}
+
 TEST(SeededJunctionTreeTest, MatchesGenericOrder) {
   for (int seed = 0; seed < 10; ++seed) {
     Rng rng(seed + 400);
