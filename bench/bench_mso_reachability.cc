@@ -22,27 +22,16 @@
 #include "uncertain/pcc_instance.h"
 #include "uncertain/tid_instance.h"
 #include "util/rng.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 namespace tud {
 namespace {
 
-Schema EdgeSchema() {
-  Schema schema;
-  schema.AddRelation("E", 2);
-  return schema;
-}
-
-// Uncertain series-parallel-ish ladder: rungs make width 2.
-TidInstance LadderTid(Rng& rng, uint32_t length) {
-  TidInstance tid(EdgeSchema());
-  for (uint32_t i = 0; i + 2 < 2 * length; i += 2) {
-    tid.AddFact(0, {i, i + 2}, 0.5 + 0.4 * rng.UniformDouble());
-    tid.AddFact(0, {i + 1, i + 3}, 0.5 + 0.4 * rng.UniformDouble());
-    tid.AddFact(0, {i, i + 1}, 0.3 + 0.4 * rng.UniformDouble());
-  }
-  return tid;
-}
+// The instances come from the shared workload registry
+// (src/workloads/workloads.h) — the same generators the serving QPS
+// harness and the tests size their runs from.
+using workloads::KTreeEdgeTid;
+using workloads::LadderTid;
 
 void BM_ReachabilityLadder(benchmark::State& state) {
   const uint32_t length = static_cast<uint32_t>(state.range(0));
@@ -155,10 +144,7 @@ void BM_ReachabilityKTree(benchmark::State& state) {
   const uint32_t n = static_cast<uint32_t>(state.range(0));
   const uint32_t k = static_cast<uint32_t>(state.range(1));
   Rng rng(99 + k);
-  TidInstance tid(EdgeSchema());
-  for (const auto& [a, b] : bench::PartialKTreeEdges(rng, n, k, 0.7)) {
-    tid.AddFact(0, {a, b}, 0.3 + 0.5 * rng.UniformDouble());
-  }
+  TidInstance tid = KTreeEdgeTid(rng, n, k);
   QuerySession session = QuerySession::FromCInstance(
       tid.ToPcInstance(),
       std::make_unique<JunctionTreeEngine>(

@@ -24,6 +24,10 @@ struct BenchResult {
   std::string name;
   double ns_per_iter = 0;
   uint64_t iters = 0;
+  /// Extra named metrics emitted alongside the timing (e.g. the serving
+  /// harness's qps / qps_per_core / threads). Optional; rows without
+  /// counters serialize exactly as before.
+  std::vector<std::pair<std::string, double>> counters;
 };
 
 class Harness {
@@ -53,7 +57,7 @@ class Harness {
                                                               start)
                          .count();
       } while (elapsed_ns < budget_ns);
-      BenchResult r{name, elapsed_ns / static_cast<double>(iters), iters};
+      BenchResult r{name, elapsed_ns / static_cast<double>(iters), iters, {}};
       std::printf("%-40s %12.0f ns/iter  (%llu iters)\n", r.name.c_str(),
                   r.ns_per_iter, static_cast<unsigned long long>(r.iters));
       results.push_back(std::move(r));
@@ -61,7 +65,8 @@ class Harness {
     return results;
   }
 
-  /// Writes results as a JSON array of {name, ns_per_iter, iters}.
+  /// Writes results as a JSON array of {name, ns_per_iter, iters} plus
+  /// one key per counter.
   static bool WriteJson(const std::vector<BenchResult>& results,
                         const std::string& path) {
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -70,10 +75,12 @@ class Harness {
     for (size_t i = 0; i < results.size(); ++i) {
       std::fprintf(f,
                    "  {\"name\": \"%s\", \"ns_per_iter\": %.1f, "
-                   "\"iters\": %llu}%s\n",
+                   "\"iters\": %llu",
                    results[i].name.c_str(), results[i].ns_per_iter,
-                   static_cast<unsigned long long>(results[i].iters),
-                   i + 1 < results.size() ? "," : "");
+                   static_cast<unsigned long long>(results[i].iters));
+      for (const auto& [key, value] : results[i].counters)
+        std::fprintf(f, ", \"%s\": %.3f", key.c_str(), value);
+      std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
     std::fclose(f);

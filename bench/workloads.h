@@ -1,217 +1,29 @@
 #ifndef TUD_BENCH_WORKLOADS_H_
 #define TUD_BENCH_WORKLOADS_H_
 
-// Synthetic workload generators shared by the benchmark harness (and the
-// EXPERIMENTS.md experiments). Each generator documents which experiment
-// it backs; all take an explicit Rng for reproducibility.
+// The synthetic workload generators moved into the library proper
+// (src/workloads/workloads.h — the named-workload registry shared by
+// the benchmarks, the serving QPS harness and the tests). This header
+// re-exports them under the historical tud::bench names so the
+// google-benchmark binaries keep compiling unchanged.
 
-#include <cstdint>
-#include <string>
-#include <utility>
-#include <vector>
-
-#include "prxml/prxml_document.h"
-#include "treedec/graph.h"
-#include "uncertain/pcc_instance.h"
-#include "uncertain/tid_instance.h"
-#include "util/rng.h"
+#include "workloads/workloads.h"
 
 namespace tud {
 namespace bench {
 
-// Schema R(x), S(x, y), T(y) — the paper's #P-hard example query's
-// schema.
-inline Schema RstSchema() {
-  Schema schema;
-  schema.AddRelation("R", 1);
-  schema.AddRelation("S", 2);
-  schema.AddRelation("T", 1);
-  return schema;
-}
-
-// Edges of a random partial k-tree on n vertices: build a k-tree
-// incrementally (every new vertex attaches to a random k-clique), then
-// keep each edge with probability `keep`. Treewidth <= k by
-// construction.
-inline std::vector<std::pair<uint32_t, uint32_t>> PartialKTreeEdges(
-    Rng& rng, uint32_t n, uint32_t k, double keep) {
-  std::vector<std::pair<uint32_t, uint32_t>> edges;
-  std::vector<std::vector<uint32_t>> cliques;
-  uint32_t base = std::min(n, k + 1);
-  std::vector<uint32_t> first;
-  for (uint32_t i = 0; i < base; ++i) {
-    for (uint32_t j = i + 1; j < base; ++j) edges.emplace_back(i, j);
-    first.push_back(i);
-  }
-  cliques.push_back(first);
-  for (uint32_t v = base; v < n; ++v) {
-    const std::vector<uint32_t>& host =
-        cliques[rng.UniformInt(cliques.size())];
-    // Attach v to a k-subset of the host clique.
-    std::vector<uint32_t> subset = host;
-    while (subset.size() > k) {
-      subset.erase(subset.begin() + rng.UniformInt(subset.size()));
-    }
-    for (uint32_t u : subset) edges.emplace_back(u, v);
-    subset.push_back(v);
-    cliques.push_back(std::move(subset));
-  }
-  std::vector<std::pair<uint32_t, uint32_t>> kept;
-  for (const auto& e : edges) {
-    if (rng.Bernoulli(keep)) kept.push_back(e);
-  }
-  return kept;
-}
-
-// Experiment X1 (Theorem 1): a TID over the RST schema whose Gaifman
-// graph is a partial k-tree: S facts on the k-tree edges, R/T facts on
-// random vertices, all with random probabilities.
-inline TidInstance MakeKTreeTid(Rng& rng, uint32_t n, uint32_t k) {
-  TidInstance tid(RstSchema());
-  for (const auto& [u, v] : PartialKTreeEdges(rng, n, k, 0.8)) {
-    tid.AddFact(1, {u, v}, 0.2 + 0.6 * rng.UniformDouble());
-  }
-  for (uint32_t v = 0; v < n; ++v) {
-    if (rng.Bernoulli(0.5)) {
-      tid.AddFact(0, {v}, 0.2 + 0.6 * rng.UniformDouble());
-    }
-    if (rng.Bernoulli(0.5)) {
-      tid.AddFact(2, {v}, 0.2 + 0.6 * rng.UniformDouble());
-    }
-  }
-  return tid;
-}
-
-// Dense path-shaped TID (treewidth 1) where the RST query is always
-// structurally satisfiable: R(v), T(v) for every vertex and S(v, v+1)
-// for every edge, all uncertain. Used where a nontrivial probability is
-// required at small sizes (e.g., the enumeration baseline).
-inline TidInstance MakeDensePathTid(Rng& rng, uint32_t n) {
-  TidInstance tid(RstSchema());
-  for (uint32_t v = 0; v < n; ++v) {
-    tid.AddFact(0, {v}, 0.3 + 0.5 * rng.UniformDouble());
-    tid.AddFact(2, {v}, 0.3 + 0.5 * rng.UniformDouble());
-    if (v + 1 < n) {
-      tid.AddFact(1, {v, v + 1}, 0.3 + 0.5 * rng.UniformDouble());
-    }
-  }
-  return tid;
-}
-
-// Experiment X2 (Theorem 2): a pcc-instance over a path-shaped
-// (treewidth-1) instance whose annotations are correlated through a
-// shared circuit: consecutive S facts within a window of size `window`
-// share "source trust" events, so the annotation circuit adds
-// correlation width on top of the instance. window = 1 degenerates to a
-// TID.
-inline PccInstance MakeCorrelatedPcc(Rng& rng, uint32_t n, uint32_t window) {
-  PccInstance pcc(RstSchema());
-  std::vector<GateId> sources;
-  for (uint32_t i = 0; i < n; ++i) {
-    EventId e = pcc.events().Register("src" + std::to_string(i),
-                                      0.3 + 0.4 * rng.UniformDouble());
-    sources.push_back(pcc.circuit().AddVar(e));
-  }
-  for (uint32_t v = 0; v + 1 < n; ++v) {
-    // S(v, v+1) is trusted iff all sources in its window agree.
-    std::vector<GateId> window_gates;
-    for (uint32_t w = 0; w < window && v + w < n; ++w) {
-      window_gates.push_back(sources[v + w]);
-    }
-    pcc.AddFact(1, {v, v + 1}, pcc.circuit().AddAnd(window_gates));
-  }
-  for (uint32_t v = 0; v < n; ++v) {
-    pcc.AddFact(0, {v}, sources[v]);
-    pcc.AddFact(2, {v}, sources[v]);
-  }
-  return pcc;
-}
-
-// Experiments X3/X4/X8: a synthetic Wikidata-style PrXML document:
-// `num_entities` entity subtrees under the root, each with a few
-// attribute children behind ind/mux nodes; additionally, `scope`
-// global events are reused on cie edges across ALL entities
-// (contributor trust a la eJane), so every entity subtree has all
-// `scope` events in scope. scope = 0 yields a purely local document.
-inline PrXmlDocument MakeWikidataPrxml(Rng& rng, uint32_t num_entities,
-                                       uint32_t scope) {
-  PrXmlDocument doc;
-  std::vector<EventId> contributors;
-  for (uint32_t s = 0; s < scope; ++s) {
-    contributors.push_back(doc.events().Register(
-        "contributor" + std::to_string(s), 0.5 + 0.4 * rng.UniformDouble()));
-  }
-  PNodeId root = doc.AddRoot("wikidata");
-  for (uint32_t i = 0; i < num_entities; ++i) {
-    PNodeId entity = doc.AddChild(root, PNodeKind::kOrdinary, "entity");
-    // An optional occupation behind ind.
-    PNodeId ind = doc.AddChild(entity, PNodeKind::kInd, "");
-    PNodeId occ = doc.AddChild(ind, PNodeKind::kOrdinary, "occupation");
-    doc.SetEdgeProbability(occ, 0.2 + 0.6 * rng.UniformDouble());
-    doc.AddChild(occ, PNodeKind::kOrdinary,
-                 rng.Bernoulli(0.5) ? "musician" : "analyst");
-    // A name behind mux.
-    PNodeId name = doc.AddChild(entity, PNodeKind::kOrdinary, "given name");
-    PNodeId mux = doc.AddChild(name, PNodeKind::kMux, "");
-    PNodeId n1 = doc.AddChild(mux, PNodeKind::kOrdinary, "nameA");
-    doc.SetEdgeProbability(n1, 0.4);
-    PNodeId n2 = doc.AddChild(mux, PNodeKind::kOrdinary, "nameB");
-    doc.SetEdgeProbability(n2, 0.5);
-    // Contributor-guarded facts (cie) reusing the global events: each
-    // entity gets its own conjunction over the shared contributors with
-    // random polarities, so distinct entities are genuinely correlated
-    // through all `scope` events (no two guards coincide structurally).
-    if (scope > 0) {
-      PNodeId cie = doc.AddChild(entity, PNodeKind::kCie, "");
-      PNodeId claim = doc.AddChild(cie, PNodeKind::kOrdinary, "claim");
-      std::vector<std::pair<EventId, bool>> literals;
-      for (EventId c : contributors) {
-        literals.emplace_back(c, rng.Bernoulli(0.7));
-      }
-      doc.SetEdgeLiterals(claim, std::move(literals));
-      doc.AddChild(claim, PNodeKind::kOrdinary, "statement");
-    }
-  }
-  doc.Finalize();
-  return doc;
-}
-
-// Experiment X6: a lineage-like circuit with a dense core over
-// `core_events` events (a random 3-CNF with 2x clauses-to-variables,
-// whose primal graph is a dense random graph of growing treewidth)
-// OR-ed with `num_tentacles` independent two-level tentacles (low
-// treewidth).
-inline BoolCircuit MakeCoreTentacleCircuit(Rng& rng, uint32_t core_events,
-                                           uint32_t num_tentacles,
-                                           EventRegistry& registry,
-                                           GateId* root) {
-  BoolCircuit c;
-  std::vector<GateId> core_vars;
-  for (uint32_t e = 0; e < core_events; ++e) {
-    registry.Register("core" + std::to_string(e),
-                      0.3 + 0.4 * rng.UniformDouble());
-    core_vars.push_back(c.AddVar(e));
-  }
-  std::vector<GateId> parts;
-  for (uint32_t clause = 0; clause < 2 * core_events; ++clause) {
-    std::vector<GateId> literals;
-    for (int lit = 0; lit < 3; ++lit) {
-      GateId var = core_vars[rng.UniformInt(core_vars.size())];
-      literals.push_back(rng.Bernoulli(0.5) ? var : c.AddNot(var));
-    }
-    parts.push_back(c.AddOr(std::move(literals)));
-  }
-  GateId acc = parts.empty() ? c.AddConst(false) : c.AddAnd(parts);
-  for (uint32_t t = 0; t < num_tentacles; ++t) {
-    EventId e1 = registry.Register("tent" + std::to_string(t) + "a",
-                                   0.1 + 0.3 * rng.UniformDouble());
-    EventId e2 = registry.Register("tent" + std::to_string(t) + "b",
-                                   0.1 + 0.3 * rng.UniformDouble());
-    acc = c.AddOr(acc, c.AddAnd(c.AddVar(e1), c.AddVar(e2)));
-  }
-  *root = acc;
-  return c;
-}
+using workloads::EdgeSchema;
+using workloads::KTreeEdgeTid;
+using workloads::LadderTid;
+using workloads::MakeCorrelatedPcc;
+using workloads::MakeCoreTentacleCircuit;
+using workloads::MakeDensePathTid;
+using workloads::MakeKTreeTid;
+using workloads::MakeWikidataPrxml;
+using workloads::PartialKTreeEdges;
+using workloads::RstSchema;
+using workloads::ZipfianGenerator;
+using workloads::ZipfianQueryMix;
 
 }  // namespace bench
 }  // namespace tud

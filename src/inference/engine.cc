@@ -86,34 +86,54 @@ EngineResult ExhaustiveEngine::Estimate(const BoolCircuit& circuit,
   return result;
 }
 
+// One reusable Execute arena per OS thread: the message pass becomes
+// allocation-free in steady state no matter how many threads share the
+// engine, without any cross-thread coordination.
+static PlanScratch* ThreadScratch() {
+  static thread_local PlanScratch scratch;
+  return &scratch;
+}
+
+JunctionTreeEngine::JunctionTreeEngine(bool seed_topological,
+                                       bool cache_plans,
+                                       unsigned batch_threads)
+    : seed_topological_(seed_topological),
+      cache_plans_(cache_plans),
+      batch_threads_(batch_threads == 0 ? 1 : batch_threads) {
+  if (cache_plans_) {
+    cache_ = std::make_unique<ConcurrentPlanCache>(seed_topological_);
+  }
+}
+
+JunctionTreeEngine::~JunctionTreeEngine() = default;
+
 void JunctionTreeEngine::BindCircuit(const BoolCircuit& circuit) {
   // Plan caching is only sound against one append-only circuit: a gate's
   // cone never changes once created, but another circuit's gate ids mean
-  // something else entirely.
-  if (bound_circuit_ == nullptr) bound_circuit_ = &circuit;
-  TUD_CHECK(bound_circuit_ == &circuit)
-      << "a plan-caching JunctionTreeEngine is bound to its first circuit";
+  // something else entirely. The bind is an atomic CAS so any number of
+  // threads can race to be first.
+  const BoolCircuit* expected = nullptr;
+  if (!bound_circuit_.compare_exchange_strong(expected, &circuit,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+    TUD_CHECK(expected == &circuit)
+        << "a plan-caching JunctionTreeEngine is bound to its first circuit";
+  }
 }
 
-std::shared_ptr<const JunctionTreePlan> JunctionTreeEngine::PlanFor(
-    const BoolCircuit& circuit, GateId root) {
-  TUD_CHECK_LT(root, circuit.NumGates());
-  auto it = plans_.find(root);
-  if (it == plans_.end()) {
-    it = plans_
-             .emplace(root,
-                      CachedPlan{std::make_shared<const JunctionTreePlan>(
-                                     JunctionTreePlan::Build(
-                                         circuit, root, seed_topological_)),
-                                 circuit.kind(root)})
-             .first;
-  }
-  // The root-kind revalidation guards the case pointer identity cannot:
-  // the bound circuit was destroyed and a different one reallocated at
-  // the same address.
-  TUD_CHECK(it->second.root_kind == circuit.kind(root))
-      << "cached plan does not match the circuit it is executed against";
-  return it->second.plan;
+const JunctionTreePlan* JunctionTreeEngine::PlanFor(const BoolCircuit& circuit,
+                                                    GateId root) {
+  // Build-once publication and the root-kind revalidation (guarding the
+  // case pointer identity cannot: the bound circuit destroyed and a
+  // different one reallocated at the same address) both live in the
+  // concurrent cache.
+  return cache_->GetOrBuild(circuit, root);
+}
+
+void JunctionTreeEngine::Prewarm(const BoolCircuit& circuit, GateId root) {
+  TUD_CHECK(cache_plans_) << "Prewarm requires a plan-caching engine";
+  BindCircuit(circuit);
+  PlanFor(circuit, root);
 }
 
 EngineResult JunctionTreeEngine::Estimate(const BoolCircuit& circuit,
@@ -126,13 +146,13 @@ EngineResult JunctionTreeEngine::Estimate(const BoolCircuit& circuit,
     JunctionTreePlan plan =
         JunctionTreePlan::Build(circuit, root, seed_topological_);
     plan.FillStats(&result.stats);
-    result.value = plan.Execute(registry, evidence);
+    result.value = plan.Execute(registry, evidence, ThreadScratch());
     return result;
   }
   BindCircuit(circuit);
-  std::shared_ptr<const JunctionTreePlan> plan = PlanFor(circuit, root);
+  const JunctionTreePlan* plan = PlanFor(circuit, root);
   plan->FillStats(&result.stats);
-  result.value = plan->Execute(registry, evidence);
+  result.value = plan->Execute(registry, evidence, ThreadScratch());
   return result;
 }
 
@@ -144,17 +164,20 @@ std::vector<EngineResult> JunctionTreeEngine::EstimateBatch(
 
   if (batch_threads_ > 1) {
     // Per-root plans executed across threads. Plans are built (and
-    // cached) serially up front; Execute is const and keeps all mutable
-    // state in a per-call arena, so the parallel section only reads.
-    std::vector<std::shared_ptr<const JunctionTreePlan>> plans;
+    // cached) up front; Execute is const and keeps all mutable state in
+    // a per-call arena, so the parallel section only reads.
+    std::vector<std::shared_ptr<const JunctionTreePlan>> owned;
+    std::vector<const JunctionTreePlan*> plans;
     plans.reserve(roots.size());
     if (cache_plans_) {
       BindCircuit(circuit);
       for (GateId root : roots) plans.push_back(PlanFor(circuit, root));
     } else {
+      owned.reserve(roots.size());
       for (GateId root : roots) {
-        plans.push_back(std::make_shared<const JunctionTreePlan>(
+        owned.push_back(std::make_shared<const JunctionTreePlan>(
             JunctionTreePlan::Build(circuit, root, seed_topological_)));
+        plans.push_back(owned.back().get());
       }
     }
     const size_t num_threads =
@@ -168,7 +191,8 @@ std::vector<EngineResult> JunctionTreeEngine::EstimateBatch(
           result.engine = name();
           plans[i]->FillStats(&result.stats);
           result.stats.batch_size = roots.size();
-          result.value = plans[i]->Execute(registry, evidence);
+          result.value = plans[i]->Execute(registry, evidence,
+                                           ThreadScratch());
         }
       });
     }
@@ -188,18 +212,23 @@ std::vector<EngineResult> JunctionTreeEngine::EstimateBatch(
   if (cache_plans_) {
     BindCircuit(circuit);
     for (GateId root : roots) TUD_CHECK_LT(root, circuit.NumGates());
-    auto it = batch_plans_.find(roots);
-    if (it != batch_plans_.end()) {
-      // Root-kind revalidation on every hit, as for single plans: it
-      // guards the case pointer identity cannot (the bound circuit was
-      // destroyed and another reallocated at the same address).
-      for (size_t i = 0; i < roots.size(); ++i) {
-        TUD_CHECK(it->second.root_kinds[i] == circuit.kind(roots[i]))
-            << "cached batch plan does not match the circuit it is "
-               "executed against";
+    // Lock-free read of the published decision/plan snapshot.
+    std::shared_ptr<const BatchMap> snapshot =
+        batch_published_.load(std::memory_order_acquire);
+    if (snapshot != nullptr) {
+      auto it = snapshot->find(roots);
+      if (it != snapshot->end()) {
+        // Root-kind revalidation on every hit, as for single plans: it
+        // guards the case pointer identity cannot (the bound circuit was
+        // destroyed and another reallocated at the same address).
+        for (size_t i = 0; i < roots.size(); ++i) {
+          TUD_CHECK(it->second.root_kinds[i] == circuit.kind(roots[i]))
+              << "cached batch plan does not match the circuit it is "
+                 "executed against";
+        }
+        plan = it->second.plan;
+        decided = true;
       }
-      plan = it->second.plan;
-      decided = true;
     }
   }
   if (!decided) {
@@ -212,11 +241,21 @@ std::vector<EngineResult> JunctionTreeEngine::EstimateBatch(
                                        seed_topological_));
     }
     if (cache_plans_) {
-      if (batch_plans_.size() >= kMaxBatchPlans) batch_plans_.clear();
+      // Copy-on-write publication under the writer mutex. Concurrent
+      // misses for the same new root set may both build; one insert
+      // wins, the other becomes the winner's value — benign, identical
+      // plans.
       std::vector<GateKind> kinds;
       kinds.reserve(roots.size());
       for (GateId root : roots) kinds.push_back(circuit.kind(root));
-      batch_plans_.emplace(roots, CachedBatchPlan{plan, std::move(kinds)});
+      std::lock_guard<std::mutex> lock(batch_mu_);
+      std::shared_ptr<const BatchMap> old =
+          batch_published_.load(std::memory_order_relaxed);
+      auto next = old != nullptr && old->size() < kMaxBatchPlans
+                      ? std::make_shared<BatchMap>(*old)
+                      : std::make_shared<BatchMap>();
+      next->insert_or_assign(roots, CachedBatchPlan{plan, std::move(kinds)});
+      batch_published_.store(std::move(next), std::memory_order_release);
     }
   }
   if (plan == nullptr) {
@@ -228,7 +267,7 @@ std::vector<EngineResult> JunctionTreeEngine::EstimateBatch(
   EngineStats batch_stats;
   plan->FillStats(&batch_stats);
   std::vector<double> values =
-      plan->ExecuteBatch(registry, evidence, &batch_stats);
+      plan->ExecuteBatch(registry, evidence, &batch_stats, ThreadScratch());
   for (size_t i = 0; i < roots.size(); ++i) {
     results[i].engine = name();
     results[i].value = values[i];

@@ -1,11 +1,12 @@
 #ifndef TUD_INFERENCE_ENGINE_H_
 #define TUD_INFERENCE_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <unordered_map>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -16,6 +17,7 @@
 namespace tud {
 
 class JunctionTreePlan;
+class ConcurrentPlanCache;
 
 /// Pinned event literals: the result of an Estimate is the conditional
 /// probability P(root = true | pinned values), with pinned events
@@ -114,14 +116,25 @@ class ExhaustiveEngine : public ProbabilityEngine {
 /// plan are memoised per root set under `cache_plans`. With
 /// `batch_threads > 1` it always executes per-root cached plans across
 /// that many threads instead.
+///
+/// Thread safety: `Estimate` and `EstimateBatch` may be called from any
+/// number of threads concurrently (the serving layer's contract). The
+/// per-root memo is a ConcurrentPlanCache — lock-free snapshot lookup,
+/// build-once publication — the circuit bind is an atomic CAS, and the
+/// batch-decision memo publishes immutable snapshots under a writer
+/// mutex. Plan execution itself is `const` over per-call (thread-local)
+/// scratch arenas. Only the *circuit* must be quiescent: growing it
+/// (lineage construction) while estimating against it is a data race —
+/// see the QuerySession/ServingSession phase contract.
 class JunctionTreeEngine : public ProbabilityEngine {
  public:
   explicit JunctionTreeEngine(bool seed_topological = false,
                               bool cache_plans = false,
-                              unsigned batch_threads = 1)
-      : seed_topological_(seed_topological),
-        cache_plans_(cache_plans),
-        batch_threads_(batch_threads == 0 ? 1 : batch_threads) {}
+                              unsigned batch_threads = 1);
+  ~JunctionTreeEngine() override;
+  JunctionTreeEngine(const JunctionTreeEngine&) = delete;
+  JunctionTreeEngine& operator=(const JunctionTreeEngine&) = delete;
+
   EngineResult Estimate(const BoolCircuit& circuit, GateId root,
                         const EventRegistry& registry,
                         const Evidence& evidence = {}) override;
@@ -130,36 +143,48 @@ class JunctionTreeEngine : public ProbabilityEngine {
       const EventRegistry& registry, const Evidence& evidence = {}) override;
   const char* name() const override { return "junction_tree"; }
 
- private:
-  struct CachedPlan {
-    std::shared_ptr<const JunctionTreePlan> plan;
-    GateKind root_kind;  ///< Revalidated on every hit: catches a stale
-                         ///< bind through a recycled circuit address.
-  };
+  /// Builds (or finds) the cached plan for `root` without executing it
+  /// — cache warm-up, so serving traffic never pays a cold Build.
+  /// Requires `cache_plans`.
+  void Prewarm(const BoolCircuit& circuit, GateId root);
 
+  /// The per-root plan memo (cache_plans engines; nullptr otherwise).
+  /// Exposes builds()/size() for the build-once tests and stats.
+  const ConcurrentPlanCache* plan_cache() const { return cache_.get(); }
+
+ private:
   /// Pins the engine to its first circuit (plan caching is only sound
-  /// against one append-only circuit object).
+  /// against one append-only circuit object). Thread-safe: an atomic
+  /// CAS against nullptr.
   void BindCircuit(const BoolCircuit& circuit);
   /// The (possibly cached) single-root plan for `root`.
-  std::shared_ptr<const JunctionTreePlan> PlanFor(const BoolCircuit& circuit,
-                                                  GateId root);
+  const JunctionTreePlan* PlanFor(const BoolCircuit& circuit, GateId root);
 
   bool seed_topological_;
   bool cache_plans_;
   unsigned batch_threads_;
-  const BoolCircuit* bound_circuit_ = nullptr;
-  std::unordered_map<GateId, CachedPlan> plans_;
+  std::atomic<const BoolCircuit*> bound_circuit_{nullptr};
+  /// The concurrent per-root memo (constructed iff cache_plans; held by
+  /// pointer because junction_tree.h includes this header).
+  std::unique_ptr<ConcurrentPlanCache> cache_;
   struct CachedBatchPlan {
     std::shared_ptr<const JunctionTreePlan> plan;  ///< null = per-root.
     std::vector<GateKind> root_kinds;  ///< Revalidated on every hit, like
-                                       ///< CachedPlan::root_kind.
+                                       ///< the per-root cache's kinds.
   };
   /// Batch plans memoised per exact root sequence (ordered map: root
-  /// vectors are short and sessions reissue identical batches). Cleared
-  /// wholesale past kMaxBatchPlans so varying batches cannot grow it
-  /// without bound.
+  /// vectors are short and sessions reissue identical batches), as an
+  /// immutable snapshot published through an atomic shared_ptr:
+  /// lock-free lookup, copy-on-write insertion under batch_mu_. Unlike
+  /// the per-root cache there is no build-once latch — two threads
+  /// missing the same new root set may both build it and one copy wins,
+  /// which is benign (identical plans) and keeps the hot read path
+  /// untouched. Reset wholesale past kMaxBatchPlans so varying batches
+  /// cannot grow it without bound.
+  using BatchMap = std::map<std::vector<GateId>, CachedBatchPlan>;
   static constexpr size_t kMaxBatchPlans = 64;
-  std::map<std::vector<GateId>, CachedBatchPlan> batch_plans_;
+  std::atomic<std::shared_ptr<const BatchMap>> batch_published_{nullptr};
+  std::mutex batch_mu_;
 };
 
 /// Exact, by OBDD compilation + weighted model counting (the

@@ -618,16 +618,31 @@ void JunctionTreePlan::ResolveVarValues(const EventRegistry& registry,
 
 double JunctionTreePlan::Execute(const EventRegistry& registry,
                                  const Evidence& evidence) const {
+  return Execute(registry, evidence, nullptr);
+}
+
+double JunctionTreePlan::Execute(const EventRegistry& registry,
+                                 const Evidence& evidence,
+                                 PlanScratch* scratch) const {
   if (trivial_) return trivial_value_;
   TUD_CHECK(!batch_) << "single-root Execute on a batch plan";
 
   // One bottom-up sum-product pass over the arena. Children have larger
   // BagIds than parents, so descending id order is bottom-up; the
-  // scratch table is reused across the (many, mostly tiny) bags.
-  std::unique_ptr<double[]> arena(new double[arena_size_]);
-  double* vals = arena.get() + vals_off_;
+  // scratch table is reused across the (many, mostly tiny) bags. With a
+  // caller scratch the arena allocation is amortised away entirely —
+  // the serving workers' steady state.
+  std::unique_ptr<double[]> owned;
+  double* arena;
+  if (scratch != nullptr) {
+    arena = scratch->Acquire(arena_size_);
+  } else {
+    owned.reset(new double[arena_size_]);
+    arena = owned.get();
+  }
+  double* vals = arena + vals_off_;
   ResolveVarValues(registry, evidence, vals);
-  double* table = arena.get() + scratch_off_;
+  double* table = arena + scratch_off_;
   for (uint32_t b = static_cast<uint32_t>(bags_.size()); b-- > 0;) {
     const Bag& bag = bags_[b];
     if (!bag.is_root) {
@@ -635,25 +650,25 @@ double JunctionTreePlan::Execute(const EventRegistry& registry,
       // one step, every trip count a compile-time constant.
       switch (bag.opcode) {
         case 0:
-          UpStepK<0>(bag, vals, arena.get());
+          UpStepK<0>(bag, vals, arena);
           continue;
         case 1:
-          UpStepK<1>(bag, vals, arena.get());
+          UpStepK<1>(bag, vals, arena);
           continue;
         case 2:
-          UpStepK<2>(bag, vals, arena.get());
+          UpStepK<2>(bag, vals, arena);
           continue;
         case 3:
-          UpStepK<3>(bag, vals, arena.get());
+          UpStepK<3>(bag, vals, arena);
           continue;
         default:
           break;
       }
-      ComputeBagTableGeneric(bag, vals, arena.get(), table);
-      MarginalizeOut(bag, table, arena.get() + bag.up_off);
+      ComputeBagTableGeneric(bag, vals, arena, table);
+      MarginalizeOut(bag, table, arena + bag.up_off);
       continue;
     }
-    ComputeBagTable(bag, vals, arena.get(), table);
+    ComputeBagTable(bag, vals, arena, table);
     double total = 0.0;
     const size_t size = size_t{1} << bag.k;
     for (size_t i = 0; i < size; ++i) total += table[i];
@@ -665,15 +680,22 @@ double JunctionTreePlan::Execute(const EventRegistry& registry,
 
 std::vector<double> JunctionTreePlan::ExecuteBatch(
     const EventRegistry& registry, const Evidence& evidence,
-    EngineStats* stats) const {
+    EngineStats* stats, PlanScratch* scratch) const {
   TUD_CHECK(batch_) << "ExecuteBatch requires a BuildBatch plan";
   std::vector<double> result(query_roots_.size(), 0.0);
   size_t visited = 0;
   if (!trivial_) {
-    std::unique_ptr<double[]> arena(new double[arena_size_]);
-    double* vals = arena.get() + vals_off_;
+    std::unique_ptr<double[]> owned;
+    double* arena;
+    if (scratch != nullptr) {
+      arena = scratch->Acquire(arena_size_);
+    } else {
+      owned.reset(new double[arena_size_]);
+      arena = owned.get();
+    }
+    double* vals = arena + vals_off_;
     ResolveVarValues(registry, evidence, vals);
-    double* base = arena.get() + scratch_off_;
+    double* base = arena + scratch_off_;
     double* tmp = base + (size_t{1} << max_k_);
 
     // Upward (collect) pass; query bags keep their full table.
@@ -683,25 +705,25 @@ std::vector<double> JunctionTreePlan::ExecuteBatch(
       if (!bag.is_root && bag.table_off == kNone) {
         switch (bag.opcode) {
           case 0:
-            UpStepK<0>(bag, vals, arena.get());
+            UpStepK<0>(bag, vals, arena);
             continue;
           case 1:
-            UpStepK<1>(bag, vals, arena.get());
+            UpStepK<1>(bag, vals, arena);
             continue;
           case 2:
-            UpStepK<2>(bag, vals, arena.get());
+            UpStepK<2>(bag, vals, arena);
             continue;
           case 3:
-            UpStepK<3>(bag, vals, arena.get());
+            UpStepK<3>(bag, vals, arena);
             continue;
           default:
             break;
         }
       }
       double* table =
-          bag.table_off != kNone ? arena.get() + bag.table_off : base;
-      ComputeBagTable(bag, vals, arena.get(), table);
-      if (!bag.is_root) MarginalizeOut(bag, table, arena.get() + bag.up_off);
+          bag.table_off != kNone ? arena + bag.table_off : base;
+      ComputeBagTable(bag, vals, arena, table);
+      if (!bag.is_root) MarginalizeOut(bag, table, arena + bag.up_off);
     }
 
     // Downward (distribute) pass, pruned to subtrees containing query
@@ -719,7 +741,7 @@ std::vector<double> JunctionTreePlan::ExecuteBatch(
       if (!any) continue;
       ComputeBagBase(bag, vals, base);
       if (bag.down_off != kNone) {
-        ApplyDown(bag, arena.get() + bag.down_off, base);
+        ApplyDown(bag, arena + bag.down_off, base);
       }
       ++visited;
       const size_t size = size_t{1} << bag.k;
@@ -730,10 +752,10 @@ std::vector<double> JunctionTreePlan::ExecuteBatch(
         for (uint32_t other = bag.child_begin; other != bag.child_end;
              ++other) {
           if (other == ce) continue;
-          MultiplyChild(bag, children_[other], arena.get(), tmp);
+          MultiplyChild(bag, children_[other], arena, tmp);
         }
         MarginalizeEdge(bag, children_[ce], tmp,
-                        arena.get() + child.down_off);
+                        arena + child.down_off);
       }
     }
 
@@ -748,9 +770,9 @@ std::vector<double> JunctionTreePlan::ExecuteBatch(
         continue;
       }
       const Bag& bag = bags_[qr.bag];
-      const double* table = arena.get() + bag.table_off;
+      const double* table = arena + bag.table_off;
       const double* down =
-          bag.down_off != kNone ? arena.get() + bag.down_off : nullptr;
+          bag.down_off != kNone ? arena + bag.down_off : nullptr;
       const size_t size = size_t{1} << bag.k;
       double p1 = 0.0, total = 0.0;
       for (size_t i = 0; i < size; ++i) {
@@ -873,6 +895,111 @@ void JunctionTreePlan::SetKernelThresholdsForTest(int fuse_max_k,
                                                   int gather_max_k) {
   if (fuse_max_k >= 0) g_fuse_max_k = fuse_max_k;
   if (gather_max_k >= 0) g_gather_max_k = gather_max_k;
+}
+
+// ---------------------------------------------------------------------------
+// ConcurrentPlanCache
+// ---------------------------------------------------------------------------
+
+ConcurrentPlanCache::~ConcurrentPlanCache() {
+  for (Shard& shard : shards_) {
+    // No concurrent readers may remain at destruction (standard object
+    // lifetime); reclaim the published snapshot alongside the retired
+    // ones.
+    delete shard.published.load(std::memory_order_relaxed);
+  }
+}
+
+const JunctionTreePlan* ConcurrentPlanCache::Lookup(GateId root) const {
+  const Shard& shard = ShardFor(root);
+  const Map* snapshot = shard.published.load(std::memory_order_acquire);
+  if (snapshot == nullptr) return nullptr;
+  auto it = snapshot->find(root);
+  return it == snapshot->end() ? nullptr : it->second.plan.get();
+}
+
+const JunctionTreePlan* ConcurrentPlanCache::GetOrBuild(
+    const BoolCircuit& circuit, GateId root) {
+  TUD_CHECK_LT(root, circuit.NumGates());
+  Shard& shard = ShardFor(root);
+
+  // Hot path: one acquire load of the immutable snapshot, no locks.
+  if (const Map* snapshot = shard.published.load(std::memory_order_acquire)) {
+    auto it = snapshot->find(root);
+    if (it != snapshot->end()) {
+      TUD_CHECK(it->second.root_kind == circuit.kind(root))
+          << "cached plan does not match the circuit it is executed against";
+      return it->second.plan.get();
+    }
+  }
+
+  // Cold path: become the builder or wait on the builder's latch, so a
+  // thundering herd of identical cold queries costs exactly one Build.
+  std::shared_ptr<Inflight> latch;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.write_mu);
+    // Re-check under the lock: the plan may have been published between
+    // the lock-free probe and here.
+    if (const Map* snapshot =
+            shard.published.load(std::memory_order_relaxed)) {
+      auto it = snapshot->find(root);
+      if (it != snapshot->end()) {
+        TUD_CHECK(it->second.root_kind == circuit.kind(root))
+            << "cached plan does not match the circuit it is executed "
+               "against";
+        return it->second.plan.get();
+      }
+    }
+    auto it = shard.inflight.find(root);
+    if (it == shard.inflight.end()) {
+      latch = std::make_shared<Inflight>();
+      shard.inflight.emplace(root, latch);
+      builder = true;
+    } else {
+      latch = it->second;
+    }
+  }
+
+  if (!builder) {
+    std::unique_lock<std::mutex> lock(latch->mu);
+    latch->cv.wait(lock, [&] { return latch->done; });
+    return latch->plan;
+  }
+
+  // Build outside every lock: other roots keep hitting, other threads
+  // for this root park on the latch.
+  auto plan = std::make_shared<const JunctionTreePlan>(
+      JunctionTreePlan::Build(circuit, root, seed_topological_));
+  builds_.fetch_add(1, std::memory_order_relaxed);
+  const JunctionTreePlan* raw = plan.get();
+  {
+    std::lock_guard<std::mutex> lock(shard.write_mu);
+    const Map* old = shard.published.load(std::memory_order_relaxed);
+    auto next = std::make_unique<Map>(old != nullptr ? *old : Map{});
+    (*next)[root] = Entry{std::move(plan), circuit.kind(root)};
+    shard.published.store(next.release(), std::memory_order_release);
+    if (old != nullptr) {
+      shard.retired.emplace_back(old);
+    }
+    shard.inflight.erase(root);
+  }
+  {
+    std::lock_guard<std::mutex> lock(latch->mu);
+    latch->done = true;
+    latch->plan = raw;
+  }
+  latch->cv.notify_all();
+  return raw;
+}
+
+size_t ConcurrentPlanCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const Map* snapshot = shard.published.load(std::memory_order_acquire);
+    if (snapshot != nullptr) total += snapshot->size();
+  }
+  return total;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,7 +1,12 @@
 #ifndef TUD_INFERENCE_JUNCTION_TREE_H_
 #define TUD_INFERENCE_JUNCTION_TREE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -11,6 +16,29 @@
 #include "treedec/graph.h"
 
 namespace tud {
+
+/// A reusable Execute arena: one allocation that grows to the largest
+/// plan it has served and is then reused, so steady-state Execute calls
+/// are allocation-free. One PlanScratch per thread — the serving
+/// scheduler keeps one per worker, JunctionTreeEngine one per calling
+/// thread. Not thread-safe; plans do not retain it past the call.
+class PlanScratch {
+ public:
+  /// A buffer of at least `size` doubles (contents unspecified).
+  double* Acquire(size_t size) {
+    if (size > capacity_) {
+      buf_.reset(new double[size]);
+      capacity_ = size;
+    }
+    return buf_.get();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  std::unique_ptr<double[]> buf_;
+  size_t capacity_ = 0;
+};
 
 /// The query-shape analysis every junction-tree plan starts from:
 /// extract the cone of the root(s), binarise it, build the primal graph
@@ -122,6 +150,13 @@ class JunctionTreePlan {
   double Execute(const EventRegistry& registry,
                  const Evidence& evidence = {}) const;
 
+  /// As above with a caller-provided scratch arena (grown on demand,
+  /// reused across calls): the steady-state serving hot path, one
+  /// Execute with zero allocations. `scratch` must not be shared by
+  /// concurrent calls; nullptr falls back to a per-call allocation.
+  double Execute(const EventRegistry& registry, const Evidence& evidence,
+                 PlanScratch* scratch) const;
+
   /// P(root_i = true | evidence) for every root of a BuildBatch plan,
   /// in one calibrating up+down pass (the downward pass is pruned to
   /// the subtrees that contain query bags). If `stats` is non-null its
@@ -129,7 +164,8 @@ class JunctionTreePlan {
   /// the actual execution counts.
   std::vector<double> ExecuteBatch(const EventRegistry& registry,
                                    const Evidence& evidence = {},
-                                   EngineStats* stats = nullptr) const;
+                                   EngineStats* stats = nullptr,
+                                   PlanScratch* scratch = nullptr) const;
 
   int width() const { return width_; }
   size_t num_bags() const { return bags_.size(); }
@@ -255,6 +291,91 @@ class JunctionTreePlan {
   std::vector<uint32_t> gather_;  ///< Precomputed index maps.
   std::vector<uint8_t> bit_pool_;
   std::vector<QueryRoot> query_roots_;  ///< Batch plans only.
+};
+
+/// A concurrent, read-mostly cache of compiled single-root plans — the
+/// serving layer's hot-path structure, shared by any number of threads
+/// calling GetOrBuild on one append-only circuit.
+///
+/// Lookup is lock-free: each shard publishes an *immutable* hash map
+/// through one atomic pointer, so a hit costs an acquire load plus a
+/// hash probe — no reference counting, no reader registration, no
+/// locks. Writers copy the shard's map, insert, and publish the copy
+/// under the shard's write mutex; superseded snapshots are retired to
+/// the shard (not freed) because lock-free readers may still be walking
+/// them, and reclaimed when the cache is destroyed. The retained memory
+/// is quadratic in the number of *distinct* plans per shard, which the
+/// session bounds (one plan per prepared lineage gate) — the classic
+/// read-copy-update tradeoff, chosen over epochs for zero read-side
+/// cost.
+///
+/// Cold misses are build-once: the first thread to miss a root becomes
+/// its builder (plans can take milliseconds — the expensive
+/// decomposition work), every other thread requesting the same root
+/// parks on a per-root latch and receives the published plan, so a
+/// thundering herd of identical cold queries costs exactly one Build.
+///
+/// Like JunctionTreeEngine's per-engine memo, a cache instance is only
+/// sound against one append-only circuit object; callers pin it
+/// (checked via the root-kind revalidation on every hit).
+class ConcurrentPlanCache {
+ public:
+  explicit ConcurrentPlanCache(bool seed_topological = false)
+      : seed_topological_(seed_topological) {}
+  ConcurrentPlanCache(const ConcurrentPlanCache&) = delete;
+  ConcurrentPlanCache& operator=(const ConcurrentPlanCache&) = delete;
+  ~ConcurrentPlanCache();
+
+  /// The cached plan for `root`, building (exactly once across all
+  /// threads) on a miss. The returned plan lives as long as the cache.
+  const JunctionTreePlan* GetOrBuild(const BoolCircuit& circuit, GateId root);
+
+  /// Lock-free probe: the cached plan, or nullptr without building.
+  const JunctionTreePlan* Lookup(GateId root) const;
+
+  /// Plans actually built (the thundering-herd pin: equals the number
+  /// of distinct roots ever requested).
+  size_t builds() const { return builds_.load(std::memory_order_relaxed); }
+
+  /// Published entries across all shards.
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const JunctionTreePlan> plan;
+    GateKind root_kind;  ///< Revalidated on every hit, as in
+                         ///< JunctionTreeEngine: catches a stale bind
+                         ///< through a recycled circuit address.
+  };
+  using Map = std::unordered_map<GateId, Entry>;
+  /// Latch a builder publishes through while other threads wait.
+  struct Inflight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    const JunctionTreePlan* plan = nullptr;
+  };
+  struct Shard {
+    std::atomic<const Map*> published{nullptr};  ///< Immutable snapshot.
+    std::mutex write_mu;  ///< Guards publication and inflight_.
+    std::unordered_map<GateId, std::shared_ptr<Inflight>> inflight;
+    std::vector<std::unique_ptr<const Map>> retired;  ///< Old snapshots;
+                                                      ///< readers may
+                                                      ///< still hold them.
+  };
+  static constexpr size_t kNumShards = 8;
+
+  Shard& ShardFor(GateId root) {
+    // Multiplicative hash: consecutive gate ids spread across shards.
+    return shards_[(root * 2654435761u) >> 29 & (kNumShards - 1)];
+  }
+  const Shard& ShardFor(GateId root) const {
+    return const_cast<ConcurrentPlanCache*>(this)->ShardFor(root);
+  }
+
+  bool seed_topological_;
+  std::atomic<size_t> builds_{0};
+  Shard shards_[kNumShards];
 };
 
 /// One-shot convenience: Build + Execute. If `stats` is non-null it

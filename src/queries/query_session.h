@@ -37,6 +37,17 @@ class CInstance;
 /// the numeric message pass). Lineage gates share the instance's
 /// annotation circuit, so repeated queries reuse gates via structural
 /// hashing.
+///
+/// Thread safety is phased, mirroring the compile-once / evaluate-many
+/// split: *lineage construction* (CqLineage / UcqLineage /
+/// ReachabilityLineage, and the first Decomposition() call) grows the
+/// shared circuit and must run single-threaded; once the lineages a
+/// workload needs are built, the circuit is read-only and *estimation*
+/// is freely concurrent — hand the built gates to a
+/// serving::ServingSession (serving/server.h), which fans Probability
+/// calls across a worker pool over one shared plan cache. Calling
+/// Probability directly from multiple threads is likewise safe iff the
+/// session's engine is (JunctionTreeEngine is; see engine.h).
 class QuerySession {
  public:
   /// Takes ownership of the instance. `engine` defaults to AutoEngine.
@@ -91,6 +102,12 @@ class QuerySession {
 /// queries via structural hashing — and estimates probabilities with
 /// the session's engine. Together with AutomatonExpr this is the
 /// compiled-first surface for the PrXML / uncertain-tree workloads.
+///
+/// The same phased thread-safety contract as QuerySession applies:
+/// Compiled()/Lineage() grow the memo and the tree's circuit and are
+/// single-threaded; once every query's lineage gate exists, concurrent
+/// estimation against the (now read-only) circuit is safe — see
+/// serving::ServingSession::Over(TreeQuerySession&).
 class TreeQuerySession {
  public:
   /// `events` is the registry the tree's guard circuit reads (e.g. the
@@ -99,6 +116,7 @@ class TreeQuerySession {
                    std::unique_ptr<ProbabilityEngine> engine = nullptr);
 
   UncertainBinaryTree& tree() { return tree_; }
+  const UncertainBinaryTree& tree() const { return tree_; }
   const EventRegistry& events() const { return *events_; }
   ProbabilityEngine& engine() { return *engine_; }
 

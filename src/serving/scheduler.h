@@ -1,0 +1,165 @@
+#ifndef TUD_SERVING_SCHEDULER_H_
+#define TUD_SERVING_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "inference/junction_tree.h"
+
+namespace tud {
+namespace serving {
+
+/// A work-stealing task scheduler — the execution substrate of the
+/// serving layer. N worker threads each own a Chase-Lev deque; tasks
+/// spawned *from* a worker go to the bottom of its own deque (LIFO, so
+/// a drain task's fan-out stays hot in that worker's cache) while idle
+/// workers steal from the top (FIFO, so the oldest work migrates).
+/// External submissions enter through one bounded intake queue whose
+/// capacity is the backpressure bound: Submit blocks when serving
+/// cannot keep up instead of queueing without limit.
+///
+/// Each worker owns a PlanScratch arena, reachable from inside a task
+/// via CurrentScratch(): a JunctionTreePlan::Execute per query reuses
+/// the worker's grow-only buffer, so steady-state serving performs no
+/// allocation per query.
+///
+/// The deques use sequentially-consistent atomics on their top/bottom
+/// indices and atomic slot cells rather than standalone fences — the
+/// fence-based Chase-Lev formulation is not modelled by
+/// ThreadSanitizer, and the serving tests run under TSan.
+class TaskScheduler {
+ public:
+  using Task = std::function<void()>;
+
+  struct Options {
+    /// Worker threads; 0 means std::thread::hardware_concurrency().
+    unsigned num_threads = 0;
+    /// Intake bound: Submit blocks once this many external tasks are
+    /// queued and unclaimed (backpressure).
+    size_t queue_capacity = 4096;
+  };
+
+  struct Stats {
+    uint64_t submitted = 0;  ///< Tasks accepted (Submit + Spawn).
+    uint64_t executed = 0;   ///< Tasks run to completion.
+    uint64_t stolen = 0;     ///< Tasks obtained by stealing.
+  };
+
+  TaskScheduler();  ///< Default options (nested-class NSDMI rules forbid
+                    ///< `= {}` as a default argument here).
+  explicit TaskScheduler(const Options& options);
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+  /// Drains outstanding tasks, then stops and joins the workers.
+  ~TaskScheduler();
+
+  /// Enqueues a task from any thread. Blocks while the intake queue is
+  /// at capacity (from a worker thread it goes to the worker's own
+  /// deque instead — workers are the consumers, so blocking one on
+  /// backpressure could live-lock the pool). Returns false only after
+  /// shutdown has begun.
+  bool Submit(Task task);
+
+  /// Enqueues a subtask. From a worker thread this pushes onto the
+  /// worker's own deque — the cheap path fan-out uses (no lock, no
+  /// backpressure check; stealable by idle workers). From any other
+  /// thread it is Submit.
+  bool Spawn(Task task);
+
+  /// Blocks until every task accepted so far has finished.
+  void Drain();
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+  Stats stats() const;
+
+  /// The calling worker thread's scratch arena, or nullptr when the
+  /// caller is not a scheduler worker. Valid for the duration of the
+  /// running task; tasks must not hand it to other threads.
+  static PlanScratch* CurrentScratch();
+
+ private:
+  /// Growable single-owner / multi-thief deque (Chase-Lev). The owner
+  /// pushes and pops at the bottom; thieves take from the top. Slots
+  /// hold heap-allocated Task pointers; retired ring buffers are kept
+  /// until destruction because a concurrent thief may still be reading
+  /// a superseded array.
+  class WorkDeque {
+   public:
+    WorkDeque();
+    ~WorkDeque();
+
+    void PushBottom(Task* task);  ///< Owner only.
+    Task* PopBottom();            ///< Owner only.
+    Task* Steal();                ///< Any thread.
+    bool Empty() const;
+
+   private:
+    struct Ring {
+      explicit Ring(uint64_t capacity)
+          : capacity(capacity),
+            mask(capacity - 1),
+            slots(new std::atomic<Task*>[capacity]) {}
+      Task* Get(uint64_t i) const {
+        return slots[i & mask].load(std::memory_order_relaxed);
+      }
+      void Put(uint64_t i, Task* t) {
+        slots[i & mask].store(t, std::memory_order_relaxed);
+      }
+      uint64_t capacity;
+      uint64_t mask;
+      std::unique_ptr<std::atomic<Task*>[]> slots;
+    };
+
+    Ring* Grow(Ring* ring, uint64_t bottom, uint64_t top);
+
+    std::atomic<uint64_t> top_{0};
+    std::atomic<uint64_t> bottom_{0};
+    std::atomic<Ring*> ring_;
+    std::vector<std::unique_ptr<Ring>> retired_;  ///< Owner-only writes.
+  };
+
+  struct Worker {
+    WorkDeque deque;
+    PlanScratch scratch;
+    std::thread thread;
+  };
+
+  void WorkerLoop(unsigned index);
+  /// One task from anywhere (own deque, intake, steal), else nullptr.
+  Task* FindWork(unsigned index, uint64_t* rng_state);
+  void RunTask(Task* task);
+
+  size_t queue_capacity_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex intake_mu_;
+  std::condition_variable intake_not_full_;
+  std::deque<Task*> intake_;
+
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> outstanding_{0};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> stolen_{0};
+};
+
+}  // namespace serving
+}  // namespace tud
+
+#endif  // TUD_SERVING_SCHEDULER_H_

@@ -1,0 +1,153 @@
+#include "serving/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "automata/uncertain_tree.h"
+#include "inference/junction_tree.h"
+#include "queries/query_session.h"
+#include "uncertain/pcc_instance.h"
+
+namespace tud {
+namespace serving {
+
+namespace {
+
+TaskScheduler::Options SchedulerOptions(const ServingOptions& options) {
+  TaskScheduler::Options so;
+  so.num_threads = options.num_threads;
+  so.queue_capacity = options.queue_capacity;
+  return so;
+}
+
+}  // namespace
+
+ServingSession::ServingSession(const BoolCircuit& circuit,
+                               const EventRegistry& registry,
+                               const ServingOptions& options)
+    : circuit_(&circuit),
+      registry_(&registry),
+      options_(options),
+      engine_(options.seed_topological, /*cache_plans=*/true),
+      scheduler_(SchedulerOptions(options)) {}
+
+ServingSession ServingSession::Over(QuerySession& session,
+                                    const ServingOptions& options) {
+  return ServingSession(session.pcc().circuit(), session.pcc().events(),
+                        options);
+}
+
+ServingSession ServingSession::Over(TreeQuerySession& session,
+                                    const ServingOptions& options) {
+  return ServingSession(session.tree().circuit(), session.events(), options);
+}
+
+EngineResult ServingSession::RunOne(GateId root, const Evidence& evidence) {
+  return engine_.Estimate(*circuit_, root, *registry_, evidence);
+}
+
+std::future<EngineResult> ServingSession::Submit(GateId lineage,
+                                                 Evidence evidence) {
+  auto request = std::make_shared<Request>();
+  request->root = lineage;
+  request->evidence = std::move(evidence);
+  std::future<EngineResult> result = request->promise.get_future();
+  if (!options_.coalesce) {
+    scheduler_.Submit([this, request] {
+      request->promise.set_value(RunOne(request->root, request->evidence));
+    });
+    return result;
+  }
+  bool schedule_drain = false;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.push_back(std::move(request));
+    if (!drain_scheduled_) {
+      drain_scheduled_ = true;
+      schedule_drain = true;
+    }
+  }
+  // At most one drain task is pending at a time: submissions racing in
+  // behind it are picked up by the same drain — that is the coalescing.
+  if (schedule_drain) scheduler_.Submit([this] { DrainPending(); });
+  return result;
+}
+
+void ServingSession::DrainPending() {
+  std::vector<std::shared_ptr<Request>> batch;
+  bool reschedule = false;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    size_t take = std::min(pending_.size(), options_.max_coalesce);
+    batch.assign(std::make_move_iterator(pending_.begin()),
+                 std::make_move_iterator(pending_.begin() + take));
+    pending_.erase(pending_.begin(), pending_.begin() + take);
+    if (pending_.empty()) {
+      drain_scheduled_ = false;
+    } else {
+      reschedule = true;  // Oversized burst: keep drain_scheduled_ set.
+    }
+  }
+  if (reschedule) scheduler_.Spawn([this] { DrainPending(); });
+
+  // Group the batch by evidence (groups are what a shared pass can
+  // answer together; grouping also keeps the fan-out deterministic).
+  std::vector<std::vector<std::shared_ptr<Request>>> groups;
+  for (auto& request : batch) {
+    bool placed = false;
+    for (auto& group : groups) {
+      if (group.front()->evidence == request->evidence) {
+        group.push_back(std::move(request));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.emplace_back(1, std::move(request));
+  }
+
+  for (auto& group : groups) {
+    if (options_.shared_pass && group.size() > 1) {
+      // One batched estimate for the whole group: a single calibrating
+      // message pass over the union cone when it stays narrow.
+      auto shared_group = std::make_shared<
+          std::vector<std::shared_ptr<Request>>>(std::move(group));
+      scheduler_.Spawn([this, shared_group] {
+        std::vector<GateId> roots;
+        roots.reserve(shared_group->size());
+        for (const auto& request : *shared_group)
+          roots.push_back(request->root);
+        std::vector<EngineResult> results = engine_.EstimateBatch(
+            *circuit_, roots, *registry_, shared_group->front()->evidence);
+        for (size_t i = 0; i < shared_group->size(); ++i)
+          (*shared_group)[i]->promise.set_value(results[i]);
+      });
+      continue;
+    }
+    // Per-root fan-out: one subtask per query, pushed onto this
+    // worker's deque (idle workers steal their share).
+    for (auto& request : group) {
+      std::shared_ptr<Request> r = std::move(request);
+      scheduler_.Spawn([this, r] {
+        r->promise.set_value(RunOne(r->root, r->evidence));
+      });
+    }
+  }
+}
+
+EngineResult ServingSession::Evaluate(GateId lineage,
+                                      const Evidence& evidence) {
+  return RunOne(lineage, evidence);
+}
+
+void ServingSession::Prewarm(GateId lineage) {
+  engine_.Prewarm(*circuit_, lineage);
+}
+
+void ServingSession::Drain() { scheduler_.Drain(); }
+
+const ConcurrentPlanCache& ServingSession::plan_cache() const {
+  return *engine_.plan_cache();
+}
+
+}  // namespace serving
+}  // namespace tud

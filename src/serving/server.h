@@ -1,0 +1,141 @@
+#ifndef TUD_SERVING_SERVER_H_
+#define TUD_SERVING_SERVER_H_
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "circuits/bool_circuit.h"
+#include "events/event_registry.h"
+#include "inference/engine.h"
+#include "serving/scheduler.h"
+
+namespace tud {
+
+class QuerySession;
+class TreeQuerySession;
+class ConcurrentPlanCache;
+
+namespace serving {
+
+struct ServingOptions {
+  /// Scheduler workers; 0 means hardware concurrency.
+  unsigned num_threads = 0;
+  /// Intake backpressure bound (see TaskScheduler::Options).
+  size_t queue_capacity = 4096;
+  /// Batch the intake: submissions arriving while a drain task is
+  /// pending are picked up together, grouped by evidence, and fanned
+  /// out from inside the pool (deque pushes instead of per-query
+  /// intake-queue round trips).
+  bool coalesce = true;
+  /// Most requests one drain task takes (the rest reschedule).
+  size_t max_coalesce = 64;
+  /// Route each coalesced same-evidence group through one
+  /// JunctionTreeEngine::EstimateBatch — a single shared message pass
+  /// when the roots' union cone stays narrow. Off by default: the
+  /// shared pass sums in a different association order, so results are
+  /// equal only to rounding (the default per-root path is bit-identical
+  /// to sequential evaluation).
+  bool shared_pass = false;
+  /// Seed decompositions from circuit construction order (see
+  /// JunctionTreePlan::Build).
+  bool seed_topological = false;
+};
+
+/// The concurrent serving front-end of the evaluation pipeline: one
+/// session answers P(lineage | evidence) queries submitted from any
+/// number of threads against one prepared circuit.
+///
+///   ServingSession serving = ServingSession::Over(session);
+///   std::future<EngineResult> f = serving.Submit(lineage);
+///   ... f.get().value ...
+///
+/// Internally: a work-stealing TaskScheduler executes the queries, a
+/// ConcurrentPlanCache (inside a thread-safe JunctionTreeEngine with
+/// plan caching) compiles each distinct lineage exactly once across all
+/// threads, and per-worker scratch arenas make the steady-state numeric
+/// pass allocation-free. A coalescing intake groups submissions that
+/// arrive together, optionally answering same-evidence groups in one
+/// shared batched message pass.
+///
+/// Phase contract (the compile-once / evaluate-many split, applied to
+/// threading): *growing* the circuit — lineage construction via
+/// QuerySession::CqLineage and friends — is single-threaded and must be
+/// quiescent before serving starts; Submit takes already-built lineage
+/// gates. Estimation itself never mutates the circuit, which is what
+/// makes the serving phase embarrassingly shareable. The circuit and
+/// registry must outlive the session.
+class ServingSession {
+ public:
+  ServingSession(const BoolCircuit& circuit, const EventRegistry& registry,
+                 const ServingOptions& options = {});
+  ServingSession(const ServingSession&) = delete;
+  ServingSession& operator=(const ServingSession&) = delete;
+  /// Drains in-flight queries, then stops the workers.
+  ~ServingSession() = default;
+
+  /// Serves the session's instance circuit. Build all lineages first;
+  /// the session keeps references into `session`.
+  static ServingSession Over(QuerySession& session,
+                             const ServingOptions& options = {});
+  /// Serves the tree session's guard circuit (run Lineage(expr) for
+  /// every query expression first).
+  static ServingSession Over(TreeQuerySession& session,
+                             const ServingOptions& options = {});
+
+  /// Enqueues one query; the future resolves to the same EngineResult a
+  /// direct JunctionTreeEngine::Estimate would return. Thread-safe;
+  /// blocks only under intake backpressure.
+  std::future<EngineResult> Submit(GateId lineage, Evidence evidence = {});
+
+  /// Synchronous evaluation on the calling thread, through the same
+  /// plan cache (the single-thread baseline, and an escape hatch for
+  /// callers that want no queueing).
+  EngineResult Evaluate(GateId lineage, const Evidence& evidence = {});
+
+  /// Compiles the plan for `lineage` now, so serving traffic never pays
+  /// its cold Build.
+  void Prewarm(GateId lineage);
+
+  /// Blocks until every submitted query has resolved.
+  void Drain();
+
+  /// The shared plan cache (builds()/size(): build-once diagnostics).
+  const ConcurrentPlanCache& plan_cache() const;
+
+  TaskScheduler& scheduler() { return scheduler_; }
+  unsigned num_threads() const { return scheduler_.num_threads(); }
+
+ private:
+  struct Request {
+    GateId root;
+    Evidence evidence;
+    std::promise<EngineResult> promise;
+  };
+
+  EngineResult RunOne(GateId root, const Evidence& evidence);
+  /// The drain task: moves out pending requests, groups them by
+  /// evidence, and fans the groups out across the pool.
+  void DrainPending();
+
+  const BoolCircuit* circuit_;
+  const EventRegistry* registry_;
+  ServingOptions options_;
+  /// Thread-safe cached-plan estimator shared by all workers.
+  JunctionTreeEngine engine_;
+
+  std::mutex pending_mu_;
+  std::vector<std::shared_ptr<Request>> pending_;
+  bool drain_scheduled_ = false;
+
+  /// Last member: destroyed (drained + joined) first, while the engine
+  /// and circuit its tasks use are still alive.
+  TaskScheduler scheduler_;
+};
+
+}  // namespace serving
+}  // namespace tud
+
+#endif  // TUD_SERVING_SERVER_H_

@@ -1,0 +1,328 @@
+#include "workloads/workloads.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tud {
+namespace workloads {
+
+Schema RstSchema() {
+  Schema schema;
+  schema.AddRelation("R", 1);
+  schema.AddRelation("S", 2);
+  schema.AddRelation("T", 1);
+  return schema;
+}
+
+Schema EdgeSchema() {
+  Schema schema;
+  schema.AddRelation("E", 2);
+  return schema;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> PartialKTreeEdges(Rng& rng,
+                                                             uint32_t n,
+                                                             uint32_t k,
+                                                             double keep) {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  std::vector<std::vector<uint32_t>> cliques;
+  uint32_t base = std::min(n, k + 1);
+  std::vector<uint32_t> first;
+  for (uint32_t i = 0; i < base; ++i) {
+    for (uint32_t j = i + 1; j < base; ++j) edges.emplace_back(i, j);
+    first.push_back(i);
+  }
+  cliques.push_back(first);
+  for (uint32_t v = base; v < n; ++v) {
+    const std::vector<uint32_t>& host =
+        cliques[rng.UniformInt(cliques.size())];
+    // Attach v to a k-subset of the host clique.
+    std::vector<uint32_t> subset = host;
+    while (subset.size() > k) {
+      subset.erase(subset.begin() + rng.UniformInt(subset.size()));
+    }
+    for (uint32_t u : subset) edges.emplace_back(u, v);
+    subset.push_back(v);
+    cliques.push_back(std::move(subset));
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> kept;
+  for (const auto& e : edges) {
+    if (rng.Bernoulli(keep)) kept.push_back(e);
+  }
+  return kept;
+}
+
+TidInstance LadderTid(Rng& rng, uint32_t rungs) {
+  TidInstance tid(EdgeSchema());
+  for (uint32_t i = 0; i + 2 < 2 * rungs; i += 2) {
+    tid.AddFact(0, {i, i + 2}, 0.5 + 0.4 * rng.UniformDouble());
+    tid.AddFact(0, {i + 1, i + 3}, 0.5 + 0.4 * rng.UniformDouble());
+    tid.AddFact(0, {i, i + 1}, 0.3 + 0.4 * rng.UniformDouble());
+  }
+  return tid;
+}
+
+TidInstance KTreeEdgeTid(Rng& rng, uint32_t n, uint32_t k) {
+  TidInstance tid(EdgeSchema());
+  for (const auto& [a, b] : PartialKTreeEdges(rng, n, k, 0.7)) {
+    tid.AddFact(0, {a, b}, 0.3 + 0.5 * rng.UniformDouble());
+  }
+  return tid;
+}
+
+TidInstance MakeKTreeTid(Rng& rng, uint32_t n, uint32_t k) {
+  TidInstance tid(RstSchema());
+  for (const auto& [u, v] : PartialKTreeEdges(rng, n, k, 0.8)) {
+    tid.AddFact(1, {u, v}, 0.2 + 0.6 * rng.UniformDouble());
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    if (rng.Bernoulli(0.5)) {
+      tid.AddFact(0, {v}, 0.2 + 0.6 * rng.UniformDouble());
+    }
+    if (rng.Bernoulli(0.5)) {
+      tid.AddFact(2, {v}, 0.2 + 0.6 * rng.UniformDouble());
+    }
+  }
+  return tid;
+}
+
+TidInstance MakeDensePathTid(Rng& rng, uint32_t n) {
+  TidInstance tid(RstSchema());
+  for (uint32_t v = 0; v < n; ++v) {
+    tid.AddFact(0, {v}, 0.3 + 0.5 * rng.UniformDouble());
+    tid.AddFact(2, {v}, 0.3 + 0.5 * rng.UniformDouble());
+    if (v + 1 < n) {
+      tid.AddFact(1, {v, v + 1}, 0.3 + 0.5 * rng.UniformDouble());
+    }
+  }
+  return tid;
+}
+
+PccInstance MakeCorrelatedPcc(Rng& rng, uint32_t n, uint32_t window) {
+  PccInstance pcc(RstSchema());
+  std::vector<GateId> sources;
+  for (uint32_t i = 0; i < n; ++i) {
+    EventId e = pcc.events().Register("src" + std::to_string(i),
+                                      0.3 + 0.4 * rng.UniformDouble());
+    sources.push_back(pcc.circuit().AddVar(e));
+  }
+  for (uint32_t v = 0; v + 1 < n; ++v) {
+    // S(v, v+1) is trusted iff all sources in its window agree.
+    std::vector<GateId> window_gates;
+    for (uint32_t w = 0; w < window && v + w < n; ++w) {
+      window_gates.push_back(sources[v + w]);
+    }
+    pcc.AddFact(1, {v, v + 1}, pcc.circuit().AddAnd(window_gates));
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    pcc.AddFact(0, {v}, sources[v]);
+    pcc.AddFact(2, {v}, sources[v]);
+  }
+  return pcc;
+}
+
+PrXmlDocument MakeWikidataPrxml(Rng& rng, uint32_t num_entities,
+                                uint32_t scope) {
+  PrXmlDocument doc;
+  std::vector<EventId> contributors;
+  for (uint32_t s = 0; s < scope; ++s) {
+    contributors.push_back(doc.events().Register(
+        "contributor" + std::to_string(s), 0.5 + 0.4 * rng.UniformDouble()));
+  }
+  PNodeId root = doc.AddRoot("wikidata");
+  for (uint32_t i = 0; i < num_entities; ++i) {
+    PNodeId entity = doc.AddChild(root, PNodeKind::kOrdinary, "entity");
+    // An optional occupation behind ind.
+    PNodeId ind = doc.AddChild(entity, PNodeKind::kInd, "");
+    PNodeId occ = doc.AddChild(ind, PNodeKind::kOrdinary, "occupation");
+    doc.SetEdgeProbability(occ, 0.2 + 0.6 * rng.UniformDouble());
+    doc.AddChild(occ, PNodeKind::kOrdinary,
+                 rng.Bernoulli(0.5) ? "musician" : "analyst");
+    // A name behind mux.
+    PNodeId name = doc.AddChild(entity, PNodeKind::kOrdinary, "given name");
+    PNodeId mux = doc.AddChild(name, PNodeKind::kMux, "");
+    PNodeId n1 = doc.AddChild(mux, PNodeKind::kOrdinary, "nameA");
+    doc.SetEdgeProbability(n1, 0.4);
+    PNodeId n2 = doc.AddChild(mux, PNodeKind::kOrdinary, "nameB");
+    doc.SetEdgeProbability(n2, 0.5);
+    // Contributor-guarded facts (cie) reusing the global events: each
+    // entity gets its own conjunction over the shared contributors with
+    // random polarities, so distinct entities are genuinely correlated
+    // through all `scope` events (no two guards coincide structurally).
+    if (scope > 0) {
+      PNodeId cie = doc.AddChild(entity, PNodeKind::kCie, "");
+      PNodeId claim = doc.AddChild(cie, PNodeKind::kOrdinary, "claim");
+      std::vector<std::pair<EventId, bool>> literals;
+      for (EventId c : contributors) {
+        literals.emplace_back(c, rng.Bernoulli(0.7));
+      }
+      doc.SetEdgeLiterals(claim, std::move(literals));
+      doc.AddChild(claim, PNodeKind::kOrdinary, "statement");
+    }
+  }
+  doc.Finalize();
+  return doc;
+}
+
+BoolCircuit MakeCoreTentacleCircuit(Rng& rng, uint32_t core_events,
+                                    uint32_t num_tentacles,
+                                    EventRegistry& registry, GateId* root) {
+  BoolCircuit c;
+  std::vector<GateId> core_vars;
+  for (uint32_t e = 0; e < core_events; ++e) {
+    registry.Register("core" + std::to_string(e),
+                      0.3 + 0.4 * rng.UniformDouble());
+    core_vars.push_back(c.AddVar(e));
+  }
+  std::vector<GateId> parts;
+  for (uint32_t clause = 0; clause < 2 * core_events; ++clause) {
+    std::vector<GateId> literals;
+    for (int lit = 0; lit < 3; ++lit) {
+      GateId var = core_vars[rng.UniformInt(core_vars.size())];
+      literals.push_back(rng.Bernoulli(0.5) ? var : c.AddNot(var));
+    }
+    parts.push_back(c.AddOr(std::move(literals)));
+  }
+  GateId acc = parts.empty() ? c.AddConst(false) : c.AddAnd(parts);
+  for (uint32_t t = 0; t < num_tentacles; ++t) {
+    EventId e1 = registry.Register("tent" + std::to_string(t) + "a",
+                                   0.1 + 0.3 * rng.UniformDouble());
+    EventId e2 = registry.Register("tent" + std::to_string(t) + "b",
+                                   0.1 + 0.3 * rng.UniformDouble());
+    acc = c.AddOr(acc, c.AddAnd(c.AddVar(e1), c.AddVar(e2)));
+  }
+  *root = acc;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// InstanceSpec
+// ---------------------------------------------------------------------------
+
+std::string InstanceSpec::Name() const {
+  switch (family) {
+    case Family::kLadder:
+      return "ladder:" + std::to_string(n);
+    case Family::kKTree:
+      return "ktree:" + std::to_string(n) + "x" + std::to_string(k);
+    case Family::kDensePath:
+      return "densepath:" + std::to_string(n);
+  }
+  return "invalid";
+}
+
+TidInstance MakeInstance(const InstanceSpec& spec) {
+  Rng rng(spec.seed);
+  switch (spec.family) {
+    case InstanceSpec::Family::kLadder:
+      return LadderTid(rng, spec.n);
+    case InstanceSpec::Family::kKTree:
+      return KTreeEdgeTid(rng, spec.n, spec.k);
+    case InstanceSpec::Family::kDensePath:
+      return MakeDensePathTid(rng, spec.n);
+  }
+  TUD_CHECK(false) << "unknown workload family";
+  return TidInstance(EdgeSchema());
+}
+
+namespace {
+
+std::optional<uint32_t> ParseU32(std::string_view s) {
+  uint32_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<InstanceSpec> ParseInstanceSpec(std::string_view name) {
+  const size_t colon = name.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const std::string_view family = name.substr(0, colon);
+  const std::string_view args = name.substr(colon + 1);
+  InstanceSpec spec;
+  if (family == "ladder" || family == "densepath") {
+    spec.family = family == "ladder" ? InstanceSpec::Family::kLadder
+                                     : InstanceSpec::Family::kDensePath;
+    std::optional<uint32_t> n = ParseU32(args);
+    if (!n.has_value() || *n == 0) return std::nullopt;
+    spec.n = *n;
+    return spec;
+  }
+  if (family == "ktree") {
+    const size_t x = args.find('x');
+    if (x == std::string_view::npos) return std::nullopt;
+    std::optional<uint32_t> n = ParseU32(args.substr(0, x));
+    std::optional<uint32_t> k = ParseU32(args.substr(x + 1));
+    if (!n.has_value() || !k.has_value() || *n == 0 || *k == 0) {
+      return std::nullopt;
+    }
+    spec.family = InstanceSpec::Family::kKTree;
+    spec.n = *n;
+    spec.k = *k;
+    return spec;
+  }
+  return std::nullopt;
+}
+
+std::pair<uint32_t, uint32_t> CanonicalEndpoints(const InstanceSpec& spec) {
+  if (spec.family == InstanceSpec::Family::kLadder) {
+    return {0, 2 * spec.n - 2};
+  }
+  return {0, spec.n - 1};
+}
+
+// ---------------------------------------------------------------------------
+// ZipfianGenerator
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(uint64_t num_items, double theta)
+    : n_(num_items), theta_(theta) {
+  TUD_CHECK_GT(n_, 0u);
+  TUD_CHECK(theta > 0.0 && theta < 1.0)
+      << "zipf theta must be in (0, 1) for the YCSB construction";
+  zetan_ = Zeta(n_, theta_);
+  zeta2_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) {
+  const double u = rng.UniformDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (n_ >= 2 && uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+std::vector<uint32_t> ZipfianQueryMix(uint32_t num_distinct, size_t length,
+                                      double theta, uint64_t seed) {
+  ZipfianGenerator zipf(num_distinct, theta);
+  Rng rng(seed);
+  std::vector<uint32_t> mix;
+  mix.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    mix.push_back(static_cast<uint32_t>(zipf.Next(rng)));
+  }
+  return mix;
+}
+
+}  // namespace workloads
+}  // namespace tud

@@ -1,0 +1,166 @@
+#ifndef TUD_WORKLOADS_WORKLOADS_H_
+#define TUD_WORKLOADS_WORKLOADS_H_
+
+// The named-workload registry: every synthetic instance / document /
+// circuit generator the benchmarks and the serving harness share, behind
+// one parameterized interface (InstanceSpec -> TidInstance), plus the
+// YCSB-style zipfian popularity generator that turns a set of distinct
+// queries into a skewed serving mix. Generators used to live in
+// bench/workloads.h (and as per-bench local helpers); they moved into
+// the library so the QPS serving harness, the google-benchmark binaries
+// and the tests all size the *same* workloads from the same parameters.
+// All generators take an explicit Rng (or a seed inside the spec) for
+// reproducibility.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "circuits/bool_circuit.h"
+#include "events/event_registry.h"
+#include "prxml/prxml_document.h"
+#include "uncertain/pcc_instance.h"
+#include "uncertain/tid_instance.h"
+#include "util/rng.h"
+
+namespace tud {
+namespace workloads {
+
+// ---------------------------------------------------------------------------
+// Schemas
+// ---------------------------------------------------------------------------
+
+/// Schema R(x), S(x, y), T(y) — the paper's #P-hard example query's
+/// schema.
+Schema RstSchema();
+
+/// Single binary relation E(x, y) — the reachability workloads' schema.
+Schema EdgeSchema();
+
+// ---------------------------------------------------------------------------
+// Graph-shaped TID generators
+// ---------------------------------------------------------------------------
+
+/// Edges of a random partial k-tree on n vertices: build a k-tree
+/// incrementally (every new vertex attaches to a random k-clique), then
+/// keep each edge with probability `keep`. Treewidth <= k by
+/// construction.
+std::vector<std::pair<uint32_t, uint32_t>> PartialKTreeEdges(Rng& rng,
+                                                             uint32_t n,
+                                                             uint32_t k,
+                                                             double keep);
+
+/// Uncertain series-parallel-ish ladder over EdgeSchema(): `rungs`
+/// levels, two rails plus rungs, width 2. Vertex 2i / 2i+1 are the
+/// left/right rail at level i; the canonical s-t reachability query is
+/// source 0 to target 2*rungs - 2.
+TidInstance LadderTid(Rng& rng, uint32_t rungs);
+
+/// Uncertain partial k-tree over EdgeSchema() (edge keep 0.7) — the
+/// bounded-treewidth reachability workload beyond ladders.
+TidInstance KTreeEdgeTid(Rng& rng, uint32_t n, uint32_t k);
+
+/// Experiment X1 (Theorem 1): a TID over the RST schema whose Gaifman
+/// graph is a partial k-tree: S facts on the k-tree edges, R/T facts on
+/// random vertices, all with random probabilities.
+TidInstance MakeKTreeTid(Rng& rng, uint32_t n, uint32_t k);
+
+/// Dense path-shaped TID (treewidth 1) where the RST query is always
+/// structurally satisfiable: R(v), T(v) for every vertex and S(v, v+1)
+/// for every edge, all uncertain.
+TidInstance MakeDensePathTid(Rng& rng, uint32_t n);
+
+/// Experiment X2 (Theorem 2): a pcc-instance over a path-shaped
+/// (treewidth-1) instance whose annotations are correlated through a
+/// shared circuit: consecutive S facts within a window of size `window`
+/// share "source trust" events. window = 1 degenerates to a TID.
+PccInstance MakeCorrelatedPcc(Rng& rng, uint32_t n, uint32_t window);
+
+/// Experiments X3/X4/X8: a synthetic Wikidata-style PrXML document:
+/// `num_entities` entity subtrees under the root, each with attribute
+/// children behind ind/mux nodes; `scope` global events are reused on
+/// cie edges across ALL entities. scope = 0 yields a purely local
+/// document.
+PrXmlDocument MakeWikidataPrxml(Rng& rng, uint32_t num_entities,
+                                uint32_t scope);
+
+/// Experiment X6: a lineage-like circuit with a dense core over
+/// `core_events` events (a random 3-CNF) OR-ed with `num_tentacles`
+/// independent two-level tentacles (low treewidth).
+BoolCircuit MakeCoreTentacleCircuit(Rng& rng, uint32_t core_events,
+                                    uint32_t num_tentacles,
+                                    EventRegistry& registry, GateId* root);
+
+// ---------------------------------------------------------------------------
+// The parameterized instance interface
+// ---------------------------------------------------------------------------
+
+/// One spec names any reachability-shaped TID the suite generates. The
+/// benches and the serving harness construct instances exclusively
+/// through this, so a workload mentioned in a BENCH row ("ladder:48",
+/// "ktree:64x2") is reproducible from its name alone.
+struct InstanceSpec {
+  enum class Family { kLadder, kKTree, kDensePath };
+  Family family = Family::kLadder;
+  uint32_t n = 48;    ///< Rungs (ladder) or vertices (k-tree, path).
+  uint32_t k = 2;     ///< k-tree parameter (ignored otherwise).
+  uint64_t seed = 8;
+
+  /// "ladder:48", "ktree:64x2", "densepath:32" (seed not encoded).
+  std::string Name() const;
+};
+
+/// Generates the instance a spec names (seeded from spec.seed).
+TidInstance MakeInstance(const InstanceSpec& spec);
+
+/// Parses InstanceSpec::Name() output ("ladder:48", "ktree:64x2",
+/// "densepath:32"); nullopt on malformed input.
+std::optional<InstanceSpec> ParseInstanceSpec(std::string_view name);
+
+/// The canonical s-t reachability endpoints of a spec's instance
+/// (source, target): 0 -> 2n-2 for ladders, 0 -> n-1 otherwise.
+std::pair<uint32_t, uint32_t> CanonicalEndpoints(const InstanceSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Zipfian query mix (the YCSB-style skewed popularity distribution)
+// ---------------------------------------------------------------------------
+
+/// Draws ranks in [0, n) with P(rank = i) proportional to 1/(i+1)^theta
+/// — rank 0 is the most popular item. This is the Gray et al. rejection-
+/// free inverse-CDF construction YCSB's ZipfianGenerator uses: zeta(n)
+/// is precomputed once, each draw is O(1). theta = 0.99 is the YCSB
+/// default skew.
+class ZipfianGenerator {
+ public:
+  explicit ZipfianGenerator(uint64_t num_items, double theta = 0.99);
+
+  uint64_t num_items() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// The next zipf-distributed rank in [0, num_items).
+  uint64_t Next(Rng& rng);
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+/// A serving query mix: which of `num_distinct` prepared queries each
+/// arriving request asks, zipf-skewed so a few queries are hot (their
+/// plans cache-resident) and the tail is cold. The identity permutation
+/// is deliberately NOT applied to ranks: callers that want popularity
+/// decorrelated from construction order shuffle their query array.
+std::vector<uint32_t> ZipfianQueryMix(uint32_t num_distinct, size_t length,
+                                      double theta, uint64_t seed);
+
+}  // namespace workloads
+}  // namespace tud
+
+#endif  // TUD_WORKLOADS_WORKLOADS_H_

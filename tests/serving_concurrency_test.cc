@@ -1,0 +1,316 @@
+// The serving layer's contracts, exercised under real concurrency (run
+// these under TSan — the CI thread-sanitizer job does):
+//  - TaskScheduler runs every task exactly once, Spawn fan-out and
+//    stealing included;
+//  - ConcurrentPlanCache builds each root exactly once under a
+//    thundering herd;
+//  - a shared JunctionTreeEngine and a ServingSession return results
+//    *bit-identical* to sequential evaluation from 8 threads, for both
+//    the direct and the coalescing intake, with and without evidence;
+//  - the shared_pass batched route agrees to rounding.
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "inference/junction_tree.h"
+#include "queries/query_session.h"
+#include "serving/scheduler.h"
+#include "serving/server.h"
+#include "uncertain/c_instance.h"
+#include "uncertain/tid_instance.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace tud {
+namespace {
+
+using serving::ServingOptions;
+using serving::ServingSession;
+using serving::TaskScheduler;
+
+// One prepared instance + a set of distinct reachability lineages, plus
+// the sequential ground truth for each (computed with a fresh engine,
+// exactly what a single-threaded QuerySession::Probability would do).
+struct Prepared {
+  QuerySession session;
+  std::vector<GateId> lineages;
+  std::vector<Evidence> evidences;        // Parallel to `queries`.
+  std::vector<uint32_t> queries;          // Lineage index per query.
+  std::vector<double> expected;           // Ground truth per query.
+};
+
+Prepared PrepareLadder(uint32_t rungs, uint32_t num_lineages,
+                       size_t num_queries) {
+  Rng rng(11);
+  TidInstance tid = workloads::LadderTid(rng, rungs);
+  Prepared p{QuerySession::FromCInstance(tid.ToPcInstance()), {}, {}, {}, {}};
+
+  // Distinct (source, target) pairs along the ladder's rails.
+  for (uint32_t i = 0; i < num_lineages; ++i) {
+    uint32_t source = i % 3;
+    uint32_t target = 2 * rungs - 2 - (i % 5);
+    if (source == target) target = 2 * rungs - 2;
+    p.lineages.push_back(p.session.ReachabilityLineage(0, source, target));
+  }
+
+  // A skewed query mix over those lineages; every third query pins one
+  // event as evidence.
+  const EventRegistry& events = p.session.pcc().events();
+  std::vector<uint32_t> mix =
+      workloads::ZipfianQueryMix(num_lineages, num_queries, 0.99, 77);
+  JunctionTreeEngine sequential(/*seed_topological=*/false,
+                                /*cache_plans=*/true);
+  for (size_t q = 0; q < mix.size(); ++q) {
+    Evidence evidence;
+    if (q % 3 == 1 && events.size() > 0)
+      evidence.push_back({static_cast<EventId>(q % events.size()), q % 2 == 0});
+    p.queries.push_back(mix[q]);
+    p.evidences.push_back(evidence);
+    p.expected.push_back(sequential
+                             .Estimate(p.session.pcc().circuit(),
+                                       p.lineages[mix[q]],
+                                       p.session.pcc().events(), evidence)
+                             .value);
+  }
+  return p;
+}
+
+// Distinct lineage roots a prepared query mix actually touches (what a
+// build-exactly-once cache must end up with).
+size_t DistinctRoots(const Prepared& p) {
+  std::vector<bool> seen(p.lineages.size(), false);
+  for (uint32_t q : p.queries) seen[q] = true;
+  size_t count = 0;
+  for (bool s : seen) count += s ? 1 : 0;
+  return count;
+}
+
+TEST(TaskSchedulerTest, RunsEveryTaskExactlyOnce) {
+  TaskScheduler::Options options;
+  options.num_threads = 4;
+  TaskScheduler scheduler(options);
+  std::atomic<uint64_t> sum{0};
+  constexpr uint64_t kTasks = 2000;
+  for (uint64_t i = 0; i < kTasks; ++i)
+    ASSERT_TRUE(scheduler.Submit([&sum, i] {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    }));
+  scheduler.Drain();
+  EXPECT_EQ(sum.load(), kTasks * (kTasks + 1) / 2);
+  TaskScheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, kTasks);
+  EXPECT_EQ(stats.executed, kTasks);
+}
+
+TEST(TaskSchedulerTest, SpawnFanOutFromInsideTasks) {
+  TaskScheduler::Options options;
+  options.num_threads = 4;
+  TaskScheduler scheduler(options);
+  std::atomic<uint64_t> leaves{0};
+  constexpr uint64_t kRoots = 16, kChildren = 64;
+  for (uint64_t i = 0; i < kRoots; ++i) {
+    scheduler.Submit([&] {
+      // Inside a worker: Spawn pushes to the worker's own deque, and a
+      // worker thread must see its scratch arena.
+      EXPECT_NE(TaskScheduler::CurrentScratch(), nullptr);
+      for (uint64_t c = 0; c < kChildren; ++c)
+        scheduler.Spawn(
+            [&leaves] { leaves.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  scheduler.Drain();
+  EXPECT_EQ(leaves.load(), kRoots * kChildren);
+  EXPECT_EQ(scheduler.stats().executed, kRoots + kRoots * kChildren);
+  // Off-worker there is no scratch arena.
+  EXPECT_EQ(TaskScheduler::CurrentScratch(), nullptr);
+}
+
+TEST(TaskSchedulerTest, BackpressureBoundHolds) {
+  TaskScheduler::Options options;
+  options.num_threads = 2;
+  options.queue_capacity = 8;  // Tiny intake: Submit must block, not drop.
+  TaskScheduler scheduler(options);
+  std::atomic<uint64_t> ran{0};
+  for (int i = 0; i < 500; ++i)
+    ASSERT_TRUE(scheduler.Submit(
+        [&ran] { ran.fetch_add(1, std::memory_order_relaxed); }));
+  scheduler.Drain();
+  EXPECT_EQ(ran.load(), 500u);
+}
+
+TEST(ConcurrentPlanCacheTest, ThunderingHerdBuildsOnce) {
+  Rng rng(3);
+  TidInstance tid = workloads::LadderTid(rng, 12);
+  QuerySession session = QuerySession::FromCInstance(tid.ToPcInstance());
+  GateId lineage = session.ReachabilityLineage(0, 0, 22);
+
+  ConcurrentPlanCache cache;
+  const BoolCircuit& circuit = session.pcc().circuit();
+  constexpr unsigned kThreads = 8;
+  std::vector<const JunctionTreePlan*> got(kThreads, nullptr);
+  {
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t)
+      threads.emplace_back([&, t] {
+        // Every thread races GetOrBuild on the same cold root.
+        got[t] = cache.GetOrBuild(circuit, lineage);
+      });
+    for (auto& thread : threads) thread.join();
+  }
+  EXPECT_EQ(cache.builds(), 1u);  // The pin: one Build across the herd.
+  EXPECT_EQ(cache.size(), 1u);
+  for (unsigned t = 1; t < kThreads; ++t) EXPECT_EQ(got[t], got[0]);
+
+  // Distinct roots build independently, still exactly once each.
+  std::vector<GateId> roots;
+  for (uint32_t i = 1; i <= 4; ++i)
+    roots.push_back(session.ReachabilityLineage(0, i % 2, 22 - i));
+  {
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < 16; ++t)
+      threads.emplace_back([&, t] {
+        const JunctionTreePlan* plan =
+            cache.GetOrBuild(circuit, roots[t % roots.size()]);
+        EXPECT_NE(plan, nullptr);
+      });
+    for (auto& thread : threads) thread.join();
+  }
+  EXPECT_EQ(cache.builds(), 1u + roots.size());
+}
+
+TEST(ServingConcurrencyTest, SharedEngineBitIdenticalFromEightThreads) {
+  Prepared p = PrepareLadder(/*rungs=*/14, /*num_lineages=*/10,
+                             /*num_queries=*/400);
+  JunctionTreeEngine engine(/*seed_topological=*/false, /*cache_plans=*/true);
+  const BoolCircuit& circuit = p.session.pcc().circuit();
+  const EventRegistry& events = p.session.pcc().events();
+
+  constexpr unsigned kThreads = 8;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      // Interleaved slices: every thread touches hot and cold roots.
+      for (size_t q = t; q < p.queries.size(); q += kThreads) {
+        EngineResult r = engine.Estimate(circuit, p.lineages[p.queries[q]],
+                                         events, p.evidences[q]);
+        EXPECT_EQ(r.value, p.expected[q]) << "query " << q;
+      }
+    });
+  for (auto& thread : threads) thread.join();
+  ASSERT_NE(engine.plan_cache(), nullptr);
+  EXPECT_EQ(engine.plan_cache()->builds(), DistinctRoots(p));
+}
+
+TEST(ServingConcurrencyTest, ConcurrentEstimateBatchMatchesSequential) {
+  Prepared p = PrepareLadder(14, 8, 0);
+  JunctionTreeEngine engine(false, /*cache_plans=*/true);
+  const BoolCircuit& circuit = p.session.pcc().circuit();
+  const EventRegistry& events = p.session.pcc().events();
+  std::vector<EngineResult> sequential =
+      engine.EstimateBatch(circuit, p.lineages, events);
+
+  constexpr unsigned kThreads = 6;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int round = 0; round < 5; ++round) {
+        std::vector<EngineResult> results =
+            engine.EstimateBatch(circuit, p.lineages, events);
+        ASSERT_EQ(results.size(), sequential.size());
+        for (size_t i = 0; i < results.size(); ++i)
+          EXPECT_EQ(results[i].value, sequential[i].value);
+      }
+    });
+  for (auto& thread : threads) thread.join();
+}
+
+// The tentpole end-to-end check: a ServingSession fed a zipfian mix
+// from 8 submitter threads returns, for every single query, the exact
+// bits sequential evaluation produces.
+TEST(ServingConcurrencyTest, ServingSessionBitIdenticalUnderLoad) {
+  Prepared p = PrepareLadder(14, 10, 480);
+  for (bool coalesce : {false, true}) {
+    ServingOptions options;
+    options.num_threads = 4;
+    options.coalesce = coalesce;
+    ServingSession serving(p.session.pcc().circuit(), p.session.pcc().events(),
+                           options);
+
+    std::vector<std::future<EngineResult>> futures(p.queries.size());
+    constexpr unsigned kSubmitters = 8;
+    std::vector<std::thread> submitters;
+    for (unsigned t = 0; t < kSubmitters; ++t)
+      submitters.emplace_back([&, t] {
+        for (size_t q = t; q < p.queries.size(); q += kSubmitters)
+          futures[q] =
+              serving.Submit(p.lineages[p.queries[q]], p.evidences[q]);
+      });
+    for (auto& thread : submitters) thread.join();
+    serving.Drain();
+
+    for (size_t q = 0; q < futures.size(); ++q) {
+      EngineResult r = futures[q].get();
+      EXPECT_EQ(r.value, p.expected[q])
+          << (coalesce ? "coalesced" : "direct") << " query " << q;
+      EXPECT_STREQ(r.engine, "junction_tree");
+    }
+    // Build-once held end to end, and Evaluate (the synchronous path)
+    // agrees too.
+    EXPECT_EQ(serving.plan_cache().builds(), DistinctRoots(p));
+    // Query 0's evidence is empty (the mix pins evidence on q % 3 == 1),
+    // so the synchronous path must reproduce its exact bits too.
+    EXPECT_EQ(serving.Evaluate(p.lineages[p.queries[0]]).value, p.expected[0]);
+  }
+}
+
+TEST(ServingConcurrencyTest, PrewarmMakesServingBuildFree) {
+  Prepared p = PrepareLadder(12, 6, 60);
+  ServingOptions options;
+  options.num_threads = 2;
+  ServingSession serving(p.session.pcc().circuit(), p.session.pcc().events(),
+                         options);
+  for (GateId lineage : p.lineages) serving.Prewarm(lineage);
+  EXPECT_EQ(serving.plan_cache().builds(), p.lineages.size());
+
+  std::vector<std::future<EngineResult>> futures;
+  for (size_t q = 0; q < p.queries.size(); ++q)
+    futures.push_back(serving.Submit(p.lineages[p.queries[q]],
+                                     p.evidences[q]));
+  serving.Drain();
+  for (size_t q = 0; q < futures.size(); ++q)
+    EXPECT_EQ(futures[q].get().value, p.expected[q]);
+  // Serving traffic hit only warm plans.
+  EXPECT_EQ(serving.plan_cache().builds(), p.lineages.size());
+}
+
+// The shared-pass route answers a same-evidence group in one batched
+// message pass: equal to sequential up to summation order.
+TEST(ServingConcurrencyTest, SharedPassAgreesToRounding) {
+  Prepared p = PrepareLadder(14, 8, 0);
+  std::vector<double> expected;
+  for (GateId lineage : p.lineages)
+    expected.push_back(JunctionTreeProbability(
+        p.session.pcc().circuit(), lineage, p.session.pcc().events()));
+
+  ServingOptions options;
+  options.num_threads = 2;
+  options.coalesce = true;
+  options.shared_pass = true;
+  ServingSession serving(p.session.pcc().circuit(), p.session.pcc().events(),
+                         options);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::future<EngineResult>> futures;
+    for (GateId lineage : p.lineages) futures.push_back(serving.Submit(lineage));
+    serving.Drain();
+    for (size_t i = 0; i < futures.size(); ++i)
+      EXPECT_NEAR(futures[i].get().value, expected[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tud

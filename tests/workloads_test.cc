@@ -1,0 +1,116 @@
+// The named-workload registry: specs round-trip through their names,
+// MakeInstance is deterministic in the spec's seed and produces the
+// documented shapes, and the zipfian generator is a correctly skewed,
+// reproducible distribution over [0, n).
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "uncertain/tid_instance.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace tud {
+namespace workloads {
+namespace {
+
+TEST(InstanceSpecTest, NameRoundTrips) {
+  for (const InstanceSpec& spec :
+       {InstanceSpec{InstanceSpec::Family::kLadder, 48, 2, 8},
+        InstanceSpec{InstanceSpec::Family::kKTree, 64, 2, 8},
+        InstanceSpec{InstanceSpec::Family::kKTree, 96, 3, 8},
+        InstanceSpec{InstanceSpec::Family::kDensePath, 32, 2, 8}}) {
+    auto parsed = ParseInstanceSpec(spec.Name());
+    ASSERT_TRUE(parsed.has_value()) << spec.Name();
+    EXPECT_EQ(parsed->family, spec.family);
+    EXPECT_EQ(parsed->n, spec.n);
+    if (spec.family == InstanceSpec::Family::kKTree) {
+      EXPECT_EQ(parsed->k, spec.k);
+    }
+    EXPECT_EQ(parsed->Name(), spec.Name());
+  }
+  EXPECT_FALSE(ParseInstanceSpec("").has_value());
+  EXPECT_FALSE(ParseInstanceSpec("ladder").has_value());
+  EXPECT_FALSE(ParseInstanceSpec("mesh:48").has_value());
+  EXPECT_FALSE(ParseInstanceSpec("ktree:64").has_value());
+  EXPECT_FALSE(ParseInstanceSpec("ladder:abc").has_value());
+}
+
+TEST(InstanceSpecTest, MakeInstanceShapesAndDeterminism) {
+  // Ladder: rungs - 1 levels x (2 rail edges + 1 rung edge).
+  InstanceSpec ladder{InstanceSpec::Family::kLadder, 10, 2, 8};
+  TidInstance a = MakeInstance(ladder);
+  TidInstance b = MakeInstance(ladder);
+  EXPECT_EQ(a.NumFacts(), 3u * (10 - 1));
+  EXPECT_EQ(a.NumFacts(), b.NumFacts());  // Same seed, same instance.
+
+  InstanceSpec other = ladder;
+  other.seed = 9;
+  // A different seed moves the (random) probabilities, not the shape.
+  EXPECT_EQ(MakeInstance(other).NumFacts(), a.NumFacts());
+
+  // Dense path on n vertices: R and T per vertex, S per edge.
+  InstanceSpec path{InstanceSpec::Family::kDensePath, 16, 2, 8};
+  EXPECT_EQ(MakeInstance(path).NumFacts(), 2u * 16 + 15);
+
+  // Partial k-tree: at most the full k-tree's edge count.
+  InstanceSpec ktree{InstanceSpec::Family::kKTree, 32, 2, 8};
+  TidInstance kt = MakeInstance(ktree);
+  EXPECT_GT(kt.NumFacts(), 0u);
+  EXPECT_LE(kt.NumFacts(), 2u * 32);
+
+  // Canonical endpoints match the generators' vertex layouts.
+  EXPECT_EQ(CanonicalEndpoints(ladder), (std::pair<uint32_t, uint32_t>{0, 18}));
+  EXPECT_EQ(CanonicalEndpoints(ktree), (std::pair<uint32_t, uint32_t>{0, 31}));
+  EXPECT_EQ(CanonicalEndpoints(path), (std::pair<uint32_t, uint32_t>{0, 15}));
+}
+
+TEST(ZipfianTest, BoundsAndDeterminism) {
+  ZipfianGenerator zipf(100, 0.99);
+  Rng rng1(42), rng2(42);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t rank = zipf.Next(rng1);
+    EXPECT_LT(rank, 100u);
+    EXPECT_EQ(rank, zipf.Next(rng2));  // Same seed, same stream.
+  }
+  std::vector<uint32_t> mix1 = ZipfianQueryMix(64, 1000, 0.99, 7);
+  std::vector<uint32_t> mix2 = ZipfianQueryMix(64, 1000, 0.99, 7);
+  EXPECT_EQ(mix1, mix2);
+  ASSERT_EQ(mix1.size(), 1000u);
+  for (uint32_t rank : mix1) EXPECT_LT(rank, 64u);
+}
+
+TEST(ZipfianTest, SkewFavorsLowRanks) {
+  constexpr uint64_t kItems = 50;
+  constexpr int kDraws = 20000;
+  ZipfianGenerator zipf(kItems, 0.99);
+  Rng rng(13);
+  std::vector<int> counts(kItems, 0);
+  for (int i = 0; i < kDraws; ++i) counts[zipf.Next(rng)]++;
+  // Rank 0 dominates: far above uniform, and above rank 1.
+  EXPECT_GT(counts[0], 3 * kDraws / static_cast<int>(kItems));
+  EXPECT_GT(counts[0], counts[1]);
+  // The head carries most of the mass (theta ~ 1: the top 10% of items
+  // should soak up well over a third of the draws).
+  int head = 0;
+  for (int i = 0; i < 5; ++i) head += counts[i];
+  EXPECT_GT(head, kDraws / 3);
+  // Every rank is reachable in a draw count this large.
+  for (uint64_t i = 0; i < kItems; ++i) EXPECT_GE(counts[i], 0);
+}
+
+TEST(ZipfianTest, ThetaZeroApproachesUniform) {
+  ZipfianGenerator zipf(10, 0.01);  // Near-uniform.
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) counts[zipf.Next(rng)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, 1000);  // Uniform would give 2000 each.
+    EXPECT_LT(c, 4000);
+  }
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace tud
