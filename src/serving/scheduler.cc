@@ -156,10 +156,14 @@ bool TaskScheduler::Submit(Task task) {
       delete heap_task;
       return false;
     }
+    // Count the task before publishing it: workers pop intake_ under
+    // this same lock, so the increment happens-before any worker's
+    // RunTask fetch_sub — outstanding_ can never transiently underflow
+    // and Drain() cannot return while an accepted task is in flight.
+    outstanding_.fetch_add(1, std::memory_order_seq_cst);
     intake_.push_back(heap_task);
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  outstanding_.fetch_add(1, std::memory_order_seq_cst);
   {
     std::lock_guard<std::mutex> lock(park_mu_);
   }
@@ -197,6 +201,8 @@ TaskScheduler::Stats TaskScheduler::stats() const {
 }
 
 PlanScratch* TaskScheduler::CurrentScratch() { return tls_scratch; }
+
+bool TaskScheduler::OnWorkerThread() const { return tls_scheduler == this; }
 
 void TaskScheduler::RunTask(Task* task) {
   (*task)();

@@ -80,6 +80,12 @@ class TaskScheduler {
   unsigned num_threads() const {
     return static_cast<unsigned>(workers_.size());
   }
+
+  /// True when the calling thread is one of this scheduler's workers.
+  /// Callers layering their own backpressure on top (e.g. the serving
+  /// intake) must not block a worker thread — workers are the
+  /// consumers, so blocking one can live-lock the pool.
+  bool OnWorkerThread() const;
   Stats stats() const;
 
   /// The calling worker thread's scratch arena, or nullptr when the

@@ -1,6 +1,7 @@
 #include "serving/server.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 #include "automata/uncertain_tree.h"
@@ -53,14 +54,24 @@ std::future<EngineResult> ServingSession::Submit(GateId lineage,
   request->evidence = std::move(evidence);
   std::future<EngineResult> result = request->promise.get_future();
   if (!options_.coalesce) {
-    scheduler_.Submit([this, request] {
+    bool accepted = scheduler_.Submit([this, request] {
       request->promise.set_value(RunOne(request->root, request->evidence));
     });
+    if (!accepted) FailRequest(request);
     return result;
   }
   bool schedule_drain = false;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    std::unique_lock<std::mutex> lock(pending_mu_);
+    // Backpressure: the coalescing buffer honours the same bound as the
+    // scheduler intake, so memory stays bounded under overload. Worker
+    // threads never block here — they are the consumers that shrink
+    // pending_, so blocking one could live-lock the pool.
+    if (!scheduler_.OnWorkerThread()) {
+      pending_not_full_.wait(lock, [&] {
+        return pending_.size() < options_.queue_capacity;
+      });
+    }
     pending_.push_back(std::move(request));
     if (!drain_scheduled_) {
       drain_scheduled_ = true;
@@ -69,7 +80,12 @@ std::future<EngineResult> ServingSession::Submit(GateId lineage,
   }
   // At most one drain task is pending at a time: submissions racing in
   // behind it are picked up by the same drain — that is the coalescing.
-  if (schedule_drain) scheduler_.Submit([this] { DrainPending(); });
+  if (schedule_drain && !scheduler_.Submit([this] { DrainPending(); })) {
+    // Shutdown began: no drain will ever run, so fail everything queued
+    // (leaving drain_scheduled_ set would silently strand all later
+    // submissions too).
+    FailAllPending();
+  }
   return result;
 }
 
@@ -88,7 +104,9 @@ void ServingSession::DrainPending() {
       reschedule = true;  // Oversized burst: keep drain_scheduled_ set.
     }
   }
-  if (reschedule) scheduler_.Spawn([this] { DrainPending(); });
+  pending_not_full_.notify_all();
+  if (reschedule && !scheduler_.Spawn([this] { DrainPending(); }))
+    FailAllPending();
 
   // Group the batch by evidence (groups are what a shared pass can
   // answer together; grouping also keeps the fan-out deterministic).
@@ -111,7 +129,7 @@ void ServingSession::DrainPending() {
       // message pass over the union cone when it stays narrow.
       auto shared_group = std::make_shared<
           std::vector<std::shared_ptr<Request>>>(std::move(group));
-      scheduler_.Spawn([this, shared_group] {
+      bool accepted = scheduler_.Spawn([this, shared_group] {
         std::vector<GateId> roots;
         roots.reserve(shared_group->size());
         for (const auto& request : *shared_group)
@@ -121,17 +139,37 @@ void ServingSession::DrainPending() {
         for (size_t i = 0; i < shared_group->size(); ++i)
           (*shared_group)[i]->promise.set_value(results[i]);
       });
+      if (!accepted)
+        for (const auto& request : *shared_group) FailRequest(request);
       continue;
     }
     // Per-root fan-out: one subtask per query, pushed onto this
     // worker's deque (idle workers steal their share).
     for (auto& request : group) {
       std::shared_ptr<Request> r = std::move(request);
-      scheduler_.Spawn([this, r] {
+      bool accepted = scheduler_.Spawn([this, r] {
         r->promise.set_value(RunOne(r->root, r->evidence));
       });
+      if (!accepted) FailRequest(r);
     }
   }
+}
+
+void ServingSession::FailRequest(const std::shared_ptr<Request>& request) {
+  request->promise.set_exception(std::make_exception_ptr(
+      std::runtime_error("ServingSession: shutdown began before the query "
+                         "could be scheduled")));
+}
+
+void ServingSession::FailAllPending() {
+  std::vector<std::shared_ptr<Request>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    drain_scheduled_ = false;
+    orphaned.swap(pending_);
+  }
+  pending_not_full_.notify_all();
+  for (const auto& request : orphaned) FailRequest(request);
 }
 
 EngineResult ServingSession::Evaluate(GateId lineage,

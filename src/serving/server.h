@@ -1,6 +1,7 @@
 #ifndef TUD_SERVING_SERVER_H_
 #define TUD_SERVING_SERVER_H_
 
+#include <condition_variable>
 #include <cstddef>
 #include <future>
 #include <memory>
@@ -23,7 +24,10 @@ namespace serving {
 struct ServingOptions {
   /// Scheduler workers; 0 means hardware concurrency.
   unsigned num_threads = 0;
-  /// Intake backpressure bound (see TaskScheduler::Options).
+  /// Backpressure bound: with coalesce=false it caps the scheduler's
+  /// intake queue (see TaskScheduler::Options); with coalesce=true it
+  /// caps the pending coalescing buffer. Either way, Submit blocks
+  /// once this many queries are queued and unclaimed.
   size_t queue_capacity = 4096;
   /// Batch the intake: submissions arriving while a drain task is
   /// pending are picked up together, grouped by evidence, and fanned
@@ -87,7 +91,10 @@ class ServingSession {
 
   /// Enqueues one query; the future resolves to the same EngineResult a
   /// direct JunctionTreeEngine::Estimate would return. Thread-safe;
-  /// blocks only under intake backpressure.
+  /// blocks only under backpressure (more than queue_capacity queries
+  /// queued and unclaimed — never when called from a worker thread,
+  /// where blocking could live-lock the pool). If the session is
+  /// shutting down the future resolves to a std::runtime_error.
   std::future<EngineResult> Submit(GateId lineage, Evidence evidence = {});
 
   /// Synchronous evaluation on the calling thread, through the same
@@ -119,6 +126,12 @@ class ServingSession {
   /// The drain task: moves out pending requests, groups them by
   /// evidence, and fans the groups out across the pool.
   void DrainPending();
+  /// Resolves the request's future to a shutdown error (the scheduler
+  /// rejected the work because shutdown has begun).
+  static void FailRequest(const std::shared_ptr<Request>& request);
+  /// Fails every queued request and clears drain_scheduled_ — the
+  /// recovery path when scheduling a drain task is rejected.
+  void FailAllPending();
 
   const BoolCircuit* circuit_;
   const EventRegistry* registry_;
@@ -127,6 +140,7 @@ class ServingSession {
   JunctionTreeEngine engine_;
 
   std::mutex pending_mu_;
+  std::condition_variable pending_not_full_;
   std::vector<std::shared_ptr<Request>> pending_;
   bool drain_scheduled_ = false;
 

@@ -312,5 +312,33 @@ TEST(ServingConcurrencyTest, SharedPassAgreesToRounding) {
   }
 }
 
+// The coalescing intake honours queue_capacity too: with a tiny bound
+// and a flood of external submissions, Submit blocks (never drops), the
+// pending buffer stays bounded, and every future still resolves to the
+// sequential bits.
+TEST(ServingConcurrencyTest, CoalescingBackpressureBlocksNotDrops) {
+  Prepared p = PrepareLadder(12, 6, 240);
+  ServingOptions options;
+  options.num_threads = 2;
+  options.coalesce = true;
+  options.queue_capacity = 4;  // Far below the submission count.
+  options.max_coalesce = 2;
+  ServingSession serving(p.session.pcc().circuit(), p.session.pcc().events(),
+                         options);
+
+  std::vector<std::future<EngineResult>> futures(p.queries.size());
+  constexpr unsigned kSubmitters = 4;
+  std::vector<std::thread> submitters;
+  for (unsigned t = 0; t < kSubmitters; ++t)
+    submitters.emplace_back([&, t] {
+      for (size_t q = t; q < p.queries.size(); q += kSubmitters)
+        futures[q] = serving.Submit(p.lineages[p.queries[q]], p.evidences[q]);
+    });
+  for (auto& thread : submitters) thread.join();
+  serving.Drain();
+  for (size_t q = 0; q < futures.size(); ++q)
+    EXPECT_EQ(futures[q].get().value, p.expected[q]) << "query " << q;
+}
+
 }  // namespace
 }  // namespace tud
