@@ -21,7 +21,7 @@
 #include "uncertain/c_instance.h"
 #include "uncertain/tid_instance.h"
 #include "util/rng.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 namespace tud {
 namespace {
@@ -82,7 +82,7 @@ int Main(int argc, char** argv) {
   // circuit); both arms pay the identical rebuild, and the tree-only
   // workload records that shared cost.
   Rng doc_rng(6);
-  PrXmlDocument doc = bench::MakeWikidataPrxml(doc_rng, 128, 1);
+  PrXmlDocument doc = workloads::MakeWikidataPrxml(doc_rng, 128, 1);
   auto build_tree = [&](XmlLabelMap& labels, Label& dead) {
     return PrXmlToUncertainTree(doc, labels, &dead);
   };

@@ -14,7 +14,7 @@
 #include "prxml/to_uncertain_tree.h"
 #include "prxml/tree_pattern.h"
 #include "util/rng.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 namespace tud {
 namespace {
@@ -22,7 +22,7 @@ namespace {
 void BM_AutomatonPipeline(benchmark::State& state) {
   const uint32_t entities = static_cast<uint32_t>(state.range(0));
   Rng rng(6);
-  PrXmlDocument doc = bench::MakeWikidataPrxml(rng, entities, 1);
+  PrXmlDocument doc = workloads::MakeWikidataPrxml(rng, entities, 1);
   double p = 0;
   size_t gates = 0;
   for (auto _ : state) {
@@ -47,7 +47,7 @@ BENCHMARK(BM_AutomatonPipeline)->RangeMultiplier(2)->Range(16, 256)
 void BM_PatternLineageReference(benchmark::State& state) {
   const uint32_t entities = static_cast<uint32_t>(state.range(0));
   Rng rng(6);
-  PrXmlDocument doc = bench::MakeWikidataPrxml(rng, entities, 1);
+  PrXmlDocument doc = workloads::MakeWikidataPrxml(rng, entities, 1);
   TreePattern pattern = TreePattern::LabelExists("musician");
   double p = 0;
   for (auto _ : state) {
@@ -68,7 +68,7 @@ BENCHMARK(BM_PatternLineageReference)->RangeMultiplier(2)->Range(16, 256)
 void BM_AutomatonBooleanCombination(benchmark::State& state) {
   const uint32_t entities = static_cast<uint32_t>(state.range(0));
   Rng rng(6);
-  PrXmlDocument doc = bench::MakeWikidataPrxml(rng, entities, 1);
+  PrXmlDocument doc = workloads::MakeWikidataPrxml(rng, entities, 1);
   double p = 0;
   for (auto _ : state) {
     XmlLabelMap labels;
@@ -96,7 +96,7 @@ BENCHMARK(BM_AutomatonBooleanCombination)->Arg(32)->Arg(128);
 void BM_AutomatonBooleanCombinationExpr(benchmark::State& state) {
   const uint32_t entities = static_cast<uint32_t>(state.range(0));
   Rng rng(6);
-  PrXmlDocument doc = bench::MakeWikidataPrxml(rng, entities, 1);
+  PrXmlDocument doc = workloads::MakeWikidataPrxml(rng, entities, 1);
   double p = 0;
   for (auto _ : state) {
     XmlLabelMap labels;

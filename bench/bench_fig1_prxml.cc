@@ -10,7 +10,7 @@
 #include "prxml/prxml_document.h"
 #include "prxml/tree_pattern.h"
 #include "util/rng.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 namespace tud {
 namespace {
@@ -73,7 +73,7 @@ BENCHMARK(BM_Figure1Marginals);
 void BM_Figure1Forest(benchmark::State& state) {
   const uint32_t n = static_cast<uint32_t>(state.range(0));
   Rng rng(17);
-  PrXmlDocument doc = bench::MakeWikidataPrxml(rng, n, 1);
+  PrXmlDocument doc = workloads::MakeWikidataPrxml(rng, n, 1);
   TreePattern pattern = TreePattern::LabelExists("musician");
   double p = 0;
   for (auto _ : state) {

@@ -19,7 +19,7 @@
 #include "uncertain/c_instance.h"
 #include "uncertain/pcc_instance.h"
 #include "util/rng.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 namespace tud {
 namespace {
@@ -31,7 +31,7 @@ struct Workload {
 
 Workload MakeWorkload(uint32_t n) {
   Rng rng(314);
-  TidInstance tid = bench::MakeKTreeTid(rng, n, 2);
+  TidInstance tid = workloads::MakeKTreeTid(rng, n, 2);
   Workload w{PccInstance::FromCInstance(tid.ToPcInstance()), kInvalidGate};
   ConjunctiveQuery q = ConjunctiveQuery::RstPath(0, 1, 2);
   w.lineage = ComputeCqLineage(q, w.pcc);

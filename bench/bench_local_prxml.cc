@@ -12,7 +12,7 @@
 #include "prxml/tree_pattern.h"
 #include "uncertain/worlds.h"
 #include "util/rng.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 namespace tud {
 namespace {
@@ -24,7 +24,7 @@ TreePattern Pattern() {
 void BM_LocalFastPath(benchmark::State& state) {
   const uint32_t entities = static_cast<uint32_t>(state.range(0));
   Rng rng(3);
-  PrXmlDocument doc = bench::MakeWikidataPrxml(rng, entities, 0);
+  PrXmlDocument doc = workloads::MakeWikidataPrxml(rng, entities, 0);
   TreePattern pattern = Pattern();
   double p = 0;
   for (auto _ : state) {
@@ -41,7 +41,7 @@ BENCHMARK(BM_LocalFastPath)->RangeMultiplier(2)->Range(16, 1024)
 void BM_LocalGenericPipeline(benchmark::State& state) {
   const uint32_t entities = static_cast<uint32_t>(state.range(0));
   Rng rng(3);
-  PrXmlDocument doc = bench::MakeWikidataPrxml(rng, entities, 0);
+  PrXmlDocument doc = workloads::MakeWikidataPrxml(rng, entities, 0);
   TreePattern pattern = Pattern();
   double p = 0;
   for (auto _ : state) {
@@ -59,7 +59,7 @@ BENCHMARK(BM_LocalGenericPipeline)->RangeMultiplier(2)->Range(16, 1024)
 void BM_LocalEnumerationBaseline(benchmark::State& state) {
   const uint32_t entities = static_cast<uint32_t>(state.range(0));
   Rng rng(3);
-  PrXmlDocument doc = bench::MakeWikidataPrxml(rng, entities, 0);
+  PrXmlDocument doc = workloads::MakeWikidataPrxml(rng, entities, 0);
   if (doc.events().size() > 20) {
     state.SkipWithError("too many events for enumeration");
     return;

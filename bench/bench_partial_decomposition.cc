@@ -14,7 +14,7 @@
 #include "inference/junction_tree.h"
 #include "inference/sampling.h"
 #include "util/rng.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 namespace tud {
 namespace {
@@ -26,7 +26,7 @@ void BM_HybridCoreTentacles(benchmark::State& state) {
   Rng gen_rng(55);
   EventRegistry registry;
   GateId root;
-  BoolCircuit circuit = bench::MakeCoreTentacleCircuit(
+  BoolCircuit circuit = workloads::MakeCoreTentacleCircuit(
       gen_rng, core, tentacles, registry, &root);
   std::vector<EventId> core_events =
       SelectCoreEvents(circuit, root, /*target_width=*/3, core);
@@ -58,7 +58,7 @@ void BM_PureSamplingSameBudget(benchmark::State& state) {
   Rng gen_rng(55);
   EventRegistry registry;
   GateId root;
-  BoolCircuit circuit = bench::MakeCoreTentacleCircuit(
+  BoolCircuit circuit = workloads::MakeCoreTentacleCircuit(
       gen_rng, core, tentacles, registry, &root);
   double exact = registry.size() <= 22
                      ? ExhaustiveProbability(circuit, root, registry)
@@ -84,7 +84,7 @@ void BM_HybridVsSamplingRmse(benchmark::State& state) {
   EventRegistry registry;
   GateId root;
   BoolCircuit circuit =
-      bench::MakeCoreTentacleCircuit(gen_rng, 8, 6, registry, &root);
+      workloads::MakeCoreTentacleCircuit(gen_rng, 8, 6, registry, &root);
   std::vector<EventId> core_events =
       SelectCoreEvents(circuit, root, 3, 6);
   double exact = ExhaustiveProbability(circuit, root, registry);

@@ -13,7 +13,7 @@
 #include "prxml/prxml_document.h"
 #include "prxml/tree_pattern.h"
 #include "util/rng.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 namespace tud {
 namespace {
@@ -22,7 +22,7 @@ void BM_ScopeSweep(benchmark::State& state) {
   const uint32_t entities = static_cast<uint32_t>(state.range(0));
   const uint32_t scope = static_cast<uint32_t>(state.range(1));
   Rng rng(11 + scope);
-  PrXmlDocument doc = bench::MakeWikidataPrxml(rng, entities, scope);
+  PrXmlDocument doc = workloads::MakeWikidataPrxml(rng, entities, scope);
   TreePattern pattern = TreePattern::LabelExists("statement");
   if (scope == 0) pattern = TreePattern::LabelExists("musician");
   double p = 0;
@@ -46,7 +46,7 @@ BENCHMARK(BM_ScopeSweep)
 void BM_ScopeFixedGrowDocument(benchmark::State& state) {
   const uint32_t entities = static_cast<uint32_t>(state.range(0));
   Rng rng(23);
-  PrXmlDocument doc = bench::MakeWikidataPrxml(rng, entities, 2);
+  PrXmlDocument doc = workloads::MakeWikidataPrxml(rng, entities, 2);
   TreePattern pattern = TreePattern::LabelExists("statement");
   double p = 0;
   for (auto _ : state) {

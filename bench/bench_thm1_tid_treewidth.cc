@@ -16,7 +16,7 @@
 #include "uncertain/c_instance.h"
 #include "uncertain/pcc_instance.h"
 #include "util/rng.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 namespace tud {
 namespace {
@@ -26,7 +26,7 @@ void BM_Theorem1Pipeline(benchmark::State& state) {
   const uint32_t n = static_cast<uint32_t>(state.range(0));
   const uint32_t k = static_cast<uint32_t>(state.range(1));
   Rng rng(1000 + k);
-  TidInstance tid = bench::MakeKTreeTid(rng, n, k);
+  TidInstance tid = workloads::MakeKTreeTid(rng, n, k);
   CInstance pc = tid.ToPcInstance();
   ConjunctiveQuery q = ConjunctiveQuery::RstPath(0, 1, 2);
   double p = 0;
@@ -57,7 +57,7 @@ BENCHMARK(BM_Theorem1Pipeline)
 void BM_NaiveEnumerationBaseline(benchmark::State& state) {
   const uint32_t n = static_cast<uint32_t>(state.range(0));
   Rng rng(7);
-  TidInstance tid = bench::MakeDensePathTid(rng, n);
+  TidInstance tid = workloads::MakeDensePathTid(rng, n);
   PccInstance pcc = PccInstance::FromCInstance(tid.ToPcInstance());
   ConjunctiveQuery q = ConjunctiveQuery::RstPath(0, 1, 2);
   GateId lineage = ComputeCqLineage(q, pcc);
@@ -78,7 +78,7 @@ BENCHMARK(BM_NaiveEnumerationBaseline)->DenseRange(4, 10, 1);
 // Cross-check at small scale: message passing equals enumeration.
 void BM_Theorem1Agreement(benchmark::State& state) {
   Rng rng(99);
-  TidInstance tid = bench::MakeKTreeTid(rng, 7, 2);
+  TidInstance tid = workloads::MakeKTreeTid(rng, 7, 2);
   PccInstance pcc = PccInstance::FromCInstance(tid.ToPcInstance());
   ConjunctiveQuery q = ConjunctiveQuery::RstPath(0, 1, 2);
   GateId lineage = ComputeCqLineage(q, pcc);

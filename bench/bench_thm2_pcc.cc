@@ -13,7 +13,7 @@
 #include "treedec/elimination.h"
 #include "uncertain/pcc_instance.h"
 #include "util/rng.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 namespace tud {
 namespace {
@@ -28,7 +28,7 @@ void BM_Theorem2Window(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     Rng fresh_rng(42);
-    PccInstance pcc = bench::MakeCorrelatedPcc(fresh_rng, n, window);
+    PccInstance pcc = workloads::MakeCorrelatedPcc(fresh_rng, n, window);
     state.ResumeTiming();
     GateId lineage = ComputeCqLineage(q, pcc);
     p = JunctionTreeProbability(pcc.circuit(), lineage, pcc.events(),
@@ -37,7 +37,7 @@ void BM_Theorem2Window(benchmark::State& state) {
   }
   // Width of the joint instance+circuit graph (min-fill estimate).
   Rng measure_rng(42);
-  PccInstance pcc = bench::MakeCorrelatedPcc(measure_rng, n, window);
+  PccInstance pcc = workloads::MakeCorrelatedPcc(measure_rng, n, window);
   Graph joint = pcc.JointPrimalGraph();
   uint32_t joint_width = EliminationWidth(joint, MinFillOrder(joint));
   state.counters["n"] = n;
@@ -57,7 +57,7 @@ void BM_Theorem2Scaling(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     Rng rng(7);
-    PccInstance pcc = bench::MakeCorrelatedPcc(rng, n, 3);
+    PccInstance pcc = workloads::MakeCorrelatedPcc(rng, n, 3);
     state.ResumeTiming();
     GateId lineage = ComputeCqLineage(q, pcc);
     p = JunctionTreeProbability(pcc.circuit(), lineage, pcc.events());

@@ -9,14 +9,14 @@
 #include "treedec/elimination.h"
 #include "treedec/graph.h"
 #include "util/rng.h"
-#include "workloads.h"
+#include "workloads/workloads.h"
 
 namespace tud {
 namespace {
 
 Graph MakeGraph(Rng& rng, uint32_t n, uint32_t k) {
   Graph g(n);
-  for (const auto& [a, b] : bench::PartialKTreeEdges(rng, n, k, 0.9)) {
+  for (const auto& [a, b] : workloads::PartialKTreeEdges(rng, n, k, 0.9)) {
     g.AddEdge(a, b);
   }
   return g;

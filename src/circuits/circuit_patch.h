@@ -1,0 +1,93 @@
+#ifndef TUD_CIRCUITS_CIRCUIT_PATCH_H_
+#define TUD_CIRCUITS_CIRCUIT_PATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "circuits/bool_circuit.h"
+#include "events/event_registry.h"
+
+namespace tud {
+
+/// The bookkeeping side of structural updates against an append-only
+/// hash-consed circuit: which gates each update batch appended, and
+/// which event inputs have been tombstoned by deletions.
+///
+/// The circuit itself never shrinks — BoolCircuit is append-only, and
+/// everything downstream (cached plans, published epochs, concurrent
+/// readers) depends on gate ids staying stable. A *deletion* therefore
+/// never removes a gate: the deleted fact's annotation event is driven
+/// permanently to its absent truth value (probability 0 for an
+/// independent event — mathematically identical to pinning it false,
+/// while keeping re-evaluation on the hot probability-update path) and
+/// recorded here as a tombstone. An *insertion* re-runs the lineage DP
+/// over the patched decomposition; structural hashing makes that
+/// append-only too — unchanged sub-derivations hash-cons to their
+/// existing gates, so a batch appends only the delta gates, which
+/// BeginBatch/SealBatch measure.
+class CircuitPatch {
+ public:
+  /// Marks the start of one structural update batch: remembers the
+  /// circuit's gate count so SealBatch can measure the appended delta.
+  void BeginBatch(const BoolCircuit& circuit) {
+    batch_start_ = circuit.NumGates();
+  }
+
+  /// Closes the batch opened by BeginBatch; returns (and accumulates)
+  /// the number of gates the batch appended.
+  size_t SealBatch(const BoolCircuit& circuit) {
+    const size_t appended = circuit.NumGates() - batch_start_;
+    appended_gates_ += appended;
+    ++num_batches_;
+    return appended;
+  }
+
+  /// Records `event` as the tombstone of a deleted input: its truth
+  /// value is permanently `value` (deletions pin false). Idempotent.
+  void Tombstone(EventId event, bool value = false) {
+    if (IsTombstoned(event)) return;
+    tombstones_.emplace_back(event, value);
+  }
+
+  bool IsTombstoned(EventId event) const {
+    for (const auto& [e, v] : tombstones_) {
+      if (e == event) return true;
+    }
+    return false;
+  }
+
+  /// The tombstones in Evidence shape: appended to user evidence this
+  /// yields delete-aware conditioning even on engines that read
+  /// probabilities the registry no longer holds (e.g. a snapshot taken
+  /// before the delete).
+  const std::vector<std::pair<EventId, bool>>& tombstones() const {
+    return tombstones_;
+  }
+
+  /// User evidence plus the tombstone pins. Tombstones are listed
+  /// first: ResolveVarValues applies pins by overwrite, so on a
+  /// conflict the user's pin wins.
+  std::vector<std::pair<EventId, bool>> MergedEvidence(
+      const std::vector<std::pair<EventId, bool>>& user) const {
+    std::vector<std::pair<EventId, bool>> merged = tombstones_;
+    merged.insert(merged.end(), user.begin(), user.end());
+    return merged;
+  }
+
+  /// Total gates appended across sealed batches.
+  size_t appended_gates() const { return appended_gates_; }
+  size_t num_batches() const { return num_batches_; }
+  size_t num_tombstones() const { return tombstones_.size(); }
+
+ private:
+  size_t batch_start_ = 0;
+  size_t appended_gates_ = 0;
+  size_t num_batches_ = 0;
+  std::vector<std::pair<EventId, bool>> tombstones_;
+};
+
+}  // namespace tud
+
+#endif  // TUD_CIRCUITS_CIRCUIT_PATCH_H_

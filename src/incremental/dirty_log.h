@@ -1,0 +1,72 @@
+#ifndef TUD_INCREMENTAL_DIRTY_LOG_H_
+#define TUD_INCREMENTAL_DIRTY_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "events/event_registry.h"
+
+namespace tud {
+namespace incremental {
+
+/// The session-side record of probability updates: an append-only log of
+/// dirtied EventIds, addressed by *generation* (the log length since the
+/// session opened). Each consumer — one PlanDeltaState per registered
+/// query — remembers the generation it last caught up to and asks for
+/// everything marked since; the log never needs per-consumer bookkeeping
+/// and stays a plain vector push per update.
+///
+/// Compaction drops the prefix every consumer has already seen. A
+/// consumer whose cursor fell below the compacted base (a query that
+/// went unqueried across a compaction) simply takes one full pass:
+/// CollectSince reports the miss and the caller invalidates its delta
+/// state instead of enumerating dirty events it can no longer name.
+///
+/// Single-writer, like all of the incremental layer: updates and
+/// queries through the incremental session are one logical thread
+/// (concurrent readers see published epochs, never the live log).
+class DirtyLog {
+ public:
+  using Generation = uint64_t;
+
+  /// Records one probability update of `event`.
+  void Mark(EventId event) { log_.push_back(event); }
+
+  /// The current generation: a cursor taken now sees no event of any
+  /// earlier Mark as "new".
+  Generation generation() const { return base_ + log_.size(); }
+
+  /// Appends every event marked after generation `since` to `out`
+  /// (duplicates preserved; callers dedupe via bitmap, as ExecuteDelta
+  /// does). Returns false when `since` predates the compacted base —
+  /// the marks are gone and the caller must fall back to a full pass.
+  bool CollectSince(Generation since, std::vector<EventId>* out) const {
+    if (since < base_) return false;
+    for (size_t i = static_cast<size_t>(since - base_); i < log_.size(); ++i) {
+      out->push_back(log_[i]);
+    }
+    return true;
+  }
+
+  /// Drops every entry below generation `floor` (the minimum cursor
+  /// across live consumers). Generations are stable across compactions.
+  void CompactBelow(Generation floor) {
+    if (floor <= base_) return;
+    const size_t drop = static_cast<size_t>(
+        floor - base_ < log_.size() ? floor - base_ : log_.size());
+    log_.erase(log_.begin(), log_.begin() + drop);
+    base_ += drop;
+  }
+
+  /// Entries currently retained (diagnostics; shrinks on compaction).
+  size_t retained() const { return log_.size(); }
+
+ private:
+  Generation base_ = 0;
+  std::vector<EventId> log_;
+};
+
+}  // namespace incremental
+}  // namespace tud
+
+#endif  // TUD_INCREMENTAL_DIRTY_LOG_H_

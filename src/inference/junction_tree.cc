@@ -323,6 +323,7 @@ JunctionTreePlan JunctionTreePlan::BuildImpl(JunctionTreeAnalysis a,
       if (f.table == nullptr) {
         plan.var_factors_.push_back(VarFactor{
             f.event, static_cast<uint32_t>(BitOf(members, f.scope[0]))});
+        plan.var_factor_bag_.push_back(b);
         plan.num_events_ =
             std::max<size_t>(plan.num_events_, size_t{f.event} + 1);
         continue;
@@ -398,6 +399,14 @@ JunctionTreePlan JunctionTreePlan::BuildImpl(JunctionTreeAnalysis a,
                          (bag.k <= g_gather_max_k)
                      ? bag.k
                      : kOpGeneric;
+  }
+
+  // The rootward path index ExecuteDelta walks: bag -> parent bag id.
+  plan.parent_of_.assign(num_bags, kNone);
+  for (BagId b = 0; b < num_bags; ++b) {
+    if (td.parent(b) != kInvalidBag) {
+      plan.parent_of_[b] = static_cast<uint32_t>(td.parent(b));
+    }
   }
 
   // 5. Batch plans: locate each root's query bag and prune the downward
@@ -627,11 +636,9 @@ double JunctionTreePlan::Execute(const EventRegistry& registry,
   if (trivial_) return trivial_value_;
   TUD_CHECK(!batch_) << "single-root Execute on a batch plan";
 
-  // One bottom-up sum-product pass over the arena. Children have larger
-  // BagIds than parents, so descending id order is bottom-up; the
-  // scratch table is reused across the (many, mostly tiny) bags. With a
-  // caller scratch the arena allocation is amortised away entirely —
-  // the serving workers' steady state.
+  // One bottom-up sum-product pass over the arena. With a caller
+  // scratch the arena allocation is amortised away entirely — the
+  // serving workers' steady state.
   std::unique_ptr<double[]> owned;
   double* arena;
   if (scratch != nullptr) {
@@ -640,42 +647,166 @@ double JunctionTreePlan::Execute(const EventRegistry& registry,
     owned.reset(new double[arena_size_]);
     arena = owned.get();
   }
+  return ExecuteOnArena(registry, evidence, arena);
+}
+
+double JunctionTreePlan::UpStep(const Bag& bag, const double* vals,
+                                double* arena) const {
+  if (!bag.is_root) {
+    // Fused small-bag kernels: table build plus marginalisation in one
+    // step, every trip count a compile-time constant.
+    switch (bag.opcode) {
+      case 0:
+        UpStepK<0>(bag, vals, arena);
+        return 0.0;
+      case 1:
+        UpStepK<1>(bag, vals, arena);
+        return 0.0;
+      case 2:
+        UpStepK<2>(bag, vals, arena);
+        return 0.0;
+      case 3:
+        UpStepK<3>(bag, vals, arena);
+        return 0.0;
+      default:
+        break;
+    }
+    double* table = arena + scratch_off_;
+    ComputeBagTableGeneric(bag, vals, arena, table);
+    MarginalizeOut(bag, table, arena + bag.up_off);
+    return 0.0;
+  }
+  double* table = arena + scratch_off_;
+  ComputeBagTable(bag, vals, arena, table);
+  double total = 0.0;
+  const size_t size = size_t{1} << bag.k;
+  for (size_t i = 0; i < size; ++i) total += table[i];
+  return total;
+}
+
+double JunctionTreePlan::ExecuteOnArena(const EventRegistry& registry,
+                                        const Evidence& evidence,
+                                        double* arena) const {
+  // Children have larger BagIds than parents, so descending id order is
+  // bottom-up; the scratch table region is reused across the (many,
+  // mostly tiny) bags.
   double* vals = arena + vals_off_;
   ResolveVarValues(registry, evidence, vals);
-  double* table = arena + scratch_off_;
   for (uint32_t b = static_cast<uint32_t>(bags_.size()); b-- > 0;) {
     const Bag& bag = bags_[b];
-    if (!bag.is_root) {
-      // Fused small-bag kernels: table build plus marginalisation in
-      // one step, every trip count a compile-time constant.
-      switch (bag.opcode) {
-        case 0:
-          UpStepK<0>(bag, vals, arena);
-          continue;
-        case 1:
-          UpStepK<1>(bag, vals, arena);
-          continue;
-        case 2:
-          UpStepK<2>(bag, vals, arena);
-          continue;
-        case 3:
-          UpStepK<3>(bag, vals, arena);
-          continue;
-        default:
-          break;
-      }
-      ComputeBagTableGeneric(bag, vals, arena, table);
-      MarginalizeOut(bag, table, arena + bag.up_off);
-      continue;
-    }
-    ComputeBagTable(bag, vals, arena, table);
-    double total = 0.0;
-    const size_t size = size_t{1} << bag.k;
-    for (size_t i = 0; i < size; ++i) total += table[i];
-    return total;
+    const double total = UpStep(bag, vals, arena);
+    if (bag.is_root) return total;
   }
   TUD_CHECK(false) << "tree decomposition had no root bag";
   return 0.0;
+}
+
+double JunctionTreePlan::ExecuteDelta(const EventRegistry& registry,
+                                      const Evidence& evidence,
+                                      const std::vector<EventId>& dirty_events,
+                                      PlanDeltaState& state, EngineStats* stats,
+                                      double full_fraction) const {
+  if (trivial_) {
+    if (stats != nullptr) FillStats(stats);
+    return trivial_value_;
+  }
+  TUD_CHECK(!batch_) << "ExecuteDelta on a batch plan";
+
+  bool full = !state.valid || state.arena.size() != arena_size_ ||
+              state.evidence != evidence;
+  size_t recomputed = 0;
+  if (!full) {
+    double* arena = state.arena.data();
+    double* vals = arena + vals_off_;
+
+    // Mark the dirty events, skipping the ones pinned by evidence: a
+    // pinned factor reads 0/1 indicators, not the registry, so a
+    // probability change underneath a pin changes nothing.
+    state.dirty_events.assign(num_events_, 0);
+    for (EventId e : dirty_events) {
+      if (e >= num_events_) continue;
+      bool pinned = false;
+      for (const auto& [pe, pv] : evidence) {
+        if (pe == e) {
+          pinned = true;
+          break;
+        }
+      }
+      if (!pinned) state.dirty_events[e] = 1;
+    }
+
+    // Refresh the resolved value pairs of dirty factors; each factor
+    // whose values actually changed dirties its owning bag and the
+    // bag's whole path to the root (everything else reuses the stored
+    // messages — the recomputed bags read them through the arena just
+    // like a full pass would).
+    state.dirty_bags.assign(bags_.size(), 0);
+    size_t dirty_count = 0;
+    for (size_t i = 0; i < var_factors_.size(); ++i) {
+      const EventId e = var_factors_[i].event;
+      if (state.dirty_events[e] == 0) continue;
+      const double p = registry.probability(e);
+      const double v0 = 1.0 - p;
+      if (vals[2 * i] == v0 && vals[2 * i + 1] == p) continue;
+      vals[2 * i] = v0;
+      vals[2 * i + 1] = p;
+      uint32_t b = var_factor_bag_[i];
+      while (b != kNone && state.dirty_bags[b] == 0) {
+        state.dirty_bags[b] = 1;
+        ++dirty_count;
+        b = parent_of_[b];
+      }
+    }
+
+    if (dirty_count == 0) {
+      // No value actually moved: the stored pass is still exact.
+      ++state.delta_passes;
+      if (stats != nullptr) {
+        FillStats(stats);
+        stats->bags_visited = 0;
+      }
+      return state.result;
+    }
+    if (static_cast<double>(dirty_count) >
+        full_fraction * static_cast<double>(bags_.size())) {
+      // Most of the tree is dirty: one clean sweep beats repropagating
+      // it piecemeal.
+      full = true;
+    } else {
+      // Recompute only the dirty bags, bottom-up, with the exact same
+      // per-bag kernels as a full pass — every clean bag's message is
+      // bit-identical to what the full pass would recompute, so the
+      // result is too.
+      for (uint32_t b = static_cast<uint32_t>(bags_.size()); b-- > 0;) {
+        const Bag& bag = bags_[b];
+        if (bag.is_root) {
+          if (state.dirty_bags[b] != 0) {
+            state.result = UpStep(bag, vals, arena);
+            ++recomputed;
+          }
+          break;
+        }
+        if (state.dirty_bags[b] == 0) continue;
+        UpStep(bag, vals, arena);
+        ++recomputed;
+      }
+      ++state.delta_passes;
+      state.bags_recomputed += recomputed;
+      if (stats != nullptr) {
+        FillStats(stats);
+        stats->bags_visited = recomputed;
+      }
+      return state.result;
+    }
+  }
+
+  state.arena.resize(arena_size_);
+  state.result = ExecuteOnArena(registry, evidence, state.arena.data());
+  state.evidence = evidence;
+  state.valid = true;
+  ++state.full_passes;
+  if (stats != nullptr) FillStats(stats);
+  return state.result;
 }
 
 std::vector<double> JunctionTreePlan::ExecuteBatch(
@@ -991,6 +1122,32 @@ const JunctionTreePlan* ConcurrentPlanCache::GetOrBuild(
   }
   latch->cv.notify_all();
   return raw;
+}
+
+void ConcurrentPlanCache::Invalidate(GateId root) {
+  Shard& shard = ShardFor(root);
+  std::lock_guard<std::mutex> lock(shard.write_mu);
+  const Map* old = shard.published.load(std::memory_order_relaxed);
+  if (old == nullptr) return;
+  auto it = old->find(root);
+  if (it == old->end()) return;
+  auto next = std::make_unique<Map>(*old);
+  next->erase(root);
+  shard.published.store(next.release(), std::memory_order_release);
+  // Retire-not-free: the superseded snapshot (and, through its
+  // shared_ptr entries, the invalidated plan) stays alive for readers
+  // that already hold it; only new lookups miss.
+  shard.retired.emplace_back(old);
+}
+
+void ConcurrentPlanCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.write_mu);
+    const Map* old = shard.published.load(std::memory_order_relaxed);
+    if (old == nullptr) continue;
+    shard.published.store(nullptr, std::memory_order_release);
+    shard.retired.emplace_back(old);
+  }
 }
 
 size_t ConcurrentPlanCache::size() const {

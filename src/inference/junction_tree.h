@@ -40,6 +40,31 @@ class PlanScratch {
   size_t capacity_ = 0;
 };
 
+/// Persistent per-caller state for JunctionTreePlan::ExecuteDelta: the
+/// message arena of the last pass (every bag's upward message plus the
+/// resolved variable-factor values), the evidence that pass was computed
+/// under, and the running result. One state per (plan, caller) pair —
+/// the incremental session keeps one per registered query; it is not
+/// shared across threads. The pass counters let callers pin how often
+/// the delta path actually ran versus falling back to a full pass.
+struct PlanDeltaState {
+  bool valid = false;           ///< Arena holds a complete message pass.
+  std::vector<double> arena;    ///< Persistent copy of the Execute arena.
+  Evidence evidence;            ///< Evidence the arena was resolved under.
+  double result = 0.0;          ///< Root marginal of the last pass.
+
+  uint64_t full_passes = 0;     ///< Full repropagations (first run,
+                                ///< evidence change, threshold fallback).
+  uint64_t delta_passes = 0;    ///< Dirty-path repropagations.
+  uint64_t bags_recomputed = 0; ///< Bags recomputed by delta passes.
+
+  /// Scratch reused across delta calls (contents transient).
+  std::vector<uint8_t> dirty_bags;
+  std::vector<uint8_t> dirty_events;
+
+  void Reset() { *this = PlanDeltaState{}; }
+};
+
 /// The query-shape analysis every junction-tree plan starts from:
 /// extract the cone of the root(s), binarise it, build the primal graph
 /// of the factor scopes, and (on demand) compute the min-degree
@@ -167,6 +192,31 @@ class JunctionTreePlan {
                                    EngineStats* stats = nullptr,
                                    PlanScratch* scratch = nullptr) const;
 
+  /// Incremental re-evaluation after probability updates — the dirty-bag
+  /// repropagation path of the maintenance subsystem (incremental/).
+  ///
+  /// `dirty_events` lists events whose registry probability may have
+  /// changed since `state` was last filled (duplicates and events
+  /// outside the plan are fine). Only the bags owning a variable factor
+  /// on a dirty event, plus the bags on their paths to the root (the
+  /// per-plan bag -> parent index built at Build time), are recomputed;
+  /// every other bag's upward message is reused from `state`. The
+  /// recomputed bags run the exact same kernels as Execute, so the
+  /// result is bit-identical to a full Execute under the current
+  /// registry. Falls back to one full pass when `state` is cold, the
+  /// evidence differs from the state's, or the dirty frontier exceeds
+  /// `full_fraction` of the bags (repropagating most of the tree
+  /// piecemeal would cost more than one clean sweep).
+  ///
+  /// Single-root plans only. `state` is owned by the caller and must not
+  /// be shared across threads; the plan itself stays const and may be
+  /// shared. If `stats` is non-null, bags_visited receives the number of
+  /// bags actually recomputed.
+  double ExecuteDelta(const EventRegistry& registry, const Evidence& evidence,
+                      const std::vector<EventId>& dirty_events,
+                      PlanDeltaState& state, EngineStats* stats = nullptr,
+                      double full_fraction = 0.5) const;
+
   int width() const { return width_; }
   size_t num_bags() const { return bags_.size(); }
   /// Gates of the binarised (union) cone the plan covers.
@@ -271,6 +321,17 @@ class JunctionTreePlan {
   /// overridden by pinned evidence via a flat dense-EventId vector).
   void ResolveVarValues(const EventRegistry& registry,
                         const Evidence& evidence, double* vals) const;
+  /// The single-root upward pass over a caller-provided arena of
+  /// arena_size_ doubles (the shared body of Execute and the full-pass
+  /// leg of ExecuteDelta — the arena is left holding the complete
+  /// message pass, which is what ExecuteDelta persists).
+  double ExecuteOnArena(const EventRegistry& registry,
+                        const Evidence& evidence, double* arena) const;
+  /// One upward step of bag `b` on `arena` (the per-bag body shared by
+  /// the full pass and the dirty-bag recomputation; `vals` points at the
+  /// resolved var-factor pairs inside the same arena). Returns the root
+  /// marginal when `b` is the root, 0 otherwise.
+  double UpStep(const Bag& bag, const double* vals, double* arena) const;
 
   bool trivial_ = false;      ///< Cone folded to a constant.
   double trivial_value_ = 0;
@@ -284,6 +345,10 @@ class JunctionTreePlan {
   size_t vals_off_ = 0;       ///< Var-factor value pairs (2 per factor).
   size_t scratch_off_ = 0;    ///< Scratch table region (2 x 2^max_k).
   std::vector<Bag> bags_;     ///< Descending id order is bottom-up.
+  std::vector<uint32_t> parent_of_;       ///< Bag -> parent bag (kNone at
+                                          ///< root): the rootward path
+                                          ///< index ExecuteDelta walks.
+  std::vector<uint32_t> var_factor_bag_;  ///< Var factor -> owning bag.
   std::vector<VarFactor> var_factors_;
   std::vector<StaticFactor> static_factors_;
   std::vector<ChildEdge> children_;
@@ -332,6 +397,21 @@ class ConcurrentPlanCache {
 
   /// Lock-free probe: the cached plan, or nullptr without building.
   const JunctionTreePlan* Lookup(GateId root) const;
+
+  /// Drops the cached plan for `root`, if any, by republishing the
+  /// shard's map without it — the structural-update path: a patched
+  /// circuit can reuse a root gate id for different logic, so the stale
+  /// plan must not survive. The superseded snapshot is retired, not
+  /// freed, and a previously returned plan pointer stays valid for
+  /// in-flight readers (retire-not-free, as everywhere in this cache);
+  /// only *new* GetOrBuild calls see the invalidation. Does not cancel
+  /// an in-flight Build of the same root — the caller (the epoch
+  /// writer) must not race Invalidate against GetOrBuild for the root
+  /// being restructured.
+  void Invalidate(GateId root);
+
+  /// Invalidates every cached plan (all shards republish empty).
+  void Clear();
 
   /// Plans actually built (the thundering-herd pin: equals the number
   /// of distinct roots ever requested).

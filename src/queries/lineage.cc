@@ -231,8 +231,17 @@ DecomposedInstance DecomposeInstance(const Instance& instance) {
   const uint32_t n = static_cast<uint32_t>(instance.DomainSize());
   Graph gaifman(n);
   for (const auto& [a, b] : instance.GaifmanEdges()) gaifman.AddEdge(a, b);
+  return DecomposeInstanceWithOrder(instance, MinFillOrder(gaifman));
+}
 
-  std::vector<VertexId> order = MinFillOrder(gaifman);
+DecomposedInstance DecomposeInstanceWithOrder(const Instance& instance,
+                                              std::vector<VertexId> order) {
+  const uint32_t n = static_cast<uint32_t>(instance.DomainSize());
+  TUD_CHECK_EQ(order.size(), size_t{n})
+      << "elimination order must cover the instance domain";
+  Graph gaifman(n);
+  for (const auto& [a, b] : instance.GaifmanEdges()) gaifman.AddEdge(a, b);
+
   std::vector<uint32_t> position(n);
   for (uint32_t i = 0; i < n; ++i) position[order[i]] = i;
   std::vector<BagId> bag_of_vertex;
@@ -261,6 +270,7 @@ DecomposedInstance DecomposeInstance(const Instance& instance) {
     }
     result.facts_at_node[node].push_back(f);
   }
+  result.elimination_order = std::move(order);
   return result;
 }
 

@@ -63,8 +63,20 @@ struct DecomposedInstance {
   NiceTreeDecomposition ntd;
   std::vector<std::vector<FactId>> facts_at_node;
   int width = -1;
+  /// The elimination order the decomposition was mechanically derived
+  /// from — the handle the incremental layer repairs through: patching
+  /// this order and re-running FromEliminationOrder skips the expensive
+  /// order *search*, which is where DecomposeInstance spends its time.
+  std::vector<VertexId> elimination_order;
 };
 DecomposedInstance DecomposeInstance(const Instance& instance);
+
+/// As above from a caller-provided elimination order over the current
+/// domain (order.size() == instance.DomainSize()) — the decomposition
+/// repair path: only the mechanical order-to-decomposition derivation
+/// and the fact assignment run, no order search.
+DecomposedInstance DecomposeInstanceWithOrder(const Instance& instance,
+                                              std::vector<VertexId> order);
 
 }  // namespace tud
 

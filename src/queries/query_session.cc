@@ -61,6 +61,11 @@ GateId QuerySession::ReachabilityLineage(RelationId edge_relation,
       stats);
 }
 
+void QuerySession::UpdateProbability(EventId event, double probability) {
+  pcc_.events().set_probability(event, probability);
+  dirty_.Mark(event);
+}
+
 EngineResult QuerySession::Probability(GateId lineage,
                                        const Evidence& evidence) {
   return engine_->Estimate(pcc_.circuit(), lineage, pcc_.events(), evidence);

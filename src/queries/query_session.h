@@ -10,6 +10,7 @@
 
 #include "automata/automaton_expr.h"
 #include "automata/uncertain_tree.h"
+#include "incremental/dirty_log.h"
 #include "inference/engine.h"
 #include "queries/conjunctive_query.h"
 #include "queries/lineage.h"
@@ -66,6 +67,28 @@ class QuerySession {
   /// query of this session.
   const DecomposedInstance& Decomposition();
 
+  /// Probability update: overwrites the event's probability and marks
+  /// it in the session's dirty log, so incremental consumers
+  /// (IncrementalSession / JunctionTreePlan::ExecuteDelta) repropagate
+  /// only the affected messages on the next query. Existing lineage
+  /// gates, the decomposition, and cached plans all stay valid — a
+  /// probability change is purely numeric.
+  void UpdateProbability(EventId event, double probability);
+
+  /// The update log UpdateProbability appends to (consumers keep
+  /// generation cursors into it; see incremental/dirty_log.h).
+  incremental::DirtyLog& dirty_log() { return dirty_; }
+
+  /// True once Decomposition() (or ReplaceDecomposition) ran.
+  bool has_decomposition() const { return decomposition_.has_value(); }
+
+  /// Installs a repaired/rebuilt decomposition (the structural-update
+  /// path: IncrementalSession patches the stored elimination order and
+  /// swaps the result in; later lineage constructions use it).
+  void ReplaceDecomposition(DecomposedInstance decomposition) {
+    decomposition_ = std::move(decomposition);
+  }
+
   /// Lineage construction over the shared decomposition.
   GateId CqLineage(const ConjunctiveQuery& query,
                    LineageStats* stats = nullptr);
@@ -93,6 +116,7 @@ class QuerySession {
   PccInstance pcc_;
   std::unique_ptr<ProbabilityEngine> engine_;
   std::optional<DecomposedInstance> decomposition_;
+  incremental::DirtyLog dirty_;
 };
 
 /// The tree-shaped counterpart for automaton-defined queries: owns an

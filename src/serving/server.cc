@@ -187,5 +187,66 @@ const ConcurrentPlanCache& ServingSession::plan_cache() const {
   return *engine_.plan_cache();
 }
 
+// ---------------------------------------------------------------------------
+// EpochedServingSession
+// ---------------------------------------------------------------------------
+
+EpochedServingSession::EpochedServingSession(
+    const incremental::EpochManager& epochs, const ServingOptions& options)
+    : epochs_(&epochs), scheduler_(SchedulerOptions(options)) {}
+
+EngineResult EpochedServingSession::RunOne(size_t query_index,
+                                           const Evidence& evidence) const {
+  // One acquire load pins the whole epoch for this query: circuit,
+  // registry, plans, and roots are all read through `snap`, and the
+  // shared_ptr keeps the epoch alive even if the writer supersedes it
+  // mid-evaluation.
+  std::shared_ptr<const incremental::SessionSnapshot> snap =
+      epochs_->Current();
+  if (snap == nullptr) {
+    throw std::runtime_error(
+        "EpochedServingSession: no epoch published yet");
+  }
+  if (query_index >= snap->query_roots.size()) {
+    throw std::out_of_range(
+        "EpochedServingSession: query index not registered in this epoch");
+  }
+  const GateId root = snap->query_roots[query_index];
+  const JunctionTreePlan* plan = snap->plans->GetOrBuild(*snap->circuit, root);
+  EngineResult result;
+  plan->FillStats(&result.stats);
+  result.value =
+      plan->Execute(*snap->registry, evidence, TaskScheduler::CurrentScratch());
+  result.engine = "epoched_jt";
+  return result;
+}
+
+std::future<EngineResult> EpochedServingSession::Submit(size_t query_index,
+                                                        Evidence evidence) {
+  auto promise = std::make_shared<std::promise<EngineResult>>();
+  std::future<EngineResult> result = promise->get_future();
+  auto task = [this, promise, query_index,
+               evidence = std::move(evidence)]() mutable {
+    try {
+      promise->set_value(RunOne(query_index, evidence));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  };
+  if (!scheduler_.Submit(std::move(task))) {
+    promise->set_exception(std::make_exception_ptr(
+        std::runtime_error("EpochedServingSession: shutdown began before "
+                           "the query could be scheduled")));
+  }
+  return result;
+}
+
+EngineResult EpochedServingSession::Evaluate(size_t query_index,
+                                             const Evidence& evidence) {
+  return RunOne(query_index, evidence);
+}
+
+void EpochedServingSession::Drain() { scheduler_.Drain(); }
+
 }  // namespace serving
 }  // namespace tud

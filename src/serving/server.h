@@ -10,6 +10,7 @@
 
 #include "circuits/bool_circuit.h"
 #include "events/event_registry.h"
+#include "incremental/epoch.h"
 #include "inference/engine.h"
 #include "serving/scheduler.h"
 
@@ -146,6 +147,59 @@ class ServingSession {
 
   /// Last member: destroyed (drained + joined) first, while the engine
   /// and circuit its tasks use are still alive.
+  TaskScheduler scheduler_;
+};
+
+/// The serving front-end for *maintained* instances: answers queries
+/// against whatever epoch an IncrementalSession writer has most
+/// recently published, while the writer keeps applying updates and
+/// publishing new epochs concurrently.
+///
+/// Each query grabs the current SessionSnapshot exactly once (one
+/// acquire load) and evaluates entirely inside it — circuit, registry,
+/// plan cache, and query roots all come from the same snapshot, so a
+/// reader can never observe a half-updated state, no matter how many
+/// epochs the writer publishes mid-query. The snapshot's shared_ptr
+/// keeps a superseded epoch alive until its last in-flight reader
+/// drains (see incremental/epoch.h).
+///
+/// Queries are addressed by *registered query index* (the order of
+/// Register* calls on the IncrementalSession), not by gate id: gate ids
+/// are epoch-relative — a structural update can move a query to a new
+/// root — while the query index is stable across epochs.
+///
+/// At least one epoch must be published before the first query; the
+/// manager must outlive the session.
+class EpochedServingSession {
+ public:
+  explicit EpochedServingSession(const incremental::EpochManager& epochs,
+                                 const ServingOptions& options = {});
+  EpochedServingSession(const EpochedServingSession&) = delete;
+  EpochedServingSession& operator=(const EpochedServingSession&) = delete;
+  /// Drains in-flight queries, then stops the workers.
+  ~EpochedServingSession() = default;
+
+  /// Enqueues one query against the then-current epoch (the snapshot is
+  /// grabbed by the worker when the query runs). Thread-safe; blocks
+  /// only under backpressure. If the session is shutting down the
+  /// future resolves to a std::runtime_error.
+  std::future<EngineResult> Submit(size_t query_index, Evidence evidence = {});
+
+  /// Synchronous evaluation on the calling thread against the current
+  /// epoch.
+  EngineResult Evaluate(size_t query_index, const Evidence& evidence = {});
+
+  /// Blocks until every submitted query has resolved.
+  void Drain();
+
+  TaskScheduler& scheduler() { return scheduler_; }
+  unsigned num_threads() const { return scheduler_.num_threads(); }
+
+ private:
+  EngineResult RunOne(size_t query_index, const Evidence& evidence) const;
+
+  const incremental::EpochManager* epochs_;
+  /// Last member: destroyed (drained + joined) first.
   TaskScheduler scheduler_;
 };
 

@@ -7,16 +7,23 @@
 //  - a shared JunctionTreeEngine and a ServingSession return results
 //    *bit-identical* to sequential evaluation from 8 threads, for both
 //    the direct and the coalescing intake, with and without evidence;
-//  - the shared_pass batched route agrees to rounding.
+//  - the shared_pass batched route agrees to rounding;
+//  - an IncrementalSession writer publishing epochs races 7 reader
+//    threads without a reader ever observing a torn or stale-mixed
+//    snapshot (every answer matches some published epoch exactly).
 
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "incremental/epoch.h"
+#include "incremental/incremental_session.h"
 #include "inference/junction_tree.h"
 #include "queries/query_session.h"
 #include "serving/scheduler.h"
@@ -338,6 +345,107 @@ TEST(ServingConcurrencyTest, CoalescingBackpressureBlocksNotDrops) {
   serving.Drain();
   for (size_t q = 0; q < futures.size(); ++q)
     EXPECT_EQ(futures[q].get().value, p.expected[q]) << "query " << q;
+}
+
+// The epoch stress: one writer thread keeps updating probabilities and
+// publishing epochs through an EpochManager while 7 reader threads
+// serve queries off whatever epoch is current. Every reader answer must
+// be bit-identical to the full evaluation the writer recorded for the
+// epoch it read — a torn snapshot (plan from one epoch, registry from
+// another) would miss every recorded value. Run under TSan in CI.
+TEST(ServingConcurrencyTest, EpochPublicationStressEightThreads) {
+  constexpr uint32_t kRungs = 12;
+  constexpr uint64_t kEpochs = 30;
+  Rng gen(91);
+  TidInstance tid = workloads::LadderTid(gen, kRungs);
+  QuerySession session = QuerySession::FromCInstance(tid.ToPcInstance());
+  incremental::IncrementalSession inc(session);
+  const incremental::QueryId q0 =
+      inc.RegisterReachability(0, 0, 2 * kRungs - 2);
+  const incremental::QueryId q1 = inc.RegisterReachability(0, 1, 2 * kRungs - 3);
+
+  // expected[k][i]: the writer's own (single-threaded, bit-exact)
+  // answer for query i at epoch k, written before epoch k is published;
+  // the release-store inside Publish makes it visible to any reader
+  // that acquires epoch k.
+  incremental::EpochManager epochs;
+  std::vector<std::array<double, 2>> expected(kEpochs + 1, {0.0, 0.0});
+  std::atomic<uint64_t> last_published{0};
+  auto publish = [&](uint64_t k) {
+    expected[k][0] = inc.Probability(q0).value;
+    expected[k][1] = inc.Probability(q1).value;
+    // The frontier must advance BEFORE the snapshot becomes grabbable:
+    // a reader that serves epoch k and then loads the frontier must see
+    // a value >= k, or a perfectly correct answer looks unmatched.
+    last_published.store(k, std::memory_order_release);
+    ASSERT_EQ(inc.PublishSnapshot(epochs), k);
+  };
+  publish(1);  // Readers never see an empty manager.
+
+  serving::ServingOptions options;
+  options.num_threads = 2;
+  serving::EpochedServingSession serving(epochs, options);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  // 4 direct-manager readers: pin the exact epoch they grabbed.
+  for (unsigned t = 0; t < 4; ++t)
+    readers.emplace_back([&, t] {
+      const size_t query = t % 2;
+      while (!done.load(std::memory_order_acquire)) {
+        std::shared_ptr<const incremental::SessionSnapshot> snap =
+            epochs.Current();
+        ASSERT_NE(snap, nullptr);
+        EXPECT_EQ(snap->epoch, snap->epoch_check);  // Torn-publish canary.
+        const GateId root = snap->query_roots[query];
+        // PublishSnapshot prewarms every registered root.
+        const JunctionTreePlan* plan = snap->plans->Lookup(root);
+        ASSERT_NE(plan, nullptr);
+        EXPECT_EQ(plan->Execute(*snap->registry), expected[snap->epoch][query])
+            << "epoch " << snap->epoch;
+      }
+    });
+  // 3 serving-session readers: the snapshot is grabbed inside the
+  // worker, so the answer must match *some* already-published epoch.
+  for (unsigned t = 0; t < 3; ++t)
+    readers.emplace_back([&, t] {
+      const size_t query = t % 2;
+      while (!done.load(std::memory_order_acquire)) {
+        const double value = t == 0
+                                 ? serving.Evaluate(query).value
+                                 : serving.Submit(query).get().value;
+        const uint64_t frontier =
+            last_published.load(std::memory_order_acquire);
+        bool matched = false;
+        for (uint64_t k = 1; k <= frontier && !matched; ++k)
+          matched = value == expected[k][query];
+        EXPECT_TRUE(matched) << "value " << value << " matches no epoch <= "
+                             << frontier;
+      }
+    });
+
+  // The writer: epoch k moves a few probabilities deterministically,
+  // records the bit-exact answers, and publishes.
+  for (uint64_t k = 2; k <= kEpochs; ++k) {
+    const size_t num_events = session.pcc().events().size();
+    inc.UpdateProbability(static_cast<EventId>(k % num_events),
+                          0.05 + 0.9 * static_cast<double>(k) / kEpochs);
+    inc.UpdateProbability(static_cast<EventId>((3 * k) % num_events),
+                          0.95 - 0.9 * static_cast<double>(k) / kEpochs);
+    publish(k);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& thread : readers) thread.join();
+  serving.Drain();
+
+  // After the last publish, everyone agrees on the final epoch.
+  std::shared_ptr<const incremental::SessionSnapshot> final_snap =
+      epochs.Current();
+  ASSERT_NE(final_snap, nullptr);
+  EXPECT_EQ(final_snap->epoch, kEpochs);
+  EXPECT_EQ(serving.Evaluate(0).value, expected[kEpochs][0]);
+  EXPECT_EQ(serving.Evaluate(1).value, expected[kEpochs][1]);
+  EXPECT_EQ(inc.stats().epochs_published, kEpochs);
 }
 
 }  // namespace
