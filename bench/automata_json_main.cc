@@ -221,6 +221,35 @@ int Main(int argc, char** argv) {
     ladder_session.ProbabilityBatch(battery);
   });
 
+  // --- A 32-target reachability battery ("which of these vertices
+  // does the source reach?") on a path instance, compiled through the
+  // target-indexed connectivity DP so each chunk's lineages share one
+  // narrow cone: sequentially (one plan-cached pass per root) vs one
+  // ProbabilityBatch call, which the batch cost model routes through
+  // shared calibrating passes.
+  const uint32_t path_n = 96;
+  Rng path_rng(8);
+  TidInstance path_tid(edge_schema);
+  for (Value v = 0; v + 1 < path_n; ++v) {
+    path_tid.AddFact(0, {v, v + 1}, 0.5 + 0.45 * path_rng.UniformDouble());
+  }
+  QuerySession path_session = QuerySession::FromCInstance(
+      path_tid.ToPcInstance(),
+      std::make_unique<JunctionTreeEngine>(
+          /*seed_topological=*/false, /*cache_plans=*/true));
+  std::vector<Value> path_targets;
+  for (uint32_t k = 1; k <= 32; ++k) {
+    path_targets.push_back(static_cast<Value>((k * (path_n - 1)) / 32));
+  }
+  std::vector<GateId> path_battery =
+      path_session.ReachabilityLineageBatch(0, 0, path_targets);
+  harness.Register("batch/reachability32_sequential", [&] {
+    for (GateId g : path_battery) path_session.Probability(g);
+  });
+  harness.Register("batch/reachability32", [&] {
+    path_session.ProbabilityBatch(path_battery);
+  });
+
   std::vector<bench::BenchResult> results = harness.RunAll(min_ms);
   if (!bench::Harness::WriteJson(results, out)) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <numeric>
 #include <optional>
 #include <thread>
 
@@ -47,6 +49,77 @@ size_t CountConeEvents(const BoolCircuit& circuit, GateId root) {
     }
   }
   return count;
+}
+
+/// BuildImpl's hard cap on exact message passing (bags of up to 26
+/// vertices): a union whose min-degree estimate exceeds it cannot be
+/// built, so the cost model prices it as infinite. The built plan's
+/// width never exceeds the min-degree estimate (min-fill only replaces
+/// the order when strictly narrower), so gating on the estimate is safe.
+constexpr int kMaxExactMessagePassingWidth = 25;
+
+/// The Steiner-subtree grouping pass: partitions roots into groups whose
+/// cones overlap substantially, the middle path between all-shared and
+/// all-per-root. Greedy over roots in descending cone size: each root
+/// joins the existing group owning at least half of its cone's internal
+/// gates, else founds a new group, then claims its unowned gates. Only
+/// And/Or/Not gates count — structural hash-consing makes *every* pair
+/// of lineages over one instance share its event variable gates, so
+/// counting variables would glue unrelated cones into one group. The
+/// grouping is a heuristic proposal only: each multi-root group still
+/// has to win the cost comparison before a shared plan is built, so a
+/// misgrouping costs nothing but the probe.
+std::vector<std::vector<uint32_t>> GroupRootsByConeOverlap(
+    const BoolCircuit& circuit, const std::vector<GateId>& roots) {
+  const size_t n = roots.size();
+  std::vector<std::vector<GateId>> cones(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (GateId g : circuit.ReachableFrom(roots[i])) {
+      const GateKind kind = circuit.kind(g);
+      if (kind == GateKind::kAnd || kind == GateKind::kOr ||
+          kind == GateKind::kNot) {
+        cones[i].push_back(g);
+      }
+    }
+  }
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return cones[a].size() > cones[b].size();
+  });
+  std::vector<int32_t> owner(circuit.NumGates(), -1);
+  std::vector<std::vector<uint32_t>> groups;
+  std::vector<size_t> overlap;
+  for (uint32_t i : order) {
+    overlap.assign(groups.size(), 0);
+    for (GateId g : cones[i]) {
+      if (owner[g] >= 0) ++overlap[owner[g]];
+    }
+    int32_t best = -1;
+    size_t best_overlap = 0;
+    for (size_t j = 0; j < groups.size(); ++j) {
+      if (overlap[j] > best_overlap) {
+        best_overlap = overlap[j];
+        best = static_cast<int32_t>(j);
+      }
+    }
+    if (best < 0 || best_overlap * 2 < cones[i].size()) {
+      best = static_cast<int32_t>(groups.size());
+      groups.emplace_back();
+    }
+    groups[best].push_back(i);
+    for (GateId g : cones[i]) {
+      if (owner[g] < 0) owner[g] = best;
+    }
+  }
+  // Deterministic output independent of the claim order.
+  for (std::vector<uint32_t>& group : groups) {
+    std::sort(group.begin(), group.end());
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const std::vector<uint32_t>& a,
+               const std::vector<uint32_t>& b) { return a[0] < b[0]; });
+  return groups;
 }
 
 }  // namespace
@@ -200,15 +273,24 @@ std::vector<EngineResult> JunctionTreeEngine::EstimateBatch(
     return results;
   }
 
-  // Shared pass only when the union decomposition stays narrow: roots
-  // whose cones overlap heavily (sub-lineages of one query, boolean
-  // combinations over common bases) share one calibrating pass, while
-  // multi-track unions — cones coupled only through their event
-  // variables, whose widths add up — fall back to per-root cached
-  // plans, which is exactly the sequential cost, never worse.
-  constexpr int kSharedBatchMaxWidth = 12;
-  std::shared_ptr<const JunctionTreePlan> plan;  // null = per-root.
-  bool decided = false;
+  // The batch cost model (see the class comment): canonicalize the
+  // battery, look the decision up, decide on a miss (whole-set cost
+  // comparison, then the cone-overlap grouping pass), execute each
+  // group's shared plan or per-root fallback, and scatter the results
+  // back to caller order.
+
+  // Canonical key: sorted + deduped, with a remap back to caller order —
+  // a permuted or duplicated battery is the same battery.
+  std::vector<GateId> key(roots);
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+  std::vector<size_t> slot_of(roots.size());
+  for (size_t i = 0; i < roots.size(); ++i) {
+    slot_of[i] = static_cast<size_t>(
+        std::lower_bound(key.begin(), key.end(), roots[i]) - key.begin());
+  }
+
+  std::shared_ptr<const CachedBatchPlan> decision;
   if (cache_plans_) {
     BindCircuit(circuit);
     for (GateId root : roots) TUD_CHECK_LT(root, circuit.NumGates());
@@ -216,64 +298,172 @@ std::vector<EngineResult> JunctionTreeEngine::EstimateBatch(
     std::shared_ptr<const BatchMap> snapshot =
         batch_published_.load(std::memory_order_acquire);
     if (snapshot != nullptr) {
-      auto it = snapshot->find(roots);
+      auto it = snapshot->find(key);
       if (it != snapshot->end()) {
         // Root-kind revalidation on every hit, as for single plans: it
         // guards the case pointer identity cannot (the bound circuit was
         // destroyed and another reallocated at the same address).
-        for (size_t i = 0; i < roots.size(); ++i) {
-          TUD_CHECK(it->second.root_kinds[i] == circuit.kind(roots[i]))
+        for (size_t i = 0; i < key.size(); ++i) {
+          TUD_CHECK(it->second.root_kinds[i] == circuit.kind(key[i]))
               << "cached batch plan does not match the circuit it is "
                  "executed against";
         }
-        plan = it->second.plan;
-        decided = true;
+        // Aliasing shared_ptr: the entry lives as long as its snapshot.
+        decision =
+            std::shared_ptr<const CachedBatchPlan>(snapshot, &it->second);
       }
     }
   }
-  if (!decided) {
-    JunctionTreeAnalysis analysis =
-        JunctionTreeAnalysis::AnalyzeBatch(circuit, roots);
-    if (analysis.trivial() ||
-        analysis.MinDegreeWidth() <= kSharedBatchMaxWidth) {
-      plan = std::make_shared<const JunctionTreePlan>(
-          JunctionTreePlan::BuildBatch(std::move(analysis),
-                                       seed_topological_));
-    }
+  if (decision == nullptr) {
+    auto built = std::make_shared<CachedBatchPlan>(DecideBatch(circuit, key));
+    batch_builds_.fetch_add(1, std::memory_order_relaxed);
+    built->root_kinds.reserve(key.size());
+    for (GateId root : key) built->root_kinds.push_back(circuit.kind(root));
     if (cache_plans_) {
       // Copy-on-write publication under the writer mutex. Concurrent
       // misses for the same new root set may both build; one insert
       // wins, the other becomes the winner's value — benign, identical
       // plans.
-      std::vector<GateKind> kinds;
-      kinds.reserve(roots.size());
-      for (GateId root : roots) kinds.push_back(circuit.kind(root));
       std::lock_guard<std::mutex> lock(batch_mu_);
       std::shared_ptr<const BatchMap> old =
           batch_published_.load(std::memory_order_relaxed);
-      auto next = old != nullptr && old->size() < kMaxBatchPlans
-                      ? std::make_shared<BatchMap>(*old)
-                      : std::make_shared<BatchMap>();
-      next->insert_or_assign(roots, CachedBatchPlan{plan, std::move(kinds)});
+      auto next = old != nullptr ? std::make_shared<BatchMap>(*old)
+                                 : std::make_shared<BatchMap>();
+      if (next->size() >= kMaxBatchPlans && next->find(key) == next->end()) {
+        // FIFO eviction: drop only the oldest entry (smallest insertion
+        // seq) — hot batteries survive cache pressure instead of the
+        // whole memo being wiped.
+        auto victim = next->begin();
+        for (auto it = std::next(next->begin()); it != next->end(); ++it) {
+          if (it->second.seq < victim->second.seq) victim = it;
+        }
+        next->erase(victim);
+      }
+      built->seq = ++batch_seq_;
+      next->insert_or_assign(key, *built);
       batch_published_.store(std::move(next), std::memory_order_release);
     }
+    decision = std::move(built);
   }
-  if (plan == nullptr) {
-    // Wide union: per-root cached plans at exactly the sequential cost
-    // — the base-class loop over Estimate.
-    return ProbabilityEngine::EstimateBatch(circuit, roots, registry,
-                                            evidence);
+
+  // Execute every group into canonical slots, then map back to caller
+  // order (duplicates land on the same canonical result).
+  std::vector<EngineResult> canonical(key.size());
+  for (const BatchGroup& group : decision->groups) {
+    if (group.plan != nullptr) {
+      EngineStats group_stats;
+      group.plan->FillStats(&group_stats);
+      std::vector<double> values = group.plan->ExecuteBatch(
+          registry, evidence, &group_stats, ThreadScratch());
+      for (size_t j = 0; j < group.members.size(); ++j) {
+        EngineResult& r = canonical[group.members[j]];
+        r.engine = name();
+        r.value = values[j];
+        r.stats = group_stats;
+      }
+    } else {
+      // Per-root members: cached plans at exactly the sequential cost.
+      for (uint32_t m : group.members) {
+        canonical[m] = Estimate(circuit, key[m], registry, evidence);
+      }
+    }
   }
-  EngineStats batch_stats;
-  plan->FillStats(&batch_stats);
-  std::vector<double> values =
-      plan->ExecuteBatch(registry, evidence, &batch_stats, ThreadScratch());
   for (size_t i = 0; i < roots.size(); ++i) {
-    results[i].engine = name();
-    results[i].value = values[i];
-    results[i].stats = batch_stats;
+    results[i] = canonical[slot_of[i]];
+    EngineStats& s = results[i].stats;
+    s.batch_size = roots.size();
+    s.batch_path = decision->path;
+    s.batch_shared_cost = decision->shared_cost;
+    s.batch_per_root_cost = decision->per_root_cost;
+    s.batch_groups = decision->groups.size();
   }
   return results;
+}
+
+JunctionTreeEngine::CachedBatchPlan JunctionTreeEngine::DecideBatch(
+    const BoolCircuit& circuit, const std::vector<GateId>& roots) const {
+  CachedBatchPlan decision;
+  const size_t n = roots.size();
+  constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
+
+  // The per-root side of the comparison: one upward sweep each over the
+  // root's own min-degree decomposition.
+  std::vector<double> root_cost(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    root_cost[i] =
+        JunctionTreeAnalysis::Analyze(circuit, roots[i]).TableCost();
+    decision.per_root_cost += root_cost[i];
+  }
+
+  if (n == 1) {
+    // A battery of one: the shared pass costs two sweeps where the
+    // per-root plan costs one; no decision to make.
+    decision.shared_cost = 2.0 * root_cost[0];
+    decision.path = BatchPath::kPerRoot;
+    decision.groups.push_back(BatchGroup{{0}, nullptr});
+    return decision;
+  }
+
+  // The shared side: a calibrating upward plus a pruned downward sweep
+  // over the union cone's decomposition — a union too wide for exact
+  // message passing is infinitely expensive.
+  JunctionTreeAnalysis union_analysis =
+      JunctionTreeAnalysis::AnalyzeBatch(circuit, roots);
+  const bool union_fits =
+      union_analysis.trivial() ||
+      union_analysis.MinDegreeWidth() <= kMaxExactMessagePassingWidth;
+  decision.shared_cost =
+      union_fits ? 2.0 * union_analysis.TableCost() : kInfiniteCost;
+  if (decision.shared_cost <= decision.per_root_cost) {
+    BatchGroup all;
+    all.members.resize(n);
+    std::iota(all.members.begin(), all.members.end(), 0u);
+    all.plan = std::make_shared<const JunctionTreePlan>(
+        JunctionTreePlan::BuildBatch(std::move(union_analysis),
+                                     seed_topological_));
+    decision.groups.push_back(std::move(all));
+    decision.path = BatchPath::kShared;
+    return decision;
+  }
+
+  // The whole set loses: propose cone-overlap groups and run the same
+  // comparison per group — the middle path between all-shared and
+  // all-per-root.
+  bool any_shared = false;
+  for (std::vector<uint32_t>& members :
+       GroupRootsByConeOverlap(circuit, roots)) {
+    BatchGroup group;
+    group.members = std::move(members);
+    if (group.members.size() > 1) {
+      std::vector<GateId> subset;
+      subset.reserve(group.members.size());
+      double sequential = 0;
+      for (uint32_t m : group.members) {
+        subset.push_back(roots[m]);
+        sequential += root_cost[m];
+      }
+      JunctionTreeAnalysis group_analysis =
+          JunctionTreeAnalysis::AnalyzeBatch(circuit, subset);
+      const bool fits =
+          group_analysis.trivial() ||
+          group_analysis.MinDegreeWidth() <= kMaxExactMessagePassingWidth;
+      if (fits && 2.0 * group_analysis.TableCost() <= sequential) {
+        group.plan = std::make_shared<const JunctionTreePlan>(
+            JunctionTreePlan::BuildBatch(std::move(group_analysis),
+                                         seed_topological_));
+        any_shared = true;
+      }
+    }
+    decision.groups.push_back(std::move(group));
+  }
+  decision.path = any_shared ? BatchPath::kGrouped : BatchPath::kPerRoot;
+  return decision;
+}
+
+size_t JunctionTreeEngine::batch_cache_size() const {
+  std::shared_ptr<const BatchMap> snapshot =
+      batch_published_.load(std::memory_order_acquire);
+  return snapshot == nullptr ? 0 : snapshot->size();
 }
 
 EngineResult BddEngine::Estimate(const BoolCircuit& circuit, GateId root,

@@ -24,6 +24,15 @@ class ConcurrentPlanCache;
 /// contributing no probability weight.
 using Evidence = std::vector<std::pair<EventId, bool>>;
 
+/// How JunctionTreeEngine::EstimateBatch served a battery (the cost
+/// model's decision; see EstimateBatch).
+enum class BatchPath : uint8_t {
+  kNone = 0,     ///< Not a batched run (or a non-JT engine).
+  kShared = 1,   ///< One shared calibrating pass over the union cone.
+  kGrouped = 2,  ///< Cone-overlap groups, each shared or per-root.
+  kPerRoot = 3,  ///< Per-root cached plans (the sequential cost).
+};
+
 /// Diagnostics shared by every inference engine. One struct instead of
 /// the former JunctionTreeStats / HybridResult / ad-hoc sampling
 /// counters: each engine fills the fields that apply to it and leaves
@@ -44,6 +53,20 @@ struct EngineStats {
                             ///< upward plus the pruned downward sweep
                             ///< for batched runs.
   size_t max_table = 0;    ///< Largest bag table (entries) touched.
+
+  // Batch cost-model diagnostics (JunctionTreeEngine::EstimateBatch;
+  // identical on every result of one batched call).
+  BatchPath batch_path = BatchPath::kNone;  ///< Decision actually taken.
+  double batch_shared_cost = 0;    ///< 2 x Σ 2^|bag| of the whole-set
+                                   ///< union plan (up + pruned down
+                                   ///< sweep); infinity when the union
+                                   ///< is too wide for exact passing.
+  double batch_per_root_cost = 0;  ///< Σ over roots of the per-root
+                                   ///< Σ 2^|bag| (one upward sweep each).
+  size_t batch_groups = 0;  ///< Executed groups: 1 for kShared; otherwise
+                            ///< the size of the cone-overlap partition
+                            ///< (whether each group batched or fell back
+                            ///< per root).
 };
 
 /// The uniform answer shape of every engine.
@@ -106,14 +129,24 @@ class ExhaustiveEngine : public ProbabilityEngine {
 /// append-only: it is only sound while the engine is used against one
 /// circuit object, which the first Estimate() call pins (checked).
 ///
-/// EstimateBatch answers a set of roots adaptively: when the union
-/// cone's decomposition stays narrow (roots that share structure —
-/// sub-lineages of one query, combinations over common bases) a single
-/// calibrating message pass over one shared decomposition answers every
-/// root; when the union is wide (cones coupled only through their event
-/// variables, whose widths add up) it falls back to per-root cached
-/// plans at exactly the sequential cost. The decision and the batch
-/// plan are memoised per root set under `cache_plans`. With
+/// EstimateBatch answers a set of roots adaptively, on a *cost model*
+/// rather than a width threshold: the union plan's table-entry count
+/// (2 x Σ 2^|bag| of its min-degree decomposition — one calibrating up
+/// + pruned down pass) is compared against the summed per-root counts
+/// (one upward sweep each), and the shared pass runs only when it wins.
+/// Roots that share structure — sub-lineages of one query, combinations
+/// over common bases, a target-indexed reachability battery — win; when
+/// the whole set loses (multi-track unions: cones coupled only through
+/// their event variables, whose widths add up), a cone-overlap grouping
+/// pass partitions the roots into subsets whose cones share gates and
+/// applies the same cost comparison per group, so a battery of several
+/// internally-shared clusters still amortises; roots left alone execute
+/// their cached per-root plans at exactly the sequential cost. Both
+/// cost numbers, the decision, and the executed group count land in
+/// every result's EngineStats. The decision (with its built plans) is
+/// memoised per *canonical* root set — sorted and deduped, so permuted
+/// or duplicated batteries hit the same entry, with results mapped back
+/// to caller order — and evicted FIFO past kMaxBatchPlans. With
 /// `batch_threads > 1` it always executes per-root cached plans across
 /// that many threads instead.
 ///
@@ -152,6 +185,15 @@ class JunctionTreeEngine : public ProbabilityEngine {
   /// Exposes builds()/size() for the build-once tests and stats.
   const ConcurrentPlanCache* plan_cache() const { return cache_.get(); }
 
+  /// Batch decisions actually built (= misses of the batch memo): the
+  /// test hook pinning that permuted batteries hit the canonical entry
+  /// and that hot batteries survive FIFO eviction.
+  uint64_t batch_builds() const {
+    return batch_builds_.load(std::memory_order_relaxed);
+  }
+  /// Entries currently published in the batch memo.
+  size_t batch_cache_size() const;
+
  private:
   /// Pins the engine to its first circuit (plan caching is only sound
   /// against one append-only circuit object). Thread-safe: an atomic
@@ -167,24 +209,49 @@ class JunctionTreeEngine : public ProbabilityEngine {
   /// The concurrent per-root memo (constructed iff cache_plans; held by
   /// pointer because junction_tree.h includes this header).
   std::unique_ptr<ConcurrentPlanCache> cache_;
-  struct CachedBatchPlan {
+  /// One executed unit of a batch decision: a subset of the canonical
+  /// root set, served by one shared BuildBatch plan (or per-root cached
+  /// plans when `plan` is null).
+  struct BatchGroup {
+    std::vector<uint32_t> members;  ///< Indices into the canonical roots.
     std::shared_ptr<const JunctionTreePlan> plan;  ///< null = per-root.
-    std::vector<GateKind> root_kinds;  ///< Revalidated on every hit, like
-                                       ///< the per-root cache's kinds.
   };
-  /// Batch plans memoised per exact root sequence (ordered map: root
-  /// vectors are short and sessions reissue identical batches), as an
-  /// immutable snapshot published through an atomic shared_ptr:
-  /// lock-free lookup, copy-on-write insertion under batch_mu_. Unlike
-  /// the per-root cache there is no build-once latch — two threads
-  /// missing the same new root set may both build it and one copy wins,
-  /// which is benign (identical plans) and keeps the hot read path
-  /// untouched. Reset wholesale past kMaxBatchPlans so varying batches
-  /// cannot grow it without bound.
+  /// A memoised batch decision: the cost-model numbers, the chosen path,
+  /// and the group plans to execute.
+  struct CachedBatchPlan {
+    std::vector<BatchGroup> groups;
+    std::vector<GateKind> root_kinds;  ///< Revalidated on every hit, like
+                                       ///< the per-root cache's kinds
+                                       ///< (canonical order).
+    double shared_cost = 0;    ///< EngineStats::batch_shared_cost.
+    double per_root_cost = 0;  ///< EngineStats::batch_per_root_cost.
+    BatchPath path = BatchPath::kPerRoot;
+    uint64_t seq = 0;  ///< Insertion order, for FIFO eviction.
+  };
+  /// Batch decisions memoised per *canonical* root set (sorted +
+  /// deduped — permuted or duplicated batteries hit one entry; ordered
+  /// map: root vectors are short and sessions reissue identical
+  /// batches), as an immutable snapshot published through an atomic
+  /// shared_ptr: lock-free lookup, copy-on-write insertion under
+  /// batch_mu_. Unlike the per-root cache there is no build-once latch
+  /// — two threads missing the same new root set may both build it and
+  /// one copy wins, which is benign (identical plans) and keeps the hot
+  /// read path untouched. Past kMaxBatchPlans the entry with the
+  /// smallest insertion seq is evicted (FIFO), so varying batches
+  /// cannot grow the memo without bound while hot batteries survive.
   using BatchMap = std::map<std::vector<GateId>, CachedBatchPlan>;
   static constexpr size_t kMaxBatchPlans = 64;
+
+  /// Runs the cost model (and, when the whole set loses, the
+  /// cone-overlap grouping pass) over the canonical root set and builds
+  /// the group plans. Pure function of (circuit, roots); no memo access.
+  CachedBatchPlan DecideBatch(const BoolCircuit& circuit,
+                              const std::vector<GateId>& roots) const;
+
   std::atomic<std::shared_ptr<const BatchMap>> batch_published_{nullptr};
   std::mutex batch_mu_;
+  uint64_t batch_seq_ = 0;  ///< Guarded by batch_mu_.
+  std::atomic<uint64_t> batch_builds_{0};
 };
 
 /// Exact, by OBDD compilation + weighted model counting (the

@@ -109,10 +109,17 @@ JunctionTreeAnalysis JunctionTreeAnalysis::AnalyzeBatch(
 int JunctionTreeAnalysis::MinDegreeWidth() {
   if (!has_min_degree_) {
     md_order_ = CircuitMinDegreeOrder(graph_);
-    md_width_ = static_cast<int>(EliminationWidth(graph_, md_order_));
+    md_width_ = static_cast<int>(
+        EliminationWidthAndCost(graph_, md_order_, &md_cost_));
     has_min_degree_ = true;
   }
   return md_width_;
+}
+
+double JunctionTreeAnalysis::TableCost() {
+  if (trivial()) return 0;
+  MinDegreeWidth();  // Computes and caches md_cost_ alongside the width.
+  return md_cost_;
 }
 
 // ---------------------------------------------------------------------------

@@ -92,6 +92,16 @@ class JunctionTreeAnalysis {
   /// when the plan is subsequently built from this analysis.
   int MinDegreeWidth();
 
+  /// Σ 2^|bag| over the decomposition the min-degree order derives: the
+  /// table-entry count of one message pass, the batch planner's cost
+  /// unit (computed alongside MinDegreeWidth, so probing both costs one
+  /// sweep). An estimate: Build may fall back to min-fill (or accept a
+  /// topological seed) when min-degree comes out wide, in which case the
+  /// executed plan's profile differs — the cost model only needs
+  /// relative magnitudes, where the min-degree profile is a faithful
+  /// proxy. 0 for trivial analyses.
+  double TableCost();
+
   /// True if every root folded to a constant (no message passing
   /// needed).
   bool trivial() const { return num_vertices() == 0; }
@@ -112,6 +122,7 @@ class JunctionTreeAnalysis {
   bool has_min_degree_ = false;
   std::vector<VertexId> md_order_;
   int md_width_ = 0;
+  double md_cost_ = 0;  ///< Σ 2^|bag| of the min-degree decomposition.
 };
 
 /// A compiled message-passing plan for one lineage gate — the paper's

@@ -1,5 +1,6 @@
 #include "queries/query_session.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "automata/provenance_run.h"
@@ -59,6 +60,68 @@ GateId QuerySession::ReachabilityLineage(RelationId edge_relation,
   return ComputeReachabilityLineageOnDecomposition(
       pcc_, edge_relation, source, target, dec.ntd, dec.facts_at_node,
       stats);
+}
+
+std::vector<GateId> QuerySession::ReachabilityLineageBatch(
+    RelationId edge_relation, Value source, const std::vector<Value>& targets,
+    LineageStats* stats) {
+  const DecomposedInstance& dec = Decomposition();
+  if (stats != nullptr) *stats = LineageStats{};
+  std::vector<GateId> result;
+  result.reserve(targets.size());
+  // The joint DP tracks, per state, a block assignment for every
+  // pending target — its state count (and with it the treewidth of the
+  // emitted lineage circuit, which is what the probability pass pays
+  // for) grows roughly like (blocks+1)^pending, with the block count
+  // bounded by the instance decomposition's width. Batching many
+  // targets per DP is therefore only profitable on near-path encodings;
+  // on wider instances the chunk size backs off toward the
+  // single-target DP, whose circuits stay narrow.
+  const int width = dec.ntd.Width();
+  size_t per_dp = kMaxReachabilityTargetsPerDp;
+  if (width == 2) {
+    per_dp = 4;
+  } else if (width == 3) {
+    per_dp = 2;
+  } else if (width >= 4) {
+    per_dp = 1;
+  }
+  // Chunk by *distinct non-trivial* targets: trivial entries (source
+  // itself, out-of-domain values) and duplicates do not consume DP
+  // capacity.
+  size_t begin = 0;
+  while (begin < targets.size()) {
+    std::vector<Value> chunk;
+    std::vector<Value> distinct;
+    size_t end = begin;
+    const size_t domain = pcc_.instance().DomainSize();
+    while (end < targets.size()) {
+      const Value t = targets[end];
+      const bool trivial = t == source || t >= domain || source >= domain;
+      if (!trivial &&
+          std::find(distinct.begin(), distinct.end(), t) == distinct.end()) {
+        if (distinct.size() == per_dp) break;
+        distinct.push_back(t);
+      }
+      chunk.push_back(t);
+      ++end;
+    }
+    LineageStats chunk_stats;
+    std::vector<GateId> gates =
+        ComputeMultiTargetReachabilityLineageOnDecomposition(
+            pcc_, edge_relation, source, chunk, dec.ntd, dec.facts_at_node,
+            stats != nullptr ? &chunk_stats : nullptr);
+    result.insert(result.end(), gates.begin(), gates.end());
+    if (stats != nullptr) {
+      stats->decomposition_width = chunk_stats.decomposition_width;
+      stats->num_nice_nodes = chunk_stats.num_nice_nodes;
+      stats->total_states += chunk_stats.total_states;
+      stats->max_states_per_node = std::max(stats->max_states_per_node,
+                                            chunk_stats.max_states_per_node);
+    }
+    begin = end;
+  }
+  return result;
 }
 
 void QuerySession::UpdateProbability(EventId event, double probability) {

@@ -97,6 +97,23 @@ class QuerySession {
   GateId ReachabilityLineage(RelationId edge_relation, Value source,
                              Value target, LineageStats* stats = nullptr);
 
+  /// Lineages for a whole battery of targets from one source, via the
+  /// target-indexed connectivity DP: each chunk's lineages share one
+  /// cone instead of per-target independent DP tracks, which is what
+  /// lets ProbabilityBatch serve the battery in shared calibrating
+  /// passes (see the batch cost model in inference/engine.h). The chunk
+  /// size adapts to the instance decomposition's width — up to
+  /// kMaxReachabilityTargetsPerDp targets per DP on path-like
+  /// encodings, backing off to the single-target DP on wide instances,
+  /// where jointly-tracked targets would blow up the DP state count and
+  /// with it the emitted circuit's treewidth. Returns one gate per
+  /// target, in input order. `stats` accumulates over chunks
+  /// (width/nodes from the last chunk).
+  std::vector<GateId> ReachabilityLineageBatch(RelationId edge_relation,
+                                               Value source,
+                                               const std::vector<Value>& targets,
+                                               LineageStats* stats = nullptr);
+
   /// P(lineage | evidence) via the session's engine.
   EngineResult Probability(GateId lineage, const Evidence& evidence = {});
 

@@ -48,6 +48,46 @@ GateId ComputeReachabilityLineageOnDecomposition(
     const std::vector<std::vector<FactId>>& facts_at_node,
     LineageStats* stats = nullptr);
 
+/// At most this many targets per target-indexed DP call: the per-target
+/// block assignment packs into 4 bits per target of one key word.
+/// QuerySession::ReachabilityLineageBatch chunks larger batteries.
+inline constexpr size_t kMaxReachabilityTargetsPerDp = 16;
+
+/// Target-indexed batch variant: lineages of "target_i reachable from
+/// `source`" for a whole battery of targets out of ONE connectivity DP.
+///
+/// Running the single-target DP once per target yields circuits that
+/// share only their event variables, so the union cone of a battery is
+/// multi-track — its decomposition width is roughly the per-target
+/// widths *added*, which forces the batch planner's per-root fallback
+/// (ROADMAP: width 33 vs 10 per root on a ladder). Here one DP carries
+/// all targets: the state is the bag partition with a source flag per
+/// block plus, per still-pending target, the block its component
+/// currently touches (4 bits each, hence the 16-target cap). There is no
+/// absorbing done state — when a transition first merges a pending
+/// target's block with the source's, the derivation gate is emitted as a
+/// *witness* into that target's OR accumulator and the target is
+/// dropped from the state (monotonicity makes the OR of witnesses the
+/// exact lineage), so the state space never indexes the 2^T set of
+/// already-connected targets. The resulting battery of gates shares one
+/// narrow cone, and `EstimateBatch` serves it in a single shared pass.
+///
+/// Returns one gate per entry of `targets`, in input order (duplicates
+/// allowed; `source == target` yields const-true, out-of-domain targets
+/// const-false). Requires `targets.size() <= kMaxReachabilityTargetsPerDp`
+/// non-trivial distinct targets.
+std::vector<GateId> ComputeMultiTargetReachabilityLineageOnDecomposition(
+    PccInstance& pcc, RelationId edge_relation, Value source,
+    const std::vector<Value>& targets, const NiceTreeDecomposition& ntd,
+    const std::vector<std::vector<FactId>>& facts_at_node,
+    LineageStats* stats = nullptr);
+
+/// Convenience wrapper deriving the decomposition itself (tests, one-off
+/// batteries).
+std::vector<GateId> ComputeMultiTargetReachabilityLineage(
+    PccInstance& pcc, RelationId edge_relation, Value source,
+    const std::vector<Value>& targets, LineageStats* stats = nullptr);
+
 /// Ground-truth evaluation on a certain instance (BFS over present
 /// edges); used by tests and the per-world cross-validation.
 bool EvaluateReachability(const Instance& instance, RelationId edge_relation,

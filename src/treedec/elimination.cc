@@ -205,13 +205,25 @@ std::vector<VertexId> CircuitMinDegreeOrder(const Graph& graph) {
 
 uint32_t EliminationWidth(const Graph& graph,
                           const std::vector<VertexId>& order) {
+  return EliminationWidthAndCost(graph, order, nullptr);
+}
+
+uint32_t EliminationWidthAndCost(const Graph& graph,
+                                 const std::vector<VertexId>& order,
+                                 double* table_cost) {
   TUD_CHECK_EQ(order.size(), graph.NumVertices());
   SparseEliminationGraph work(graph);
   uint32_t width = 0;
+  double cost = 0;
   for (VertexId v : order) {
-    width = std::max(width, work.Degree(v));
+    const uint32_t degree = work.Degree(v);
+    width = std::max(width, degree);
+    // The bag of v is v plus its current (filled) neighborhood.
+    const uint32_t bits = std::min(degree + 1, kEliminationCostCapBits);
+    cost += static_cast<double>(uint64_t{1} << bits);
     work.Eliminate(v);
   }
+  if (table_cost != nullptr) *table_cost = cost;
   return width;
 }
 

@@ -42,6 +42,19 @@ std::vector<VertexId> CircuitMinDegreeOrder(const Graph& graph);
 uint32_t EliminationWidth(const Graph& graph,
                           const std::vector<VertexId>& order);
 
+/// As EliminationWidth, additionally accumulating Σ_v 2^(deg(v)+1) into
+/// `*table_cost` — the total table-entry count of the decomposition the
+/// order derives (each eliminated vertex's bag is its closed filled
+/// neighborhood), i.e. the work of one message pass over it. This is the
+/// unit of the batch planner's shared-vs-per-root cost model. Degrees at
+/// or above `kEliminationCostCapBits` saturate to 2^kEliminationCostCapBits
+/// per bag so pathological orders cannot overflow the double's dynamic
+/// range; any such order is far past exact-inference feasibility anyway.
+inline constexpr uint32_t kEliminationCostCapBits = 63;
+uint32_t EliminationWidthAndCost(const Graph& graph,
+                                 const std::vector<VertexId>& order,
+                                 double* table_cost);
+
 /// Exact treewidth by branch-and-bound over elimination orders with
 /// memoisation on eliminated subsets. Exponential: only for graphs with
 /// at most `max_vertices` (default 16) vertices; returns nullopt above.

@@ -235,6 +235,99 @@ TEST(JunctionBatchTest, AllConstantBatchIsTrivial) {
   EXPECT_DOUBLE_EQ(p[1], 1.0);
 }
 
+// The memo key is the canonical battery, not the caller's vector: a
+// permuted or duplicated battery is the same battery, and must hit the
+// cached decision instead of building (and caching) a second plan.
+TEST(JunctionBatchTest, PermutedAndDuplicatedBatteryHitsCache) {
+  Rng rng(31);
+  std::vector<GateId> pool;
+  BoolCircuit c = RandomCircuit(rng, 8, 30, &pool);
+  EventRegistry registry = RandomRegistry(rng, 8);
+  std::vector<GateId> roots = RandomRoots(rng, pool, 6);
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+
+  JunctionTreeEngine engine(/*seed_topological=*/false,
+                            /*cache_plans=*/true);
+  std::vector<EngineResult> first =
+      engine.EstimateBatch(c, roots, registry, {});
+  EXPECT_EQ(engine.batch_builds(), 1u);
+  EXPECT_EQ(engine.batch_cache_size(), 1u);
+
+  // Reversed order: same decision, results in caller order.
+  std::vector<GateId> reversed(roots.rbegin(), roots.rend());
+  std::vector<EngineResult> r =
+      engine.EstimateBatch(c, reversed, registry, {});
+  EXPECT_EQ(engine.batch_builds(), 1u);
+  EXPECT_EQ(engine.batch_cache_size(), 1u);
+  for (size_t i = 0; i < reversed.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r[i].value, first[roots.size() - 1 - i].value);
+  }
+
+  // Duplicates collapse onto the canonical battery and map back.
+  std::vector<GateId> doubled = roots;
+  doubled.insert(doubled.end(), roots.begin(), roots.end());
+  std::vector<EngineResult> d =
+      engine.EstimateBatch(c, doubled, registry, {});
+  EXPECT_EQ(engine.batch_builds(), 1u);
+  for (size_t i = 0; i < roots.size(); ++i) {
+    EXPECT_DOUBLE_EQ(d[i].value, first[i].value);
+    EXPECT_DOUBLE_EQ(d[i + roots.size()].value, first[i].value);
+  }
+}
+
+// Eviction is FIFO one entry at a time, not a wholesale wipe: a hot
+// battery inserted early must still be cached after enough distinct
+// batteries to exceed the memo capacity, as long as it stays younger
+// than the churn (capacity 64, churn 40 here).
+TEST(JunctionBatchTest, HotBatterySurvivesCachePressure) {
+  Rng rng(32);
+  std::vector<GateId> pool;
+  BoolCircuit c = RandomCircuit(rng, 8, 120, &pool);
+  EventRegistry registry = RandomRegistry(rng, 8);
+  JunctionTreeEngine engine(/*seed_topological=*/false,
+                            /*cache_plans=*/true);
+
+  std::vector<GateId> hot = RandomRoots(rng, pool, 5);
+  std::sort(hot.begin(), hot.end());
+  hot.erase(std::unique(hot.begin(), hot.end()), hot.end());
+  std::vector<EngineResult> expected =
+      engine.EstimateBatch(c, hot, registry, {});
+  EXPECT_EQ(engine.batch_builds(), 1u);
+
+  // 40 single-root batteries churn the memo but stay far from evicting
+  // the hot entry (the cache holds 64 decisions). Structural hashing
+  // may deduplicate pool gates, so count the distinct batteries.
+  std::vector<GateId> churned;
+  for (uint32_t i = 0; i < 40; ++i) {
+    engine.EstimateBatch(c, {pool[i]}, registry, {});
+    churned.push_back(pool[i]);
+  }
+  std::sort(churned.begin(), churned.end());
+  churned.erase(std::unique(churned.begin(), churned.end()), churned.end());
+  const uint64_t builds_after_churn = engine.batch_builds();
+  EXPECT_EQ(builds_after_churn, 1u + churned.size());
+
+  std::vector<EngineResult> again =
+      engine.EstimateBatch(c, hot, registry, {});
+  EXPECT_EQ(engine.batch_builds(), builds_after_churn)
+      << "hot battery was evicted by unrelated churn";
+  for (size_t i = 0; i < hot.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again[i].value, expected[i].value);
+  }
+
+  // Push past capacity: the memo caps at 64 entries and keeps serving.
+  for (uint32_t i = 40; i < 90; ++i) {
+    engine.EstimateBatch(c, {pool[i]}, registry, {});
+  }
+  EXPECT_LE(engine.batch_cache_size(), 64u);
+  std::vector<EngineResult> final_check =
+      engine.EstimateBatch(c, hot, registry, {});
+  for (size_t i = 0; i < hot.size(); ++i) {
+    EXPECT_DOUBLE_EQ(final_check[i].value, expected[i].value);
+  }
+}
+
 TEST(QuerySessionBatchTest, ProbabilityBatchMatchesProbability) {
   Schema schema;
   schema.AddRelation("E", 2);

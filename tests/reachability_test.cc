@@ -153,6 +153,138 @@ TEST(ReachabilityLineageTest, CorrelatedEdges) {
               0.5, 1e-12);
 }
 
+// ---------------------------------------------------------------------------
+// Target-indexed multi-target DP
+// ---------------------------------------------------------------------------
+
+TEST(MultiTargetReachabilityTest, TrivialAndDuplicateTargets) {
+  TidInstance tid(EdgeSchema());
+  tid.AddFact(0, {0, 1}, 0.4);
+  PccInstance pcc = PccInstance::FromCInstance(tid.ToPcInstance());
+  // Battery mixing the source itself, an out-of-domain value, a real
+  // target, and a duplicate of it.
+  std::vector<GateId> gates =
+      ComputeMultiTargetReachabilityLineage(pcc, 0, 0, {0, 9, 1, 1});
+  ASSERT_EQ(gates.size(), 4u);
+  EXPECT_TRUE(pcc.circuit().const_value(gates[0]));    // t == source.
+  EXPECT_FALSE(pcc.circuit().const_value(gates[1]));   // Out of domain.
+  EXPECT_EQ(gates[2], gates[3]);                       // Duplicates share.
+  EXPECT_NEAR(JunctionTreeProbability(pcc.circuit(), gates[2], pcc.events()),
+              0.4, 1e-12);
+}
+
+TEST(MultiTargetReachabilityTest, OutOfDomainSource) {
+  TidInstance tid(EdgeSchema());
+  tid.AddFact(0, {0, 1}, 0.4);
+  PccInstance pcc = PccInstance::FromCInstance(tid.ToPcInstance());
+  std::vector<GateId> gates =
+      ComputeMultiTargetReachabilityLineage(pcc, 0, 42, {0, 1, 42});
+  ASSERT_EQ(gates.size(), 3u);
+  EXPECT_FALSE(pcc.circuit().const_value(gates[0]));
+  EXPECT_FALSE(pcc.circuit().const_value(gates[1]));
+  EXPECT_TRUE(pcc.circuit().const_value(gates[2]));  // t == source.
+}
+
+// The battery of every vertex as a target agrees with per-world BFS on
+// every valuation — the multi-target DP is exactly the single-target
+// semantics, target by target.
+TEST_P(ReachabilityPropertyTest, MultiTargetMatchesBfsWorldByWorld) {
+  Rng rng(GetParam() + 1400);
+  const uint32_t n = 5 + static_cast<uint32_t>(rng.UniformInt(3));
+  TidInstance tid(EdgeSchema());
+  uint32_t edges = 0;
+  for (Value a = 0; a < n && edges < 13; ++a) {
+    for (Value b = a + 1; b < n && edges < 13; ++b) {
+      if (rng.Bernoulli(0.35)) {
+        tid.AddFact(0, {a, b}, 0.2 + 0.6 * rng.UniformDouble());
+        ++edges;
+      }
+    }
+  }
+  PccInstance pcc = PccInstance::FromCInstance(tid.ToPcInstance());
+  const size_t num_events = pcc.events().size();
+  const Value source = static_cast<Value>(rng.UniformInt(n));
+  std::vector<Value> targets;
+  for (Value t = 0; t < n; ++t) targets.push_back(t);
+  std::vector<GateId> gates =
+      ComputeMultiTargetReachabilityLineage(pcc, 0, source, targets);
+  ASSERT_EQ(gates.size(), targets.size());
+  for (uint64_t mask = 0; mask < (1ULL << num_events); ++mask) {
+    Valuation v = Valuation::FromMask(mask, num_events);
+    Instance world = pcc.World(v);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      EXPECT_EQ(pcc.circuit().Evaluate(gates[i], v),
+                EvaluateReachability(world, 0, source, targets[i]))
+          << "mask=" << mask << " s=" << source << " t=" << targets[i];
+    }
+  }
+}
+
+// Probabilities from the battery agree with the single-target lineage
+// construction, gate for gate.
+TEST_P(ReachabilityPropertyTest, MultiTargetMatchesSingleTargetProbability) {
+  Rng rng(GetParam() + 2100);
+  TidInstance tid(EdgeSchema());
+  const uint32_t n = 6;
+  for (Value v = 0; v + 1 < n; ++v) {
+    tid.AddFact(0, {v, v + 1}, 0.3 + 0.5 * rng.UniformDouble());
+  }
+  for (int c = 0; c < 3; ++c) {
+    Value a = static_cast<Value>(rng.UniformInt(n));
+    Value b = static_cast<Value>(rng.UniformInt(n));
+    if (a != b) tid.AddFact(0, {a, b}, 0.3 + 0.5 * rng.UniformDouble());
+  }
+  PccInstance pcc = PccInstance::FromCInstance(tid.ToPcInstance());
+  std::vector<Value> targets;
+  for (Value t = 0; t < n; ++t) targets.push_back(t);
+  std::vector<GateId> battery =
+      ComputeMultiTargetReachabilityLineage(pcc, 0, 0, targets);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    GateId single = ComputeReachabilityLineage(pcc, 0, 0, targets[i]);
+    EXPECT_NEAR(
+        JunctionTreeProbability(pcc.circuit(), battery[i], pcc.events()),
+        JunctionTreeProbability(pcc.circuit(), single, pcc.events()), 1e-9)
+        << "t=" << targets[i];
+  }
+}
+
+TEST(MultiTargetReachabilityTest, CorrelatedEdges) {
+  PccInstance pcc(EdgeSchema());
+  EventId e = pcc.events().Register("bridge_open", 0.5);
+  GateId g = pcc.circuit().AddVar(e);
+  pcc.AddFact(0, {0, 1}, g);
+  pcc.AddFact(0, {1, 2}, g);
+  std::vector<GateId> gates =
+      ComputeMultiTargetReachabilityLineage(pcc, 0, 0, {1, 2});
+  EXPECT_NEAR(JunctionTreeProbability(pcc.circuit(), gates[0], pcc.events()),
+              0.5, 1e-12);
+  EXPECT_NEAR(JunctionTreeProbability(pcc.circuit(), gates[1], pcc.events()),
+              0.5, 1e-12);
+}
+
+TEST(MultiTargetReachabilityTest, LongPathFullBatteryLinearStates) {
+  // Sixteen targets spread along a 120-vertex path, one DP call: states
+  // stay bounded and every probability is the product of its prefix.
+  TidInstance tid(EdgeSchema());
+  const uint32_t n = 120;
+  for (Value v = 0; v + 1 < n; ++v) {
+    tid.AddFact(0, {v, v + 1}, 0.95);
+  }
+  PccInstance pcc = PccInstance::FromCInstance(tid.ToPcInstance());
+  std::vector<Value> targets;
+  for (uint32_t k = 1; k <= 16; ++k) {
+    targets.push_back(static_cast<Value>((k * n) / 17));
+  }
+  LineageStats stats;
+  std::vector<GateId> gates =
+      ComputeMultiTargetReachabilityLineage(pcc, 0, 0, targets, &stats);
+  EXPECT_LE(stats.max_states_per_node, 256u);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    double p = JunctionTreeProbability(pcc.circuit(), gates[i], pcc.events());
+    EXPECT_NEAR(p, std::pow(0.95, targets[i]), 1e-9) << "t=" << targets[i];
+  }
+}
+
 TEST(ReachabilityLineageTest, LongPathLinearStates) {
   // A long path: DP states per node stay bounded.
   TidInstance tid(EdgeSchema());
