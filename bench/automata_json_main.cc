@@ -199,6 +199,20 @@ int Main(int argc, char** argv) {
     jt_plan_generic.Execute(jt_pcc.events());
   });
 
+  // --- The same Execute under a (generous) budget: the governed pass
+  // pays one BudgetMeter::Charge per bag — amortised clock reads, cell
+  // accounting — and the budget/overhead row below pins that cost
+  // against the un-governed row. The budget carries a real deadline and
+  // cell cap so the meter takes the same branches a production-governed
+  // query takes; it is sized to never trip.
+  QueryBudget jt_budget = QueryBudget::WithDeadlineMs(3600.0 * 1000.0);
+  jt_budget.max_table_cells = uint64_t{1} << 40;
+  harness.Register("jt_execute/ladder48_governed", [&] {
+    double governed_value = 0.0;
+    jt_plan.ExecuteGoverned(jt_pcc.events(), {}, nullptr, jt_budget,
+                            &governed_value);
+  });
+
   // --- Batched evaluation: a 32-query battery over one lineage's
   // sub-gates (the question-selection workload: the marginal of every
   // internal hypothesis of one reachability lineage), sequentially vs
@@ -251,6 +265,33 @@ int Main(int argc, char** argv) {
   });
 
   std::vector<bench::BenchResult> results = harness.RunAll(min_ms);
+
+  // Synthesize the budget/overhead row: bag-granularity governance cost
+  // as a percentage of the un-governed Execute (the PR's acceptance pin
+  // is < 2% on this workload).
+  {
+    const bench::BenchResult* ungoverned = nullptr;
+    const bench::BenchResult* governed = nullptr;
+    for (const bench::BenchResult& r : results) {
+      if (r.name == "jt_execute/ladder48_small_bag_kernels") ungoverned = &r;
+      if (r.name == "jt_execute/ladder48_governed") governed = &r;
+    }
+    if (ungoverned != nullptr && governed != nullptr &&
+        ungoverned->ns_per_iter > 0) {
+      bench::BenchResult overhead;
+      overhead.name = "budget/overhead";
+      overhead.ns_per_iter = governed->ns_per_iter - ungoverned->ns_per_iter;
+      overhead.iters = governed->iters;
+      overhead.counters = {
+          {"governed_ns", governed->ns_per_iter},
+          {"ungoverned_ns", ungoverned->ns_per_iter},
+          {"overhead_pct", 100.0 *
+                               (governed->ns_per_iter -
+                                ungoverned->ns_per_iter) /
+                               ungoverned->ns_per_iter}};
+      results.push_back(std::move(overhead));
+    }
+  }
   if (!bench::Harness::WriteJson(results, out)) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());
     return 1;

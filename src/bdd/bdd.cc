@@ -95,6 +95,55 @@ BddRef BddManager::FromCircuit(const BoolCircuit& circuit, GateId root,
   return compiled[root];
 }
 
+std::optional<BddRef> BddManager::FromCircuitGoverned(
+    const BoolCircuit& circuit, GateId root,
+    const std::vector<uint32_t>& event_level, BudgetMeter& meter,
+    EngineStatus* status) {
+  *status = EngineStatus::kOk;
+  std::vector<BddRef> compiled(circuit.NumGates(), kBddFalse);
+  size_t nodes_before = NumNodes();
+  for (GateId g : circuit.ReachableFrom(root)) {
+    switch (circuit.kind(g)) {
+      case GateKind::kConst:
+        compiled[g] = circuit.const_value(g) ? kBddTrue : kBddFalse;
+        break;
+      case GateKind::kVar: {
+        EventId e = circuit.var(g);
+        TUD_CHECK_LT(e, event_level.size());
+        compiled[g] = Var(event_level[e]);
+        break;
+      }
+      case GateKind::kNot:
+        compiled[g] = Not(compiled[circuit.inputs(g)[0]]);
+        break;
+      case GateKind::kAnd: {
+        BddRef acc = kBddTrue;
+        for (GateId in : circuit.inputs(g)) acc = And(acc, compiled[in]);
+        compiled[g] = acc;
+        break;
+      }
+      case GateKind::kOr: {
+        BddRef acc = kBddFalse;
+        for (GateId in : circuit.inputs(g)) acc = Or(acc, compiled[in]);
+        compiled[g] = acc;
+        break;
+      }
+    }
+    // Charge the manager growth caused by this gate: the budget's cell cap
+    // doubles as a BDD node cap, so a blowing-up compilation trips
+    // resource_exhausted instead of exhausting memory.
+    size_t nodes_after = NumNodes();
+    EngineStatus st =
+        meter.Charge(static_cast<uint64_t>(nodes_after - nodes_before) + 1);
+    nodes_before = nodes_after;
+    if (st != EngineStatus::kOk) {
+      *status = st;
+      return std::nullopt;
+    }
+  }
+  return compiled[root];
+}
+
 double BddManager::Wmc(BddRef f, const std::vector<double>& level_prob) {
   TUD_CHECK_GE(level_prob.size(), num_levels_);
   // BddRefs are dense 0..NumNodes(), so the memo is a flat table with a

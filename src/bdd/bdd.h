@@ -2,11 +2,13 @@
 #define TUD_BDD_BDD_H_
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "circuits/bool_circuit.h"
 #include "events/event_registry.h"
+#include "util/budget.h"
 
 namespace tud {
 
@@ -48,6 +50,15 @@ class BddManager {
   /// the events used).
   BddRef FromCircuit(const BoolCircuit& circuit, GateId root,
                      const std::vector<uint32_t>& event_level);
+
+  /// Budget-governed compilation. Charges the node-count growth of each
+  /// compiled gate against `meter`; if the budget trips mid-compile the
+  /// partial compilation is abandoned, `*status` is set to the tripping
+  /// status, and nullopt is returned. On success `*status` is kOk.
+  std::optional<BddRef> FromCircuitGoverned(
+      const BoolCircuit& circuit, GateId root,
+      const std::vector<uint32_t>& event_level, BudgetMeter& meter,
+      EngineStatus* status);
 
   /// Weighted model count: probability that the function is true when
   /// the variable at level l is independently true with probability

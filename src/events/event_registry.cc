@@ -16,6 +16,17 @@ EventId EventRegistry::Register(std::string name, double probability) {
   return id;
 }
 
+std::optional<EventId> EventRegistry::TryRegister(std::string name,
+                                                  double probability) {
+  if (!(probability >= 0.0 && probability <= 1.0)) return std::nullopt;
+  if (index_.find(name) != index_.end()) return std::nullopt;
+  EventId id = static_cast<EventId>(probabilities_.size());
+  index_.emplace(name, id);
+  names_.push_back(std::move(name));
+  probabilities_.push_back(probability);
+  return id;
+}
+
 EventId EventRegistry::RegisterAnonymous(double probability) {
   return Register("_e" + std::to_string(probabilities_.size()), probability);
 }
@@ -40,6 +51,13 @@ void EventRegistry::set_probability(EventId id, double probability) {
   TUD_CHECK_LT(id, probabilities_.size());
   TUD_CHECK(probability >= 0.0 && probability <= 1.0);
   probabilities_[id] = probability;
+}
+
+bool EventRegistry::TrySetProbability(EventId id, double probability) {
+  if (id >= probabilities_.size()) return false;
+  if (!(probability >= 0.0 && probability <= 1.0)) return false;
+  probabilities_[id] = probability;
+  return true;
 }
 
 }  // namespace tud

@@ -30,7 +30,15 @@ class EventRegistry {
 
   /// Registers a new event with the given name and probability of being
   /// true. Names must be unique; probability must lie in [0, 1].
+  /// Violating either is a programming error (aborts); use TryRegister
+  /// when the name/probability come from untrusted input.
   EventId Register(std::string name, double probability = 0.5);
+
+  /// Recoverable registration for user-supplied data (a parsed
+  /// instance, an API request): returns nullopt — instead of aborting —
+  /// on a duplicate name or a probability outside [0, 1].
+  std::optional<EventId> TryRegister(std::string name,
+                                     double probability = 0.5);
 
   /// Registers an anonymous event (name auto-generated as "_e<id>").
   EventId RegisterAnonymous(double probability = 0.5);
@@ -48,7 +56,14 @@ class EventRegistry {
   double probability(EventId id) const;
 
   /// Overwrites the probability of event `id` (used by conditioning).
+  /// An unknown id or out-of-range probability is a programming error
+  /// (aborts); use TrySetProbability for untrusted input.
   void set_probability(EventId id, double probability);
+
+  /// Recoverable update for user-supplied data: returns false — instead
+  /// of aborting — on an unknown EventId or a probability outside
+  /// [0, 1], leaving the registry untouched.
+  bool TrySetProbability(EventId id, double probability);
 
  private:
   std::vector<std::string> names_;

@@ -50,9 +50,10 @@ GateId IncrementalSession::ComputeRoot(const RegisteredQuery& q) {
   return kInvalidGate;
 }
 
-void IncrementalSession::UpdateProbability(EventId event, double probability) {
-  session_.UpdateProbability(event, probability);
+bool IncrementalSession::UpdateProbability(EventId event, double probability) {
+  if (!session_.UpdateProbability(event, probability)) return false;
   ++stats_.probability_updates;
+  return true;
 }
 
 InsertedFact IncrementalSession::InsertFact(RelationId relation,
@@ -206,6 +207,51 @@ EngineResult IncrementalSession::Probability(QueryId query,
                          q.delta, &result.stats, options_.delta_full_fraction);
   result.engine = "incremental_jt";
   if (q.delta.full_passes != full_before) {
+    ++stats_.full_executes;
+  } else {
+    ++stats_.delta_executes;
+    stats_.bags_recomputed += result.stats.bags_visited;
+  }
+  CompactDirtyLog();
+  return result;
+}
+
+EngineResult IncrementalSession::Probability(QueryId query,
+                                             const Evidence& evidence,
+                                             const QueryBudget& budget) {
+  if (budget.unlimited()) return Probability(query, evidence);
+  if (query >= queries_.size()) {
+    return MakeStatusResult("incremental_jt", EngineStatus::kInvalidArgument);
+  }
+  RegisteredQuery& q = queries_[query];
+  DirtyLog& log = session_.dirty_log();
+  dirty_scratch_.clear();
+  if (!log.CollectSince(q.cursor, &dirty_scratch_)) {
+    dirty_scratch_.clear();
+    q.delta.Reset();
+  }
+  q.cursor = log.generation();
+
+  const JunctionTreePlan* plan =
+      plan_cache_.GetOrBuild(session_.pcc().circuit(), q.root, &budget);
+  EngineResult result;
+  result.engine = "incremental_jt";
+  if (plan->build_status() != EngineStatus::kOk) {
+    result.status = plan->build_status();
+    result.error_bound = 1.0;
+    CompactDirtyLog();
+    return result;
+  }
+  const uint64_t full_before = q.delta.full_passes;
+  result.status = plan->ExecuteDeltaGoverned(
+      session_.pcc().events(), evidence, dirty_scratch_, q.delta, budget,
+      &result.value, &result.stats, options_.delta_full_fraction);
+  if (result.status != EngineStatus::kOk) {
+    // ExecuteDeltaGoverned poisoned the delta state (partial
+    // repropagation is never persisted); the cursor already advanced,
+    // so the next call pays one clean full pass.
+    result.error_bound = 1.0;
+  } else if (q.delta.full_passes != full_before) {
     ++stats_.full_executes;
   } else {
     ++stats_.delta_executes;

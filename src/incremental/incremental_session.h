@@ -119,8 +119,9 @@ class IncrementalSession {
   GateId root(QueryId query) const { return queries_[query].root; }
 
   /// Probability update: delegates to QuerySession::UpdateProbability
-  /// (registry overwrite + dirty-log mark).
-  void UpdateProbability(EventId event, double probability);
+  /// (registry overwrite + dirty-log mark). Returns false — with no
+  /// state change — on an unknown EventId or out-of-range probability.
+  bool UpdateProbability(EventId event, double probability);
 
   /// Inserts a fact annotated by a fresh independent event with the
   /// given probability, repairs the decomposition, and recomputes the
@@ -139,6 +140,16 @@ class IncrementalSession {
   /// handed to ExecuteDelta on the cached plan. Results are
   /// bit-identical to a fresh full evaluation of the current state.
   EngineResult Probability(QueryId query, const Evidence& evidence = {});
+
+  /// Governed Probability: the budget is checked at bag granularity
+  /// inside the delta pass (JunctionTreePlan::ExecuteDeltaGoverned). A
+  /// trip returns a structured non-kOk status; the query's delta state
+  /// is reset so the next call takes a clean full pass — a partial
+  /// repropagation is never persisted. The query's dirty-log cursor
+  /// still advances (the marks were consumed), so a tripped query pays
+  /// one full pass afterwards rather than replaying the marks.
+  EngineResult Probability(QueryId query, const Evidence& evidence,
+                           const QueryBudget& budget);
 
   /// Builds an immutable SessionSnapshot of the current state (deep
   /// copies of circuit and registry, a fresh per-epoch plan cache

@@ -124,14 +124,100 @@ std::vector<std::vector<uint32_t>> GroupRootsByConeOverlap(
 
 }  // namespace
 
+namespace {
+
+/// Request validation shared by the non-virtual entry points: a
+/// malformed request (root out of range, evidence event unknown to the
+/// registry) is the caller's bug, reported as kInvalidArgument instead
+/// of tripping a TUD_CHECK abort deep inside an engine.
+bool ValidRequest(const BoolCircuit& circuit, GateId root,
+                  const EventRegistry& registry, const Evidence& evidence) {
+  if (root >= circuit.NumGates()) return false;
+  for (const auto& [e, v] : evidence) {
+    (void)v;
+    if (e >= registry.size()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+EngineResult ProbabilityEngine::Estimate(const BoolCircuit& circuit,
+                                         GateId root,
+                                         const EventRegistry& registry,
+                                         const Evidence& evidence) {
+  return Estimate(circuit, root, registry, evidence, QueryBudget{});
+}
+
+EngineResult ProbabilityEngine::Estimate(const BoolCircuit& circuit,
+                                         GateId root,
+                                         const EventRegistry& registry,
+                                         const Evidence& evidence,
+                                         const QueryBudget& budget) {
+  if (!ValidRequest(circuit, root, registry, evidence)) {
+    return MakeStatusResult(name(), EngineStatus::kInvalidArgument);
+  }
+  if (budget.cancelled()) {
+    return MakeStatusResult(name(), EngineStatus::kCancelled);
+  }
+  if (budget.past_deadline()) {
+    return MakeStatusResult(name(), EngineStatus::kDeadlineExceeded);
+  }
+  return EstimateImpl(circuit, root, registry, evidence, budget);
+}
+
 std::vector<EngineResult> ProbabilityEngine::EstimateBatch(
     const BoolCircuit& circuit, const std::vector<GateId>& roots,
     const EventRegistry& registry, const Evidence& evidence) {
+  return EstimateBatch(circuit, roots, registry, evidence, QueryBudget{});
+}
+
+std::vector<EngineResult> ProbabilityEngine::EstimateBatch(
+    const BoolCircuit& circuit, const std::vector<GateId>& roots,
+    const EventRegistry& registry, const Evidence& evidence,
+    const QueryBudget& budget) {
+  bool valid = true;
+  for (GateId root : roots) {
+    if (!ValidRequest(circuit, root, registry, evidence)) valid = false;
+  }
+  if (!valid) {
+    std::vector<EngineResult> results(
+        roots.size(), MakeStatusResult(name(), EngineStatus::kInvalidArgument));
+    return results;
+  }
+  if (budget.cancelled()) {
+    return std::vector<EngineResult>(
+        roots.size(), MakeStatusResult(name(), EngineStatus::kCancelled));
+  }
+  if (budget.past_deadline()) {
+    return std::vector<EngineResult>(
+        roots.size(),
+        MakeStatusResult(name(), EngineStatus::kDeadlineExceeded));
+  }
+  return EstimateBatchImpl(circuit, roots, registry, evidence, budget);
+}
+
+std::vector<EngineResult> ProbabilityEngine::EstimateBatchImpl(
+    const BoolCircuit& circuit, const std::vector<GateId>& roots,
+    const EventRegistry& registry, const Evidence& evidence,
+    const QueryBudget& budget) {
   std::vector<EngineResult> results;
   results.reserve(roots.size());
-  for (GateId root : roots) {
-    results.push_back(Estimate(circuit, root, registry, evidence));
+  for (size_t i = 0; i < roots.size(); ++i) {
+    results.push_back(EstimateImpl(circuit, roots[i], registry, evidence,
+                                   budget));
     results.back().stats.batch_size = roots.size();
+    const EngineStatus st = results.back().status;
+    if (st == EngineStatus::kDeadlineExceeded ||
+        st == EngineStatus::kCancelled) {
+      // The clock ran out / the caller gave up: short-circuit the rest
+      // of the battery instead of burning the same trip N more times.
+      while (results.size() < roots.size()) {
+        results.push_back(MakeStatusResult(name(), st));
+        results.back().stats.batch_size = roots.size();
+      }
+      break;
+    }
   }
   return results;
 }
@@ -140,22 +226,33 @@ std::vector<EngineResult> ProbabilityEngine::EstimateBatch(
 // Exact adapters
 // ---------------------------------------------------------------------------
 
-EngineResult ExhaustiveEngine::Estimate(const BoolCircuit& circuit,
-                                        GateId root,
-                                        const EventRegistry& registry,
-                                        const Evidence& evidence) {
+EngineResult ExhaustiveEngine::EstimateImpl(const BoolCircuit& circuit,
+                                            GateId root,
+                                            const EventRegistry& registry,
+                                            const Evidence& evidence,
+                                            const QueryBudget& budget) {
   EngineResult result;
   result.engine = name();
+  BudgetMeter meter(budget);
+  auto run = [&](const BoolCircuit& c, GateId r) {
+    result.stats.cone_events = CountConeEvents(c, r);
+    double value = 0.0;
+    EngineStatus st = ExhaustiveProbabilityGoverned(c, r, registry, meter,
+                                                    &value);
+    if (st != EngineStatus::kOk) {
+      result.status = st;
+      result.error_bound = 1.0;
+      return;
+    }
+    result.value = value;
+  };
   if (!evidence.empty()) {
     auto [restricted, restricted_root] =
         PinEvidence(circuit, root, registry, evidence);
-    result.value = ExhaustiveProbability(restricted, restricted_root,
-                                         registry);
-    result.stats.cone_events = CountConeEvents(restricted, restricted_root);
-    return result;
+    run(restricted, restricted_root);
+  } else {
+    run(circuit, root);
   }
-  result.value = ExhaustiveProbability(circuit, root, registry);
-  result.stats.cone_events = CountConeEvents(circuit, root);
   return result;
 }
 
@@ -209,31 +306,81 @@ void JunctionTreeEngine::Prewarm(const BoolCircuit& circuit, GateId root) {
   PlanFor(circuit, root);
 }
 
-EngineResult JunctionTreeEngine::Estimate(const BoolCircuit& circuit,
-                                          GateId root,
-                                          const EventRegistry& registry,
-                                          const Evidence& evidence) {
+EngineResult JunctionTreeEngine::EstimateImpl(const BoolCircuit& circuit,
+                                              GateId root,
+                                              const EventRegistry& registry,
+                                              const Evidence& evidence,
+                                              const QueryBudget& budget) {
   EngineResult result;
   result.engine = name();
+  if (budget.unlimited()) {
+    // The pre-existing exact path, untouched: no meter, no per-bag
+    // branches (the ungoverned hot loop stays the ungoverned hot loop).
+    if (!cache_plans_) {
+      JunctionTreePlan plan =
+          JunctionTreePlan::Build(circuit, root, seed_topological_);
+      plan.FillStats(&result.stats);
+      result.value = plan.Execute(registry, evidence, ThreadScratch());
+      return result;
+    }
+    BindCircuit(circuit);
+    const JunctionTreePlan* plan = PlanFor(circuit, root);
+    plan->FillStats(&result.stats);
+    result.value = plan->Execute(registry, evidence, ThreadScratch());
+    return result;
+  }
+  // Governed: the budget gates both the Build (a decomposition whose
+  // tables would blow the cell cap is refused before any arena exists)
+  // and the per-bag message pass.
   if (!cache_plans_) {
-    JunctionTreePlan plan =
-        JunctionTreePlan::Build(circuit, root, seed_topological_);
+    JunctionTreePlan plan = JunctionTreePlan::Build(
+        JunctionTreeAnalysis::Analyze(circuit, root), seed_topological_,
+        budget);
     plan.FillStats(&result.stats);
-    result.value = plan.Execute(registry, evidence, ThreadScratch());
+    if (plan.build_status() != EngineStatus::kOk) {
+      result.status = plan.build_status();
+      result.error_bound = 1.0;
+      return result;
+    }
+    double value = 0.0;
+    EngineStatus st =
+        plan.ExecuteGoverned(registry, evidence, ThreadScratch(), budget,
+                             &value);
+    if (st != EngineStatus::kOk) {
+      result.status = st;
+      result.error_bound = 1.0;
+      return result;
+    }
+    result.value = value;
     return result;
   }
   BindCircuit(circuit);
-  const JunctionTreePlan* plan = PlanFor(circuit, root);
+  const JunctionTreePlan* plan = cache_->GetOrBuild(circuit, root, &budget);
   plan->FillStats(&result.stats);
-  result.value = plan->Execute(registry, evidence, ThreadScratch());
+  if (plan->build_status() != EngineStatus::kOk) {
+    result.status = plan->build_status();
+    result.error_bound = 1.0;
+    return result;
+  }
+  double value = 0.0;
+  EngineStatus st = plan->ExecuteGoverned(registry, evidence, ThreadScratch(),
+                                          budget, &value);
+  if (st != EngineStatus::kOk) {
+    result.status = st;
+    result.error_bound = 1.0;
+    return result;
+  }
+  result.value = value;
   return result;
 }
 
-std::vector<EngineResult> JunctionTreeEngine::EstimateBatch(
+std::vector<EngineResult> JunctionTreeEngine::EstimateBatchImpl(
     const BoolCircuit& circuit, const std::vector<GateId>& roots,
-    const EventRegistry& registry, const Evidence& evidence) {
+    const EventRegistry& registry, const Evidence& evidence,
+    const QueryBudget& budget) {
   std::vector<EngineResult> results(roots.size());
   if (roots.empty()) return results;
+  const bool governed = !budget.unlimited();
 
   if (batch_threads_ > 1) {
     // Per-root plans executed across threads. Plans are built (and
@@ -244,12 +391,19 @@ std::vector<EngineResult> JunctionTreeEngine::EstimateBatch(
     plans.reserve(roots.size());
     if (cache_plans_) {
       BindCircuit(circuit);
-      for (GateId root : roots) plans.push_back(PlanFor(circuit, root));
+      for (GateId root : roots) {
+        plans.push_back(governed ? cache_->GetOrBuild(circuit, root, &budget)
+                                 : PlanFor(circuit, root));
+      }
     } else {
       owned.reserve(roots.size());
       for (GateId root : roots) {
         owned.push_back(std::make_shared<const JunctionTreePlan>(
-            JunctionTreePlan::Build(circuit, root, seed_topological_)));
+            governed ? JunctionTreePlan::Build(
+                           JunctionTreeAnalysis::Analyze(circuit, root),
+                           seed_topological_, budget)
+                     : JunctionTreePlan::Build(circuit, root,
+                                               seed_topological_)));
         plans.push_back(owned.back().get());
       }
     }
@@ -264,8 +418,25 @@ std::vector<EngineResult> JunctionTreeEngine::EstimateBatch(
           result.engine = name();
           plans[i]->FillStats(&result.stats);
           result.stats.batch_size = roots.size();
-          result.value = plans[i]->Execute(registry, evidence,
-                                           ThreadScratch());
+          if (!governed) {
+            result.value = plans[i]->Execute(registry, evidence,
+                                             ThreadScratch());
+            continue;
+          }
+          if (plans[i]->build_status() != EngineStatus::kOk) {
+            result.status = plans[i]->build_status();
+            result.error_bound = 1.0;
+            continue;
+          }
+          double value = 0.0;
+          EngineStatus st = plans[i]->ExecuteGoverned(
+              registry, evidence, ThreadScratch(), budget, &value);
+          if (st != EngineStatus::kOk) {
+            result.status = st;
+            result.error_bound = 1.0;
+            continue;
+          }
+          result.value = value;
         }
       });
     }
@@ -350,21 +521,49 @@ std::vector<EngineResult> JunctionTreeEngine::EstimateBatch(
   // order (duplicates land on the same canonical result).
   std::vector<EngineResult> canonical(key.size());
   for (const BatchGroup& group : decision->groups) {
+    bool fall_back_per_root = group.plan == nullptr;
     if (group.plan != nullptr) {
       EngineStats group_stats;
       group.plan->FillStats(&group_stats);
-      std::vector<double> values = group.plan->ExecuteBatch(
-          registry, evidence, &group_stats, ThreadScratch());
-      for (size_t j = 0; j < group.members.size(); ++j) {
-        EngineResult& r = canonical[group.members[j]];
-        r.engine = name();
-        r.value = values[j];
-        r.stats = group_stats;
+      if (!governed) {
+        std::vector<double> values = group.plan->ExecuteBatch(
+            registry, evidence, &group_stats, ThreadScratch());
+        for (size_t j = 0; j < group.members.size(); ++j) {
+          EngineResult& r = canonical[group.members[j]];
+          r.engine = name();
+          r.value = values[j];
+          r.stats = group_stats;
+        }
+      } else {
+        std::vector<double> values;
+        EngineStatus st = group.plan->ExecuteBatchGoverned(
+            registry, evidence, ThreadScratch(), budget, &values,
+            &group_stats);
+        if (st == EngineStatus::kOk) {
+          for (size_t j = 0; j < group.members.size(); ++j) {
+            EngineResult& r = canonical[group.members[j]];
+            r.engine = name();
+            r.value = values[j];
+            r.stats = group_stats;
+          }
+        } else if (st == EngineStatus::kResourceExhausted) {
+          // The shared plan (memoised from an ungoverned decision) is
+          // over this call's cell cap; each root's own plan may still
+          // fit under it.
+          fall_back_per_root = true;
+        } else {
+          for (uint32_t m : group.members) {
+            canonical[m] = MakeStatusResult(name(), st);
+            canonical[m].stats = group_stats;
+          }
+        }
       }
-    } else {
+    }
+    if (fall_back_per_root) {
       // Per-root members: cached plans at exactly the sequential cost.
       for (uint32_t m : group.members) {
-        canonical[m] = Estimate(circuit, key[m], registry, evidence);
+        canonical[m] = EstimateImpl(circuit, key[m], registry, evidence,
+                                    budget);
       }
     }
   }
@@ -466,9 +665,10 @@ size_t JunctionTreeEngine::batch_cache_size() const {
   return snapshot == nullptr ? 0 : snapshot->size();
 }
 
-EngineResult BddEngine::Estimate(const BoolCircuit& circuit, GateId root,
-                                 const EventRegistry& registry,
-                                 const Evidence& evidence) {
+EngineResult BddEngine::EstimateImpl(const BoolCircuit& circuit, GateId root,
+                                     const EventRegistry& registry,
+                                     const Evidence& evidence,
+                                     const QueryBudget& budget) {
   EngineResult result;
   result.engine = name();
   auto [cone, cone_root] = evidence.empty()
@@ -483,22 +683,60 @@ EngineResult BddEngine::Estimate(const BoolCircuit& circuit, GateId root,
     probs[e] = registry.probability(e);
   }
   BddManager manager(num_levels);
-  BddRef f = manager.FromCircuit(cone, cone_root, levels);
-  result.value = manager.Wmc(f, probs);
-  result.stats.bdd_nodes = manager.NumNodes();
   result.stats.cone_events = CountConeEvents(cone, cone_root);
+  if (budget.unlimited()) {
+    BddRef f = manager.FromCircuit(cone, cone_root, levels);
+    result.value = manager.Wmc(f, probs);
+    result.stats.bdd_nodes = manager.NumNodes();
+    return result;
+  }
+  // Governed: the cell cap doubles as a node cap on the compilation, so
+  // a blowing-up BDD trips resource_exhausted instead of eating memory.
+  BudgetMeter meter(budget);
+  EngineStatus st = EngineStatus::kOk;
+  std::optional<BddRef> f =
+      manager.FromCircuitGoverned(cone, cone_root, levels, meter, &st);
+  result.stats.bdd_nodes = manager.NumNodes();
+  if (!f.has_value()) {
+    result.status = st;
+    result.error_bound = 1.0;
+    return result;
+  }
+  result.value = manager.Wmc(*f, probs);
   return result;
 }
 
-EngineResult ConditioningEngine::Estimate(const BoolCircuit& circuit,
-                                          GateId root,
-                                          const EventRegistry& registry,
-                                          const Evidence& evidence) {
+EngineResult ConditioningEngine::EstimateImpl(const BoolCircuit& circuit,
+                                              GateId root,
+                                              const EventRegistry& registry,
+                                              const Evidence& evidence,
+                                              const QueryBudget& budget) {
   EngineResult result;
   result.engine = name();
+  const bool governed = !budget.unlimited();
   if (evidence.empty()) {
-    result.value =
-        JunctionTreeProbability(circuit, root, registry, &result.stats);
+    if (!governed) {
+      result.value =
+          JunctionTreeProbability(circuit, root, registry, &result.stats);
+      return result;
+    }
+    JunctionTreePlan plan = JunctionTreePlan::Build(
+        JunctionTreeAnalysis::Analyze(circuit, root), false, budget);
+    plan.FillStats(&result.stats);
+    if (plan.build_status() != EngineStatus::kOk) {
+      result.status = plan.build_status();
+      result.error_bound = 1.0;
+      return result;
+    }
+    double value = 0.0;
+    EngineStatus st =
+        plan.ExecuteGoverned(registry, {}, ThreadScratch(), budget, &value);
+    if (st != EngineStatus::kOk) {
+      result.status = st;
+      result.error_bound = 1.0;
+      return result;
+    }
+    result.value = value;
     return result;
   }
   // The §4 route: materialise the observation as a gate and compute
@@ -512,11 +750,48 @@ EngineResult ConditioningEngine::Estimate(const BoolCircuit& circuit,
     literals.push_back(v ? var : working.AddNot(var));
   }
   GateId observation = working.AddAnd(std::move(literals));
-  std::optional<double> conditional =
-      ConditionalProbability(working, root, observation, registry);
-  TUD_CHECK(conditional.has_value())
-      << "conditioning on a zero-probability observation";
-  result.value = *conditional;
+  if (!governed) {
+    std::optional<double> conditional =
+        ConditionalProbability(working, root, observation, registry);
+    if (!conditional.has_value()) {
+      // A zero-probability observation has no conditional — a malformed
+      // request, not a reason to abort the process.
+      result.status = EngineStatus::kInvalidArgument;
+      result.error_bound = 1.0;
+      return result;
+    }
+    result.value = *conditional;
+    return result;
+  }
+  // Governed: the same two runs, each over a budget-gated plan (the
+  // caps apply to each run; a trip in either fails the conditional).
+  GateId joint = working.AddAnd({root, observation});
+  double p_obs = 0.0;
+  double p_joint = 0.0;
+  for (const auto& [target, out] :
+       {std::pair<GateId, double*>{observation, &p_obs},
+        std::pair<GateId, double*>{joint, &p_joint}}) {
+    JunctionTreePlan plan = JunctionTreePlan::Build(
+        JunctionTreeAnalysis::Analyze(working, target), false, budget);
+    if (plan.build_status() != EngineStatus::kOk) {
+      result.status = plan.build_status();
+      result.error_bound = 1.0;
+      return result;
+    }
+    EngineStatus st =
+        plan.ExecuteGoverned(registry, {}, ThreadScratch(), budget, out);
+    if (st != EngineStatus::kOk) {
+      result.status = st;
+      result.error_bound = 1.0;
+      return result;
+    }
+  }
+  if (p_obs == 0.0) {
+    result.status = EngineStatus::kInvalidArgument;
+    result.error_bound = 1.0;
+    return result;
+  }
+  result.value = p_joint / p_obs;
   return result;
 }
 
@@ -524,60 +799,142 @@ EngineResult ConditioningEngine::Estimate(const BoolCircuit& circuit,
 // Sampling-based adapters
 // ---------------------------------------------------------------------------
 
-EngineResult SamplingEngine::Estimate(const BoolCircuit& circuit, GateId root,
-                                      const EventRegistry& registry,
-                                      const Evidence& evidence) {
+EngineResult SamplingEngine::EstimateImpl(const BoolCircuit& circuit,
+                                          GateId root,
+                                          const EventRegistry& registry,
+                                          const Evidence& evidence,
+                                          const QueryBudget& budget) {
   EngineResult result;
   result.engine = name();
-  result.stats.num_samples = num_samples_;
-  double p;
+  // Error bound: normal approximation, with the rule-of-three at the
+  // degenerate empirical extremes (p-hat of exactly 0 or 1 would
+  // otherwise report error 0, i.e. claim an unconverged estimate is
+  // exact).
+  auto bound_for = [](double p, uint32_t n) {
+    return p > 0.0 && p < 1.0 ? 1.96 * std::sqrt(p * (1.0 - p) / n)
+                              : 3.0 / n;
+  };
+  if (budget.unlimited()) {
+    result.stats.num_samples = num_samples_;
+    double p;
+    if (!evidence.empty()) {
+      auto [restricted, restricted_root] =
+          PinEvidence(circuit, root, registry, evidence);
+      p = SampleProbability(restricted, restricted_root, registry,
+                            num_samples_, rng_);
+    } else {
+      p = SampleProbability(circuit, root, registry, num_samples_, rng_);
+    }
+    result.value = p;
+    result.error_bound = bound_for(p, num_samples_);
+    return result;
+  }
+  // Governed: a sample cap lowers the target up front; a deadline or
+  // cancellation mid-loop keeps the estimate over the samples actually
+  // drawn (a degraded kOk answer with an honest bound), failing only
+  // when not a single sample completed.
+  uint32_t target = num_samples_;
+  if (budget.max_samples != 0) target = std::min(target, budget.max_samples);
+  BudgetMeter meter(budget);
+  double value = 0.0;
+  uint32_t done = 0;
+  EngineStatus st;
   if (!evidence.empty()) {
     auto [restricted, restricted_root] =
         PinEvidence(circuit, root, registry, evidence);
-    p = SampleProbability(restricted, restricted_root, registry, num_samples_,
-                          rng_);
+    st = SampleProbabilityGoverned(restricted, restricted_root, registry,
+                                   target, rng_, meter, &value, &done);
   } else {
-    p = SampleProbability(circuit, root, registry, num_samples_, rng_);
+    st = SampleProbabilityGoverned(circuit, root, registry, target, rng_,
+                                   meter, &value, &done);
   }
-  result.value = p;
-  // Normal approximation, with the rule-of-three at the degenerate
-  // empirical extremes (p-hat of exactly 0 or 1 would otherwise report
-  // error 0, i.e. claim an unconverged estimate is exact).
-  result.error_bound = p > 0.0 && p < 1.0
-                           ? 1.96 * std::sqrt(p * (1.0 - p) / num_samples_)
-                           : 3.0 / num_samples_;
+  result.stats.num_samples = done;
+  if (done == 0 && st != EngineStatus::kOk) {
+    result.status = st;
+    result.error_bound = 1.0;
+    return result;
+  }
+  result.value = value;
+  result.error_bound = bound_for(value, done);
   return result;
 }
 
-EngineResult HybridEngine::Estimate(const BoolCircuit& circuit, GateId root,
-                                    const EventRegistry& registry,
-                                    const Evidence& evidence) {
+EngineResult HybridEngine::EstimateImpl(const BoolCircuit& circuit,
+                                        GateId root,
+                                        const EventRegistry& registry,
+                                        const Evidence& evidence,
+                                        const QueryBudget& budget) {
   if (!evidence.empty()) {
     auto [restricted, restricted_root] =
         PinEvidence(circuit, root, registry, evidence);
     Evidence none;
-    return Estimate(restricted, restricted_root, registry, none);
+    return EstimateImpl(restricted, restricted_root, registry, none, budget);
   }
   return EstimateWithCore(
       circuit, root, registry,
-      SelectCoreEvents(circuit, root, target_width_, max_core_));
+      SelectCoreEvents(circuit, root, target_width_, max_core_), budget);
 }
 
 EngineResult HybridEngine::EstimateWithCore(const BoolCircuit& circuit,
                                             GateId root,
                                             const EventRegistry& registry,
                                             const std::vector<EventId>& core) {
+  return EstimateWithCore(circuit, root, registry, core, QueryBudget{});
+}
+
+EngineResult HybridEngine::EstimateWithCore(const BoolCircuit& circuit,
+                                            GateId root,
+                                            const EventRegistry& registry,
+                                            const std::vector<EventId>& core,
+                                            const QueryBudget& budget) {
+  const bool governed = !budget.unlimited();
   if (core.empty()) {
     // Already narrow: one exact message-passing run, no sampling.
     EngineResult result;
     result.engine = name();
-    result.value =
-        JunctionTreeProbability(circuit, root, registry, &result.stats);
+    if (!governed) {
+      result.value =
+          JunctionTreeProbability(circuit, root, registry, &result.stats);
+      return result;
+    }
+    JunctionTreePlan plan = JunctionTreePlan::Build(
+        JunctionTreeAnalysis::Analyze(circuit, root), false, budget);
+    plan.FillStats(&result.stats);
+    if (plan.build_status() != EngineStatus::kOk) {
+      result.status = plan.build_status();
+      result.error_bound = 1.0;
+      return result;
+    }
+    double value = 0.0;
+    EngineStatus st =
+        plan.ExecuteGoverned(registry, {}, ThreadScratch(), budget, &value);
+    if (st != EngineStatus::kOk) {
+      result.status = st;
+      result.error_bound = 1.0;
+      return result;
+    }
+    result.value = value;
     return result;
   }
-  EngineResult result =
-      HybridProbability(circuit, root, registry, core, num_samples_, rng_);
+  if (!governed) {
+    EngineResult result =
+        HybridProbability(circuit, root, registry, core, num_samples_, rng_);
+    result.engine = name();
+    return result;
+  }
+  uint32_t target = num_samples_;
+  if (budget.max_samples != 0) target = std::min(target, budget.max_samples);
+  BudgetMeter meter(budget);
+  EngineResult result;
+  EngineStatus st = HybridProbabilityGoverned(circuit, root, registry, core,
+                                              target, rng_, meter, &result);
   result.engine = name();
+  if (st != EngineStatus::kOk && result.stats.num_samples == 0) {
+    result.status = st;
+    result.error_bound = 1.0;
+  }
+  // A mid-run trip with completed samples stays a degraded kOk answer:
+  // the estimate and its bound are honest for the samples drawn.
   return result;
 }
 
@@ -591,27 +948,55 @@ AutoEngine::AutoEngine(const Limits& limits)
               limits.hybrid_num_samples, limits.seed),
       sampling_(limits.sampling_num_samples, limits.seed) {}
 
-EngineResult AutoEngine::Estimate(const BoolCircuit& circuit, GateId root,
-                                  const EventRegistry& registry,
-                                  const Evidence& evidence) {
+EngineResult AutoEngine::EstimateImpl(const BoolCircuit& circuit, GateId root,
+                                      const EventRegistry& registry,
+                                      const Evidence& evidence,
+                                      const QueryBudget& budget) {
   if (!evidence.empty()) {
     // Pin once, then plan on the restricted circuit: pinning both
     // shrinks the cone and is how every delegate would condition anyway.
     auto [restricted, restricted_root] =
         PinEvidence(circuit, root, registry, evidence);
-    return Plan(restricted, restricted_root, registry);
+    return Plan(restricted, restricted_root, registry, budget);
   }
-  return Plan(circuit, root, registry);
+  return Plan(circuit, root, registry, budget);
 }
 
 EngineResult AutoEngine::Plan(const BoolCircuit& circuit, GateId root,
-                              const EventRegistry& registry) {
+                              const EventRegistry& registry,
+                              const QueryBudget& budget) {
   const size_t cone_events = CountConeEvents(circuit, root);
+  const Evidence none;
+  // Under a budget a rung that trips kResourceExhausted falls through to
+  // the next cheaper rung (counted in stats.degradations); a deadline or
+  // cancellation surfaces directly — no cheaper rung can beat a clock
+  // that has already run out.
+  uint32_t degradations = 0;
+  auto finish = [&](EngineResult result) {
+    result.stats.cone_events = cone_events;
+    result.stats.degradations = degradations;
+    return result;
+  };
+  auto hard_trip = [](EngineStatus st) {
+    return st == EngineStatus::kDeadlineExceeded ||
+           st == EngineStatus::kCancelled ||
+           st == EngineStatus::kInvalidArgument;
+  };
+
   if (cone_events <= limits_.exhaustive_max_events) {
-    return exhaustive_.Estimate(circuit, root, registry);
+    EngineResult result =
+        exhaustive_.Estimate(circuit, root, registry, none, budget);
+    if (result.status != EngineStatus::kResourceExhausted) {
+      return finish(std::move(result));
+    }
+    ++degradations;
   }
   if (cone_events <= limits_.bdd_max_events) {
-    return bdd_.Estimate(circuit, root, registry);
+    EngineResult result = bdd_.Estimate(circuit, root, registry, none, budget);
+    if (result.status != EngineStatus::kResourceExhausted) {
+      return finish(std::move(result));
+    }
+    ++degradations;
   }
 
   // Cheap width estimate of the binarised cone's primal graph — the
@@ -621,14 +1006,38 @@ EngineResult AutoEngine::Plan(const BoolCircuit& circuit, GateId root,
   JunctionTreeAnalysis analysis = JunctionTreeAnalysis::Analyze(circuit, root);
   const int width = analysis.trivial() ? 0 : analysis.MinDegreeWidth();
   if (width <= limits_.jt_max_width) {
+    if (budget.unlimited()) {
+      JunctionTreePlan plan = JunctionTreePlan::Build(
+          std::move(analysis), limits_.seed_topological);
+      EngineResult result;
+      result.engine = "junction_tree";
+      plan.FillStats(&result.stats);
+      result.value = plan.Execute(registry);
+      return finish(std::move(result));
+    }
     JunctionTreePlan plan = JunctionTreePlan::Build(
-        std::move(analysis), limits_.seed_topological);
+        std::move(analysis), limits_.seed_topological, budget);
     EngineResult result;
     result.engine = "junction_tree";
     plan.FillStats(&result.stats);
-    result.value = plan.Execute(registry);
-    result.stats.cone_events = cone_events;
-    return result;
+    EngineStatus st = plan.build_status();
+    if (st == EngineStatus::kOk) {
+      double value = 0.0;
+      st = plan.ExecuteGoverned(registry, {}, ThreadScratch(), budget,
+                                &value);
+      if (st == EngineStatus::kOk) {
+        result.value = value;
+        return finish(std::move(result));
+      }
+    }
+    if (hard_trip(st)) {
+      result.status = st;
+      result.error_bound = 1.0;
+      return finish(std::move(result));
+    }
+    // The exact plan priced (or ran) over the cell cap: degrade to the
+    // core/tentacle estimator, then to bounded sampling.
+    ++degradations;
   }
   std::vector<EventId> core = SelectCoreEvents(
       circuit, root, limits_.hybrid_target_width, limits_.hybrid_max_core);
@@ -652,14 +1061,19 @@ EngineResult AutoEngine::Plan(const BoolCircuit& circuit, GateId root,
       // Hand the selected core over: the hybrid engine would otherwise
       // repeat the whole SelectCoreEvents restrict/min-fill loop.
       EngineResult result =
-          hybrid_.EstimateWithCore(circuit, root, registry, core);
-      result.stats.cone_events = cone_events;
-      return result;
+          budget.unlimited()
+              ? hybrid_.EstimateWithCore(circuit, root, registry, core)
+              : hybrid_.EstimateWithCore(circuit, root, registry, core,
+                                         budget);
+      if (result.status != EngineStatus::kResourceExhausted) {
+        return finish(std::move(result));
+      }
+      ++degradations;
     }
   }
-  EngineResult result = sampling_.Estimate(circuit, root, registry);
-  result.stats.cone_events = cone_events;
-  return result;
+  EngineResult result =
+      sampling_.Estimate(circuit, root, registry, none, budget);
+  return finish(std::move(result));
 }
 
 std::unique_ptr<ProbabilityEngine> MakeAutoEngine() {

@@ -12,6 +12,7 @@
 
 #include "circuits/bool_circuit.h"
 #include "events/event_registry.h"
+#include "util/budget.h"
 #include "util/rng.h"
 
 namespace tud {
@@ -53,6 +54,9 @@ struct EngineStats {
                             ///< upward plus the pruned downward sweep
                             ///< for batched runs.
   size_t max_table = 0;    ///< Largest bag table (entries) touched.
+  uint32_t degradations = 0;  ///< AutoEngine: rungs abandoned mid-flight
+                              ///< because the budget tripped (0 = the
+                              ///< first-choice engine answered).
 
   // Batch cost-model diagnostics (JunctionTreeEngine::EstimateBatch;
   // identical on every result of one batched call).
@@ -74,11 +78,29 @@ struct EngineResult {
   double value = 0.0;        ///< The (estimated) probability.
   double error_bound = 0.0;  ///< 0 for exact engines; for sampling-based
                              ///< ones, a 95% normal-approximation
-                             ///< half-width of the estimate.
+                             ///< half-width of the estimate. 1.0 when
+                             ///< status != kOk (the value carries no
+                             ///< information).
   const char* engine = "";   ///< Name of the engine that produced it
                              ///< (the delegate's name under AutoEngine).
+  EngineStatus status = EngineStatus::kOk;  ///< kOk, or why `value` is
+                                            ///< not an answer (budget
+                                            ///< trip, bad request,
+                                            ///< serving-layer shed).
   EngineStats stats;
+
+  bool ok() const { return status == EngineStatus::kOk; }
 };
+
+/// The uniform "request failed" result: error_bound 1.0, value 0.
+inline EngineResult MakeStatusResult(const char* engine,
+                                     EngineStatus status) {
+  EngineResult result;
+  result.engine = engine;
+  result.status = status;
+  result.error_bound = 1.0;
+  return result;
+}
 
 /// The unified inference interface of the evaluation pipeline (§2.2:
 /// "the probability that I satisfies q can be computed from C"): every
@@ -91,29 +113,72 @@ class ProbabilityEngine {
  public:
   virtual ~ProbabilityEngine() = default;
 
-  virtual EngineResult Estimate(const BoolCircuit& circuit, GateId root,
-                                const EventRegistry& registry,
-                                const Evidence& evidence = {}) = 0;
+  /// Estimates P(root = true | evidence). The non-virtual entry points
+  /// validate the request (root in range, evidence EventIds known to
+  /// the registry — a malformed request returns kInvalidArgument
+  /// instead of aborting) and check the budget before dispatching to
+  /// the engine's EstimateImpl; engines then check the budget at
+  /// bag/iteration granularity and report trips through
+  /// EngineResult::status. The budgetless overload runs ungoverned
+  /// (unlimited budget) — the pre-existing contract, unchanged.
+  EngineResult Estimate(const BoolCircuit& circuit, GateId root,
+                        const EventRegistry& registry,
+                        const Evidence& evidence = {});
+  EngineResult Estimate(const BoolCircuit& circuit, GateId root,
+                        const EventRegistry& registry,
+                        const Evidence& evidence, const QueryBudget& budget);
 
-  /// Estimates every root of a batch under one shared evidence set. The
-  /// base implementation loops Estimate; engines with a native batch
-  /// path (JunctionTreeEngine: one shared decomposition of the union
-  /// cone, a single calibrating message pass for all roots) override it.
-  virtual std::vector<EngineResult> EstimateBatch(
-      const BoolCircuit& circuit, const std::vector<GateId>& roots,
-      const EventRegistry& registry, const Evidence& evidence = {});
+  /// Estimates every root of a batch under one shared evidence set and
+  /// one shared budget. The deadline and cancel token cover the whole
+  /// batch (a trip short-circuits the remaining roots); the cell cap is
+  /// enforced per executed unit — per root in the base loop, per shared
+  /// plan in a native batch path. Any out-of-range root or unknown
+  /// evidence event fails the *whole* batch with kInvalidArgument.
+  std::vector<EngineResult> EstimateBatch(const BoolCircuit& circuit,
+                                          const std::vector<GateId>& roots,
+                                          const EventRegistry& registry,
+                                          const Evidence& evidence = {});
+  std::vector<EngineResult> EstimateBatch(const BoolCircuit& circuit,
+                                          const std::vector<GateId>& roots,
+                                          const EventRegistry& registry,
+                                          const Evidence& evidence,
+                                          const QueryBudget& budget);
 
   virtual const char* name() const = 0;
+
+ protected:
+  /// The engine body. `budget` is always valid (unlimited when the
+  /// caller never asked for governance); implementations honour its
+  /// caps/deadline/token cooperatively and return a status result
+  /// rather than throwing or aborting on a trip.
+  virtual EngineResult EstimateImpl(const BoolCircuit& circuit, GateId root,
+                                    const EventRegistry& registry,
+                                    const Evidence& evidence,
+                                    const QueryBudget& budget) = 0;
+
+  /// The batch body. The base implementation loops EstimateImpl (one
+  /// shared BudgetMeter would be better still, but per-root budgets
+  /// compose: the first trip short-circuits the remaining roots);
+  /// engines with a native batch path (JunctionTreeEngine: one shared
+  /// decomposition of the union cone, a single calibrating message
+  /// pass for all roots) override it.
+  virtual std::vector<EngineResult> EstimateBatchImpl(
+      const BoolCircuit& circuit, const std::vector<GateId>& roots,
+      const EventRegistry& registry, const Evidence& evidence,
+      const QueryBudget& budget);
 };
 
 /// Exact, by enumerating the valuations of the events in the cone (at
 /// most 30). Evidence is applied by restriction.
 class ExhaustiveEngine : public ProbabilityEngine {
  public:
-  EngineResult Estimate(const BoolCircuit& circuit, GateId root,
-                        const EventRegistry& registry,
-                        const Evidence& evidence = {}) override;
   const char* name() const override { return "exhaustive"; }
+
+ protected:
+  EngineResult EstimateImpl(const BoolCircuit& circuit, GateId root,
+                            const EventRegistry& registry,
+                            const Evidence& evidence,
+                            const QueryBudget& budget) override;
 };
 
 /// Exact, by message passing over a tree decomposition of the cone (the
@@ -168,12 +233,6 @@ class JunctionTreeEngine : public ProbabilityEngine {
   JunctionTreeEngine(const JunctionTreeEngine&) = delete;
   JunctionTreeEngine& operator=(const JunctionTreeEngine&) = delete;
 
-  EngineResult Estimate(const BoolCircuit& circuit, GateId root,
-                        const EventRegistry& registry,
-                        const Evidence& evidence = {}) override;
-  std::vector<EngineResult> EstimateBatch(
-      const BoolCircuit& circuit, const std::vector<GateId>& roots,
-      const EventRegistry& registry, const Evidence& evidence = {}) override;
   const char* name() const override { return "junction_tree"; }
 
   /// Builds (or finds) the cached plan for `root` without executing it
@@ -193,6 +252,16 @@ class JunctionTreeEngine : public ProbabilityEngine {
   }
   /// Entries currently published in the batch memo.
   size_t batch_cache_size() const;
+
+ protected:
+  EngineResult EstimateImpl(const BoolCircuit& circuit, GateId root,
+                            const EventRegistry& registry,
+                            const Evidence& evidence,
+                            const QueryBudget& budget) override;
+  std::vector<EngineResult> EstimateBatchImpl(
+      const BoolCircuit& circuit, const std::vector<GateId>& roots,
+      const EventRegistry& registry, const Evidence& evidence,
+      const QueryBudget& budget) override;
 
  private:
   /// Pins the engine to its first circuit (plan caching is only sound
@@ -258,10 +327,13 @@ class JunctionTreeEngine : public ProbabilityEngine {
 /// knowledge-compilation baseline). Evidence is applied by restriction.
 class BddEngine : public ProbabilityEngine {
  public:
-  EngineResult Estimate(const BoolCircuit& circuit, GateId root,
-                        const EventRegistry& registry,
-                        const Evidence& evidence = {}) override;
   const char* name() const override { return "bdd"; }
+
+ protected:
+  EngineResult EstimateImpl(const BoolCircuit& circuit, GateId root,
+                            const EventRegistry& registry,
+                            const Evidence& evidence,
+                            const QueryBudget& budget) override;
 };
 
 /// Monte-Carlo estimate over `num_samples` valuations. Evidence is
@@ -270,10 +342,17 @@ class SamplingEngine : public ProbabilityEngine {
  public:
   explicit SamplingEngine(uint32_t num_samples = 10000, uint64_t seed = 1)
       : num_samples_(num_samples), rng_(seed) {}
-  EngineResult Estimate(const BoolCircuit& circuit, GateId root,
-                        const EventRegistry& registry,
-                        const Evidence& evidence = {}) override;
   const char* name() const override { return "sampling"; }
+
+ protected:
+  /// Budget-aware: a sample cap lowers the sample count up front; a
+  /// deadline or cancellation mid-loop returns the estimate over the
+  /// samples actually drawn, with the error bound honest for that count
+  /// — a degraded kOk answer, never an abort.
+  EngineResult EstimateImpl(const BoolCircuit& circuit, GateId root,
+                            const EventRegistry& registry,
+                            const Evidence& evidence,
+                            const QueryBudget& budget) override;
 
  private:
   uint32_t num_samples_;
@@ -292,9 +371,6 @@ class HybridEngine : public ProbabilityEngine {
         max_core_(max_core),
         num_samples_(num_samples),
         rng_(seed) {}
-  EngineResult Estimate(const BoolCircuit& circuit, GateId root,
-                        const EventRegistry& registry,
-                        const Evidence& evidence = {}) override;
   /// As Estimate with the core event set already selected — the
   /// AutoEngine handoff: the planner runs SelectCoreEvents to decide
   /// whether hybrid inference is worthwhile, and hands the core over so
@@ -302,7 +378,21 @@ class HybridEngine : public ProbabilityEngine {
   EngineResult EstimateWithCore(const BoolCircuit& circuit, GateId root,
                                 const EventRegistry& registry,
                                 const std::vector<EventId>& core);
+  /// Governed variant: checks the budget per per-sample exact run; a
+  /// mid-loop trip returns the estimate over the completed samples with
+  /// an honest error bound (degraded kOk), kResourceExhausted/... only
+  /// when not a single sample finished.
+  EngineResult EstimateWithCore(const BoolCircuit& circuit, GateId root,
+                                const EventRegistry& registry,
+                                const std::vector<EventId>& core,
+                                const QueryBudget& budget);
   const char* name() const override { return "hybrid"; }
+
+ protected:
+  EngineResult EstimateImpl(const BoolCircuit& circuit, GateId root,
+                            const EventRegistry& registry,
+                            const Evidence& evidence,
+                            const QueryBudget& budget) override;
 
  private:
   int target_width_;
@@ -317,10 +407,16 @@ class HybridEngine : public ProbabilityEngine {
 /// as an adapter because it exercises the revision pipeline.
 class ConditioningEngine : public ProbabilityEngine {
  public:
-  EngineResult Estimate(const BoolCircuit& circuit, GateId root,
-                        const EventRegistry& registry,
-                        const Evidence& evidence = {}) override;
   const char* name() const override { return "conditioning"; }
+
+ protected:
+  /// Conditioning on a zero-probability observation is a malformed
+  /// request, reported as kInvalidArgument (the conditional does not
+  /// exist) rather than an abort.
+  EngineResult EstimateImpl(const BoolCircuit& circuit, GateId root,
+                            const EventRegistry& registry,
+                            const Evidence& evidence,
+                            const QueryBudget& budget) override;
 };
 
 /// The planner: inspects the cone (event count, then a cheap min-degree
@@ -356,14 +452,25 @@ class AutoEngine : public ProbabilityEngine {
 
   AutoEngine() : AutoEngine(Limits{}) {}
   explicit AutoEngine(const Limits& limits);
-  EngineResult Estimate(const BoolCircuit& circuit, GateId root,
-                        const EventRegistry& registry,
-                        const Evidence& evidence = {}) override;
   const char* name() const override { return "auto"; }
+
+ protected:
+  /// Under a budget the ladder *degrades* instead of failing: a rung
+  /// that trips kResourceExhausted (or is priced over the table-cell
+  /// cap up front) falls through to the next cheaper rung — junction
+  /// tree → hybrid conditioning → budget-bounded sampling — and the
+  /// result reports the engine that actually answered, an honest
+  /// error_bound, and stats.degradations. Only kDeadlineExceeded /
+  /// kCancelled surface directly (no cheaper rung can beat a clock that
+  /// has already run out, and cancellation is the caller's own ask).
+  EngineResult EstimateImpl(const BoolCircuit& circuit, GateId root,
+                            const EventRegistry& registry,
+                            const Evidence& evidence,
+                            const QueryBudget& budget) override;
 
  private:
   EngineResult Plan(const BoolCircuit& circuit, GateId root,
-                    const EventRegistry& registry);
+                    const EventRegistry& registry, const QueryBudget& budget);
 
   Limits limits_;
   ExhaustiveEngine exhaustive_;

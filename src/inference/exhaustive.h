@@ -3,6 +3,7 @@
 
 #include "circuits/bool_circuit.h"
 #include "events/event_registry.h"
+#include "util/budget.h"
 
 namespace tud {
 
@@ -12,6 +13,15 @@ namespace tud {
 /// events. This is the naive baseline and the ground truth for tests.
 double ExhaustiveProbability(const BoolCircuit& circuit, GateId root,
                              const EventRegistry& registry);
+
+/// Budget-governed variant: charges one cell per enumerated valuation
+/// against `meter` and polls cancellation/deadline through it. A cone of
+/// more than 30 events returns kResourceExhausted (recoverable) instead
+/// of aborting. On kOk, `*value` holds the exact probability.
+EngineStatus ExhaustiveProbabilityGoverned(const BoolCircuit& circuit,
+                                           GateId root,
+                                           const EventRegistry& registry,
+                                           BudgetMeter& meter, double* value);
 
 }  // namespace tud
 

@@ -44,6 +44,22 @@ EngineResult HybridProbability(const BoolCircuit& circuit, GateId root,
                                const std::vector<EventId>& core_events,
                                uint32_t num_samples, Rng& rng);
 
+/// Budget-governed variant. Each sample's restricted plan is charged
+/// (its full table-cell cost) against `meter` before its tables are
+/// computed, and cancellation/deadline are polled between samples. On a
+/// mid-run trip the estimate over the samples completed so far is kept
+/// in `*result` (with an honest error bound over that count) and the
+/// tripping status is returned; callers may treat a partial run with
+/// result->stats.num_samples > 0 as degraded-but-usable. A restricted
+/// circuit too wide for exact message passing returns
+/// kResourceExhausted.
+EngineStatus HybridProbabilityGoverned(const BoolCircuit& circuit, GateId root,
+                                       const EventRegistry& registry,
+                                       const std::vector<EventId>& core_events,
+                                       uint32_t num_samples, Rng& rng,
+                                       BudgetMeter& meter,
+                                       EngineResult* result);
+
 /// Heuristic core selection: greedily removes the events whose variable
 /// vertices have the highest fill-in contribution until the min-fill
 /// width estimate of the restricted primal graph drops to

@@ -1,9 +1,11 @@
 #include "inference/junction_tree.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <memory>
 #include <numeric>
+#include <stdexcept>
 
 #include "treedec/elimination.h"
 #include "treedec/tree_decomposition.h"
@@ -129,31 +131,50 @@ double JunctionTreeAnalysis::TableCost() {
 JunctionTreePlan JunctionTreePlan::Build(const BoolCircuit& circuit,
                                          GateId root, bool seed_topological) {
   return BuildImpl(JunctionTreeAnalysis::Analyze(circuit, root),
-                   seed_topological, /*batch=*/false);
+                   seed_topological, /*batch=*/false, nullptr);
 }
 
 JunctionTreePlan JunctionTreePlan::Build(JunctionTreeAnalysis analysis,
                                          bool seed_topological) {
   TUD_CHECK_EQ(analysis.roots_.size(), 1u)
       << "single-root Build from a batch analysis; use BuildBatch";
-  return BuildImpl(std::move(analysis), seed_topological, /*batch=*/false);
+  return BuildImpl(std::move(analysis), seed_topological, /*batch=*/false,
+                   nullptr);
+}
+
+JunctionTreePlan JunctionTreePlan::Build(JunctionTreeAnalysis analysis,
+                                         bool seed_topological,
+                                         const QueryBudget& budget) {
+  TUD_CHECK_EQ(analysis.roots_.size(), 1u)
+      << "single-root Build from a batch analysis; use BuildBatch";
+  return BuildImpl(std::move(analysis), seed_topological, /*batch=*/false,
+                   &budget);
 }
 
 JunctionTreePlan JunctionTreePlan::BuildBatch(const BoolCircuit& circuit,
                                               const std::vector<GateId>& roots,
                                               bool seed_topological) {
   return BuildImpl(JunctionTreeAnalysis::AnalyzeBatch(circuit, roots),
-                   seed_topological, /*batch=*/true);
+                   seed_topological, /*batch=*/true, nullptr);
 }
 
 JunctionTreePlan JunctionTreePlan::BuildBatch(JunctionTreeAnalysis analysis,
                                               bool seed_topological) {
-  return BuildImpl(std::move(analysis), seed_topological, /*batch=*/true);
+  return BuildImpl(std::move(analysis), seed_topological, /*batch=*/true,
+                   nullptr);
+}
+
+JunctionTreePlan JunctionTreePlan::BuildBatch(JunctionTreeAnalysis analysis,
+                                              bool seed_topological,
+                                              const QueryBudget& budget) {
+  return BuildImpl(std::move(analysis), seed_topological, /*batch=*/true,
+                   &budget);
 }
 
 JunctionTreePlan JunctionTreePlan::BuildImpl(JunctionTreeAnalysis a,
                                              bool seed_topological,
-                                             bool batch) {
+                                             bool batch,
+                                             const QueryBudget* budget) {
   JunctionTreePlan plan;
   plan.batch_ = batch;
   const BoolCircuit& bin = a.bin_;
@@ -268,8 +289,41 @@ JunctionTreePlan JunctionTreePlan::BuildImpl(JunctionTreeAnalysis a,
   std::vector<uint32_t> position(n);
   for (uint32_t i = 0; i < n; ++i) position[order[i]] = i;
   plan.width_ = td.Width();
-  TUD_CHECK_LE(td.Width(), 25)
-      << "decomposition too wide for exact message passing";
+
+  // Admission: everything below lowers the decomposition into 2^|bag|
+  // tables, so the refusals happen *here*, before a single table cell
+  // is allocated. A too-wide decomposition is an intrinsic failure
+  // (kResourceExhausted, cacheable as a negative entry); a cell cap or
+  // deadline/cancellation from the caller's budget marks the plan
+  // budget-limited so caches know not to publish it.
+  for (BagId b = 0; b < td.NumBags(); ++b) {
+    // ldexp, not a shift: bags of a rejected-width decomposition can
+    // exceed 63 vertices.
+    plan.total_cells_ += std::ldexp(1.0, static_cast<int>(td.bag(b).size()));
+  }
+  if (td.Width() > 25) {
+    plan.build_status_ = EngineStatus::kResourceExhausted;
+    return plan;
+  }
+  if (budget != nullptr) {
+    if (budget->cancelled()) {
+      plan.build_status_ = EngineStatus::kCancelled;
+      plan.build_limited_by_budget_ = true;
+      return plan;
+    }
+    if (budget->past_deadline()) {
+      plan.build_status_ = EngineStatus::kDeadlineExceeded;
+      plan.build_limited_by_budget_ = true;
+      return plan;
+    }
+    if (budget->max_table_cells != 0 &&
+        static_cast<double>(budget->max_table_cells) <
+            (batch ? 2.0 : 1.0) * plan.total_cells_) {
+      plan.build_status_ = EngineStatus::kResourceExhausted;
+      plan.build_limited_by_budget_ = true;
+      return plan;
+    }
+  }
 
   // 3. Assign each factor to the bag of the earliest-eliminated vertex
   // of its scope (that bag contains the whole scope: the scope is a
@@ -641,6 +695,9 @@ double JunctionTreePlan::Execute(const EventRegistry& registry,
                                  const Evidence& evidence,
                                  PlanScratch* scratch) const {
   if (trivial_) return trivial_value_;
+  TUD_CHECK(build_status_ == EngineStatus::kOk)
+      << "Execute on a failed plan (" << EngineStatusName(build_status_)
+      << "); use ExecuteGoverned for a recoverable status";
   TUD_CHECK(!batch_) << "single-root Execute on a batch plan";
 
   // One bottom-up sum-product pass over the arena. With a caller
@@ -651,10 +708,66 @@ double JunctionTreePlan::Execute(const EventRegistry& registry,
   if (scratch != nullptr) {
     arena = scratch->Acquire(arena_size_);
   } else {
+    if (fault::ShouldFailAllocation()) throw std::bad_alloc();
     owned.reset(new double[arena_size_]);
     arena = owned.get();
   }
   return ExecuteOnArena(registry, evidence, arena);
+}
+
+EngineStatus JunctionTreePlan::ExecuteGoverned(const EventRegistry& registry,
+                                               const Evidence& evidence,
+                                               PlanScratch* scratch,
+                                               const QueryBudget& budget,
+                                               double* value) const {
+  if (build_status_ != EngineStatus::kOk) return build_status_;
+  if (trivial_) {
+    *value = trivial_value_;
+    return EngineStatus::kOk;
+  }
+  TUD_CHECK(!batch_) << "single-root ExecuteGoverned on a batch plan";
+
+  // Pre-admission: refuse a pass whose table work cannot fit the cap
+  // before the arena is even acquired — the cap is an OOM guard, not
+  // just a progress meter.
+  if (budget.max_table_cells != 0 &&
+      static_cast<double>(budget.max_table_cells) < total_cells_) {
+    return EngineStatus::kResourceExhausted;
+  }
+  if (budget.cancelled()) return EngineStatus::kCancelled;
+  if (budget.past_deadline()) return EngineStatus::kDeadlineExceeded;
+
+  std::unique_ptr<double[]> owned;
+  double* arena;
+  if (scratch != nullptr) {
+    arena = scratch->Acquire(arena_size_);
+  } else {
+    if (fault::ShouldFailAllocation()) throw std::bad_alloc();
+    owned.reset(new double[arena_size_]);
+    arena = owned.get();
+  }
+  BudgetMeter meter(budget);
+  return ExecuteGovernedOnArena(registry, evidence, arena, meter, value);
+}
+
+EngineStatus JunctionTreePlan::ExecuteGovernedOnArena(
+    const EventRegistry& registry, const Evidence& evidence, double* arena,
+    BudgetMeter& meter, double* value) const {
+  double* vals = arena + vals_off_;
+  ResolveVarValues(registry, evidence, vals);
+  for (uint32_t b = static_cast<uint32_t>(bags_.size()); b-- > 0;) {
+    const Bag& bag = bags_[b];
+    fault::MaybeDelayBag();
+    const EngineStatus st = meter.Charge(uint64_t{1} << bag.k);
+    if (st != EngineStatus::kOk) return st;
+    const double total = UpStep(bag, vals, arena);
+    if (bag.is_root) {
+      *value = total;
+      return EngineStatus::kOk;
+    }
+  }
+  TUD_CHECK(false) << "tree decomposition had no root bag";
+  return EngineStatus::kOk;
 }
 
 double JunctionTreePlan::UpStep(const Bag& bag, const double* vals,
@@ -713,9 +826,63 @@ double JunctionTreePlan::ExecuteDelta(const EventRegistry& registry,
                                       const std::vector<EventId>& dirty_events,
                                       PlanDeltaState& state, EngineStats* stats,
                                       double full_fraction) const {
+  if (!trivial_) {
+    TUD_CHECK(build_status_ == EngineStatus::kOk)
+        << "ExecuteDelta on a failed plan ("
+        << EngineStatusName(build_status_)
+        << "); use ExecuteDeltaGoverned for a recoverable status";
+  }
+  double value = 0.0;
+  ExecuteDeltaImpl(registry, evidence, dirty_events, state, stats,
+                   full_fraction, nullptr, &value);
+  return value;
+}
+
+EngineStatus JunctionTreePlan::ExecuteDeltaGoverned(
+    const EventRegistry& registry, const Evidence& evidence,
+    const std::vector<EventId>& dirty_events, PlanDeltaState& state,
+    const QueryBudget& budget, double* value, EngineStats* stats,
+    double full_fraction) const {
+  // Every non-kOk return must poison the stored pass: the caller has
+  // typically consumed its dirty marks already (the incremental session
+  // advances its cursor before executing), so a surviving `valid` arena
+  // would serve stale values on the next call.
+  if (build_status_ != EngineStatus::kOk) {
+    state.valid = false;
+    return build_status_;
+  }
+  if (!trivial_) {
+    // The delta path may recompute fewer cells than a full pass, but
+    // the persistent state arena holds the *whole* pass either way, so
+    // the cap is checked against the full table count.
+    if (budget.max_table_cells != 0 &&
+        static_cast<double>(budget.max_table_cells) < total_cells_) {
+      state.valid = false;
+      return EngineStatus::kResourceExhausted;
+    }
+    if (budget.cancelled()) {
+      state.valid = false;
+      return EngineStatus::kCancelled;
+    }
+    if (budget.past_deadline()) {
+      state.valid = false;
+      return EngineStatus::kDeadlineExceeded;
+    }
+  }
+  BudgetMeter meter(budget);
+  return ExecuteDeltaImpl(registry, evidence, dirty_events, state, stats,
+                          full_fraction, &meter, value);
+}
+
+EngineStatus JunctionTreePlan::ExecuteDeltaImpl(
+    const EventRegistry& registry, const Evidence& evidence,
+    const std::vector<EventId>& dirty_events, PlanDeltaState& state,
+    EngineStats* stats, double full_fraction, BudgetMeter* meter,
+    double* value) const {
   if (trivial_) {
     if (stats != nullptr) FillStats(stats);
-    return trivial_value_;
+    *value = trivial_value_;
+    return EngineStatus::kOk;
   }
   TUD_CHECK(!batch_) << "ExecuteDelta on a batch plan";
 
@@ -772,7 +939,8 @@ double JunctionTreePlan::ExecuteDelta(const EventRegistry& registry,
         FillStats(stats);
         stats->bags_visited = 0;
       }
-      return state.result;
+      *value = state.result;
+      return EngineStatus::kOk;
     }
     if (static_cast<double>(dirty_count) >
         full_fraction * static_cast<double>(bags_.size())) {
@@ -786,6 +954,16 @@ double JunctionTreePlan::ExecuteDelta(const EventRegistry& registry,
       // result is too.
       for (uint32_t b = static_cast<uint32_t>(bags_.size()); b-- > 0;) {
         const Bag& bag = bags_[b];
+        if (state.dirty_bags[b] != 0 && meter != nullptr) {
+          fault::MaybeDelayBag();
+          const EngineStatus st = meter->Charge(uint64_t{1} << bag.k);
+          if (st != EngineStatus::kOk) {
+            // The arena now mixes refreshed values with stale messages:
+            // poison the state so the next call runs a full pass.
+            state.valid = false;
+            return st;
+          }
+        }
         if (bag.is_root) {
           if (state.dirty_bags[b] != 0) {
             state.result = UpStep(bag, vals, arena);
@@ -803,22 +981,65 @@ double JunctionTreePlan::ExecuteDelta(const EventRegistry& registry,
         FillStats(stats);
         stats->bags_visited = recomputed;
       }
-      return state.result;
+      *value = state.result;
+      return EngineStatus::kOk;
     }
   }
 
   state.arena.resize(arena_size_);
-  state.result = ExecuteOnArena(registry, evidence, state.arena.data());
+  if (meter != nullptr) {
+    state.valid = false;  // Invalid until the governed pass completes.
+    const EngineStatus st = ExecuteGovernedOnArena(
+        registry, evidence, state.arena.data(), *meter, &state.result);
+    if (st != EngineStatus::kOk) return st;
+  } else {
+    state.result = ExecuteOnArena(registry, evidence, state.arena.data());
+  }
   state.evidence = evidence;
   state.valid = true;
   ++state.full_passes;
   if (stats != nullptr) FillStats(stats);
-  return state.result;
+  *value = state.result;
+  return EngineStatus::kOk;
 }
 
 std::vector<double> JunctionTreePlan::ExecuteBatch(
     const EventRegistry& registry, const Evidence& evidence,
     EngineStats* stats, PlanScratch* scratch) const {
+  if (!trivial_) {
+    TUD_CHECK(build_status_ == EngineStatus::kOk)
+        << "ExecuteBatch on a failed plan ("
+        << EngineStatusName(build_status_)
+        << "); use ExecuteBatchGoverned for a recoverable status";
+  }
+  std::vector<double> result;
+  ExecuteBatchImpl(registry, evidence, stats, scratch, nullptr, &result);
+  return result;
+}
+
+EngineStatus JunctionTreePlan::ExecuteBatchGoverned(
+    const EventRegistry& registry, const Evidence& evidence,
+    PlanScratch* scratch, const QueryBudget& budget,
+    std::vector<double>* values, EngineStats* stats) const {
+  if (build_status_ != EngineStatus::kOk) return build_status_;
+  if (!trivial_) {
+    // Calibration is an upward and a (pruned) downward pass: admit only
+    // if twice the table count fits the cap, before touching the arena.
+    if (budget.max_table_cells != 0 &&
+        static_cast<double>(budget.max_table_cells) < 2.0 * total_cells_) {
+      return EngineStatus::kResourceExhausted;
+    }
+    if (budget.cancelled()) return EngineStatus::kCancelled;
+    if (budget.past_deadline()) return EngineStatus::kDeadlineExceeded;
+  }
+  BudgetMeter meter(budget);
+  return ExecuteBatchImpl(registry, evidence, stats, scratch, &meter, values);
+}
+
+EngineStatus JunctionTreePlan::ExecuteBatchImpl(
+    const EventRegistry& registry, const Evidence& evidence,
+    EngineStats* stats, PlanScratch* scratch, BudgetMeter* meter,
+    std::vector<double>* values) const {
   TUD_CHECK(batch_) << "ExecuteBatch requires a BuildBatch plan";
   std::vector<double> result(query_roots_.size(), 0.0);
   size_t visited = 0;
@@ -828,6 +1049,7 @@ std::vector<double> JunctionTreePlan::ExecuteBatch(
     if (scratch != nullptr) {
       arena = scratch->Acquire(arena_size_);
     } else {
+      if (fault::ShouldFailAllocation()) throw std::bad_alloc();
       owned.reset(new double[arena_size_]);
       arena = owned.get();
     }
@@ -839,6 +1061,11 @@ std::vector<double> JunctionTreePlan::ExecuteBatch(
     // Upward (collect) pass; query bags keep their full table.
     for (uint32_t b = static_cast<uint32_t>(bags_.size()); b-- > 0;) {
       const Bag& bag = bags_[b];
+      if (meter != nullptr) {
+        fault::MaybeDelayBag();
+        const EngineStatus st = meter->Charge(uint64_t{1} << bag.k);
+        if (st != EngineStatus::kOk) return st;
+      }
       ++visited;
       if (!bag.is_root && bag.table_off == kNone) {
         switch (bag.opcode) {
@@ -877,6 +1104,11 @@ std::vector<double> JunctionTreePlan::ExecuteBatch(
         any = bags_[children_[ce].child].subtree_has_query;
       }
       if (!any) continue;
+      if (meter != nullptr) {
+        fault::MaybeDelayBag();
+        const EngineStatus st = meter->Charge(uint64_t{1} << bag.k);
+        if (st != EngineStatus::kOk) return st;
+      }
       ComputeBagBase(bag, vals, base);
       if (bag.down_off != kNone) {
         ApplyDown(bag, arena + bag.down_off, base);
@@ -943,7 +1175,8 @@ std::vector<double> JunctionTreePlan::ExecuteBatch(
     stats->bags_visited = visited;
     stats->max_table = trivial_ ? 0 : size_t{1} << max_k_;
   }
-  return result;
+  *values = std::move(result);
+  return EngineStatus::kOk;
 }
 
 void JunctionTreePlan::ApplyDown(const Bag& bag, const double* down,
@@ -1057,7 +1290,7 @@ const JunctionTreePlan* ConcurrentPlanCache::Lookup(GateId root) const {
 }
 
 const JunctionTreePlan* ConcurrentPlanCache::GetOrBuild(
-    const BoolCircuit& circuit, GateId root) {
+    const BoolCircuit& circuit, GateId root, const QueryBudget* budget) {
   TUD_CHECK_LT(root, circuit.NumGates());
   Shard& shard = ShardFor(root);
 
@@ -1102,30 +1335,73 @@ const JunctionTreePlan* ConcurrentPlanCache::GetOrBuild(
   if (!builder) {
     std::unique_lock<std::mutex> lock(latch->mu);
     latch->cv.wait(lock, [&] { return latch->done; });
+    if (latch->failed) {
+      throw std::runtime_error(
+          "junction-tree plan build failed (builder threw)");
+    }
+    if (latch->plan == nullptr) {
+      // The builder's plan was refused by *its* budget and not
+      // published; retry under this caller's own budget (either as the
+      // new builder or against a now-published entry).
+      lock.unlock();
+      return GetOrBuild(circuit, root, budget);
+    }
     return latch->plan;
   }
 
   // Build outside every lock: other roots keep hitting, other threads
-  // for this root park on the latch.
-  auto plan = std::make_shared<const JunctionTreePlan>(
-      JunctionTreePlan::Build(circuit, root, seed_topological_));
+  // for this root park on the latch. If Build throws (a real or
+  // injected bad_alloc), fail the latch so waiters raise instead of
+  // hanging, clear the inflight slot so the next request retries, and
+  // rethrow to this caller.
+  std::shared_ptr<const JunctionTreePlan> plan;
+  try {
+    plan = std::make_shared<const JunctionTreePlan>(
+        budget != nullptr
+            ? JunctionTreePlan::Build(
+                  JunctionTreeAnalysis::Analyze(circuit, root),
+                  seed_topological_, *budget)
+            : JunctionTreePlan::Build(circuit, root, seed_topological_));
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(shard.write_mu);
+      shard.inflight.erase(root);
+    }
+    {
+      std::lock_guard<std::mutex> lock(latch->mu);
+      latch->done = true;
+      latch->failed = true;
+    }
+    latch->cv.notify_all();
+    throw;
+  }
   builds_.fetch_add(1, std::memory_order_relaxed);
   const JunctionTreePlan* raw = plan.get();
+  // Intrinsic outcomes (healthy plans *and* too-wide failures) are
+  // published — the failure is a property of the root, so caching it
+  // spares every later caller the width discovery. Budget-limited
+  // refusals are kept unpublished: another caller's budget may admit
+  // this root, and a negative entry would wrongly fail it.
+  const bool publish = !plan->build_limited_by_budget();
   {
     std::lock_guard<std::mutex> lock(shard.write_mu);
-    const Map* old = shard.published.load(std::memory_order_relaxed);
-    auto next = std::make_unique<Map>(old != nullptr ? *old : Map{});
-    (*next)[root] = Entry{std::move(plan), circuit.kind(root)};
-    shard.published.store(next.release(), std::memory_order_release);
-    if (old != nullptr) {
-      shard.retired.emplace_back(old);
+    if (publish) {
+      const Map* old = shard.published.load(std::memory_order_relaxed);
+      auto next = std::make_unique<Map>(old != nullptr ? *old : Map{});
+      (*next)[root] = Entry{std::move(plan), circuit.kind(root)};
+      shard.published.store(next.release(), std::memory_order_release);
+      if (old != nullptr) {
+        shard.retired.emplace_back(old);
+      }
+    } else {
+      shard.unpublished.push_back(std::move(plan));
     }
     shard.inflight.erase(root);
   }
   {
     std::lock_guard<std::mutex> lock(latch->mu);
     latch->done = true;
-    latch->plan = raw;
+    latch->plan = publish ? raw : nullptr;
   }
   latch->cv.notify_all();
   return raw;

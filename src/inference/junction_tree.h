@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -14,6 +15,8 @@
 #include "events/event_registry.h"
 #include "inference/engine.h"
 #include "treedec/graph.h"
+#include "util/budget.h"
+#include "util/fault_injection.h"
 
 namespace tud {
 
@@ -24,8 +27,12 @@ namespace tud {
 /// thread. Not thread-safe; plans do not retain it past the call.
 class PlanScratch {
  public:
-  /// A buffer of at least `size` doubles (contents unspecified).
+  /// A buffer of at least `size` doubles (contents unspecified). May
+  /// throw std::bad_alloc — for real under memory pressure, or injected
+  /// by the fault harness (fault::ShouldFailAllocation) in
+  /// TUD_FAULT_INJECTION builds.
   double* Acquire(size_t size) {
+    if (fault::ShouldFailAllocation()) throw std::bad_alloc();
     if (size > capacity_) {
       buf_.reset(new double[size]);
       capacity_ = size;
@@ -151,9 +158,10 @@ class JunctionTreeAnalysis {
 ///
 /// Cost O(2^{w+1}) per bag: PTIME whenever the lineage has bounded
 /// treewidth, which Theorems 1-2 guarantee for bounded-treewidth
-/// instances. Bags are capped at 26 vertices (checked) — beyond that
-/// the decomposition is too wide for exact message passing and callers
-/// should fall back to sampling.
+/// instances. Bags are capped at 26 vertices — beyond that the plan is
+/// built *failed* (build_status() = kResourceExhausted): the governed
+/// Execute entry points report it as a status, the legacy ones abort,
+/// and callers (AutoEngine) fall back to conditioning or sampling.
 class JunctionTreePlan {
  public:
   /// Compiles the cone of `root`. With `seed_topological`, the
@@ -177,6 +185,35 @@ class JunctionTreePlan {
                                      bool seed_topological = false);
   static JunctionTreePlan BuildBatch(JunctionTreeAnalysis analysis,
                                      bool seed_topological = false);
+
+  /// Governed Build: instead of aborting on a decomposition too wide
+  /// for exact message passing, the returned plan carries a non-kOk
+  /// build_status() (kResourceExhausted) and refuses to Execute. With a
+  /// table-cell cap in `budget`, a decomposition whose Σ 2^|bag| would
+  /// exceed the cap is likewise refused *before* any table is allocated
+  /// — the OOM-prevention contract: one adversarial query never gets to
+  /// reserve its arena. Budget-induced refusals are distinguishable
+  /// from intrinsic ones via build_limited_by_budget().
+  static JunctionTreePlan Build(JunctionTreeAnalysis analysis,
+                                bool seed_topological,
+                                const QueryBudget& budget);
+  static JunctionTreePlan BuildBatch(JunctionTreeAnalysis analysis,
+                                     bool seed_topological,
+                                     const QueryBudget& budget);
+
+  /// kOk, or why the plan is unusable: kResourceExhausted (too wide for
+  /// exact message passing, or over the build budget's cell cap),
+  /// kDeadlineExceeded / kCancelled (budget tripped during Build). The
+  /// ungoverned Execute entry points abort on a failed plan; the
+  /// governed ones return this status.
+  EngineStatus build_status() const { return build_status_; }
+  /// True when build_status() != kOk was caused by the caller's budget
+  /// rather than the plan's intrinsic width — the cache must not
+  /// publish such plans (another caller's budget may admit the root).
+  bool build_limited_by_budget() const { return build_limited_by_budget_; }
+  /// Σ 2^|bag| of the built decomposition: the table-entry count of one
+  /// message pass, what a budget's max_table_cells is charged against.
+  double total_cells() const { return total_cells_; }
 
   /// P(root = true | evidence): events listed in `evidence` are pinned
   /// to the given truth value and contribute no probability weight.
@@ -227,6 +264,41 @@ class JunctionTreePlan {
                       const std::vector<EventId>& dirty_events,
                       PlanDeltaState& state, EngineStats* stats = nullptr,
                       double full_fraction = 0.5) const;
+
+  /// Governed Execute: checks `budget` at bag granularity (one
+  /// BudgetMeter::Charge of 2^k cells per bag, so deadline slack is
+  /// bounded by one bag's work) and returns a structured status instead
+  /// of aborting. A table-cell cap is enforced *before* the arena is
+  /// touched — total_cells() over the cap returns kResourceExhausted
+  /// with zero allocation. On kOk, `*value` holds the root marginal;
+  /// on any other status `*value` is untouched.
+  EngineStatus ExecuteGoverned(const EventRegistry& registry,
+                               const Evidence& evidence, PlanScratch* scratch,
+                               const QueryBudget& budget,
+                               double* value) const;
+
+  /// Governed ExecuteBatch. The pre-admission cap check uses
+  /// 2 x total_cells() (calibration is an up *and* a pruned down pass).
+  /// On kOk, `*values` holds every root's marginal.
+  EngineStatus ExecuteBatchGoverned(const EventRegistry& registry,
+                                    const Evidence& evidence,
+                                    PlanScratch* scratch,
+                                    const QueryBudget& budget,
+                                    std::vector<double>* values,
+                                    EngineStats* stats = nullptr) const;
+
+  /// Governed ExecuteDelta. A budget trip mid-repropagation leaves
+  /// `state` *invalid* (the arena holds a mix of old and new messages),
+  /// so the next call falls back to a full pass — correctness is never
+  /// traded for the partial work. On kOk, `*value` holds the root
+  /// marginal.
+  EngineStatus ExecuteDeltaGoverned(const EventRegistry& registry,
+                                    const Evidence& evidence,
+                                    const std::vector<EventId>& dirty_events,
+                                    PlanDeltaState& state,
+                                    const QueryBudget& budget, double* value,
+                                    EngineStats* stats = nullptr,
+                                    double full_fraction = 0.5) const;
 
   int width() const { return width_; }
   size_t num_bags() const { return bags_.size(); }
@@ -298,7 +370,8 @@ class JunctionTreePlan {
   JunctionTreePlan() = default;
 
   static JunctionTreePlan BuildImpl(JunctionTreeAnalysis analysis,
-                                    bool seed_topological, bool batch);
+                                    bool seed_topological, bool batch,
+                                    const QueryBudget* budget);
 
   /// Computes bag `b`'s table (static x variable factors x child
   /// messages) into `table`; `vals` holds the resolved per-var-factor
@@ -338,6 +411,27 @@ class JunctionTreePlan {
   /// message pass, which is what ExecuteDelta persists).
   double ExecuteOnArena(const EventRegistry& registry,
                         const Evidence& evidence, double* arena) const;
+  /// The governed single-root upward pass: the same kernels, plus one
+  /// budget charge (and fault-injection delay point) per bag. Kept
+  /// separate from ExecuteOnArena so the ungoverned hot loop carries no
+  /// per-bag branches at all.
+  EngineStatus ExecuteGovernedOnArena(const EventRegistry& registry,
+                                      const Evidence& evidence, double* arena,
+                                      BudgetMeter& meter,
+                                      double* value) const;
+  /// Shared body of ExecuteBatch / ExecuteBatchGoverned (`meter`
+  /// nullptr = ungoverned).
+  EngineStatus ExecuteBatchImpl(const EventRegistry& registry,
+                                const Evidence& evidence, EngineStats* stats,
+                                PlanScratch* scratch, BudgetMeter* meter,
+                                std::vector<double>* values) const;
+  /// Shared body of ExecuteDelta / ExecuteDeltaGoverned.
+  EngineStatus ExecuteDeltaImpl(const EventRegistry& registry,
+                                const Evidence& evidence,
+                                const std::vector<EventId>& dirty_events,
+                                PlanDeltaState& state, EngineStats* stats,
+                                double full_fraction, BudgetMeter* meter,
+                                double* value) const;
   /// One upward step of bag `b` on `arena` (the per-bag body shared by
   /// the full pass and the dirty-bag recomputation; `vals` points at the
   /// resolved var-factor pairs inside the same arena). Returns the root
@@ -347,6 +441,9 @@ class JunctionTreePlan {
   bool trivial_ = false;      ///< Cone folded to a constant.
   double trivial_value_ = 0;
   bool batch_ = false;
+  EngineStatus build_status_ = EngineStatus::kOk;
+  bool build_limited_by_budget_ = false;
+  double total_cells_ = 0;    ///< Σ 2^|bag| of the decomposition.
   int width_ = 0;
   size_t num_gates_ = 0;
   uint32_t max_k_ = 0;
@@ -404,7 +501,22 @@ class ConcurrentPlanCache {
 
   /// The cached plan for `root`, building (exactly once across all
   /// threads) on a miss. The returned plan lives as long as the cache.
-  const JunctionTreePlan* GetOrBuild(const BoolCircuit& circuit, GateId root);
+  ///
+  /// With a `budget`, Build runs governed: a root whose decomposition
+  /// is intrinsically too wide yields a published *failed* plan
+  /// (build_status() != kOk — a negative cache entry, so the expensive
+  /// width discovery also happens once), while a plan refused only by
+  /// this caller's budget is returned without being published (another
+  /// caller's larger budget may admit the same root; the returned
+  /// pointer is then owned by the retire list and stays valid for the
+  /// cache's lifetime).
+  ///
+  /// If the builder throws (e.g. an injected or real bad_alloc), every
+  /// waiter on the in-flight latch receives the failure as a
+  /// std::runtime_error instead of hanging, and the next GetOrBuild for
+  /// the root retries the build.
+  const JunctionTreePlan* GetOrBuild(const BoolCircuit& circuit, GateId root,
+                                     const QueryBudget* budget = nullptr);
 
   /// Lock-free probe: the cached plan, or nullptr without building.
   const JunctionTreePlan* Lookup(GateId root) const;
@@ -444,6 +556,7 @@ class ConcurrentPlanCache {
     std::mutex mu;
     std::condition_variable cv;
     bool done = false;
+    bool failed = false;  ///< Builder threw; waiters raise, not hang.
     const JunctionTreePlan* plan = nullptr;
   };
   struct Shard {
@@ -453,6 +566,9 @@ class ConcurrentPlanCache {
     std::vector<std::unique_ptr<const Map>> retired;  ///< Old snapshots;
                                                       ///< readers may
                                                       ///< still hold them.
+    /// Budget-refused plans handed out but never published (the caller
+    /// holds a raw pointer with cache lifetime).
+    std::vector<std::shared_ptr<const JunctionTreePlan>> unpublished;
   };
   static constexpr size_t kNumShards = 8;
 

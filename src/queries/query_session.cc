@@ -124,9 +124,10 @@ std::vector<GateId> QuerySession::ReachabilityLineageBatch(
   return result;
 }
 
-void QuerySession::UpdateProbability(EventId event, double probability) {
-  pcc_.events().set_probability(event, probability);
+bool QuerySession::UpdateProbability(EventId event, double probability) {
+  if (!pcc_.events().TrySetProbability(event, probability)) return false;
   dirty_.Mark(event);
+  return true;
 }
 
 EngineResult QuerySession::Probability(GateId lineage,

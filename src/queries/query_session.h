@@ -72,8 +72,11 @@ class QuerySession {
   /// (IncrementalSession / JunctionTreePlan::ExecuteDelta) repropagate
   /// only the affected messages on the next query. Existing lineage
   /// gates, the decomposition, and cached plans all stay valid — a
-  /// probability change is purely numeric.
-  void UpdateProbability(EventId event, double probability);
+  /// probability change is purely numeric. Returns false — leaving the
+  /// session untouched — for an unknown EventId or a probability
+  /// outside [0, 1]: updates arrive from user input, so a malformed one
+  /// is an answer, not an abort.
+  bool UpdateProbability(EventId event, double probability);
 
   /// The update log UpdateProbability appends to (consumers keep
   /// generation cursors into it; see incremental/dirty_log.h).

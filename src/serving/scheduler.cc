@@ -197,6 +197,7 @@ TaskScheduler::Stats TaskScheduler::stats() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.executed = executed_.load(std::memory_order_relaxed);
   s.stolen = stolen_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -205,9 +206,20 @@ PlanScratch* TaskScheduler::CurrentScratch() { return tls_scratch; }
 bool TaskScheduler::OnWorkerThread() const { return tls_scheduler == this; }
 
 void TaskScheduler::RunTask(Task* task) {
-  (*task)();
+  // Per-task exception containment: a throwing task (bad_alloc under
+  // memory pressure, a bug in a caller's lambda) fails *its own* work —
+  // the task is expected to route the error into its promise — and must
+  // never take the worker thread down with it (an escaped exception
+  // here would std::terminate the process and strand every queued
+  // future). The task is still deleted and outstanding_ still
+  // decremented, so Drain() and shutdown cannot hang on a failed task.
+  try {
+    (*task)();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  } catch (...) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
   delete task;
-  executed_.fetch_add(1, std::memory_order_relaxed);
   if (outstanding_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
     std::lock_guard<std::mutex> lock(drain_mu_);
     drain_cv_.notify_all();

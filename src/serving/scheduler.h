@@ -51,6 +51,9 @@ class TaskScheduler {
     uint64_t submitted = 0;  ///< Tasks accepted (Submit + Spawn).
     uint64_t executed = 0;   ///< Tasks run to completion.
     uint64_t stolen = 0;     ///< Tasks obtained by stealing.
+    uint64_t failed = 0;     ///< Tasks that threw (contained per task:
+                             ///< the worker survives, the task's own
+                             ///< promise carries the error).
   };
 
   TaskScheduler();  ///< Default options (nested-class NSDMI rules forbid
@@ -163,6 +166,7 @@ class TaskScheduler {
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> executed_{0};
   std::atomic<uint64_t> stolen_{0};
+  std::atomic<uint64_t> failed_{0};
 };
 
 }  // namespace serving

@@ -1,6 +1,7 @@
 #include "serving/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -47,22 +48,111 @@ EngineResult ServingSession::RunOne(GateId root, const Evidence& evidence) {
   return engine_.Estimate(*circuit_, root, *registry_, evidence);
 }
 
+QueryBudget ServingSession::MakeBudget(const QueryOptions& query) const {
+  QueryBudget budget;
+  const double deadline_ms =
+      query.deadline_ms > 0 ? query.deadline_ms : options_.default_deadline_ms;
+  if (deadline_ms > 0) budget = QueryBudget::WithDeadlineMs(deadline_ms);
+  budget.max_table_cells = query.max_table_cells;
+  budget.max_samples = query.max_samples;
+  budget.cancel = query.cancel.get();
+  return budget;
+}
+
+EngineResult ServingSession::RunGoverned(const Request& request) {
+  const auto start = std::chrono::steady_clock::now();
+  EngineResult result =
+      request.budget.unlimited()
+          ? engine_.Estimate(*circuit_, request.root, *registry_,
+                             request.evidence)
+          : engine_.Estimate(*circuit_, request.root, *registry_,
+                             request.evidence, request.budget);
+  // EWMA of service time (alpha = 1/8): the admission estimate's
+  // notion of "how long does one query ahead of me cost".
+  const uint64_t sample_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  uint64_t old_ewma = ewma_service_ns_.load(std::memory_order_relaxed);
+  const uint64_t next =
+      old_ewma == 0 ? sample_ns : old_ewma - old_ewma / 8 + sample_ns / 8;
+  ewma_service_ns_.store(next, std::memory_order_relaxed);
+  return result;
+}
+
+void ServingSession::Fulfil(const std::shared_ptr<Request>& request) {
+  // Per-task exception containment: an engine throw (injected
+  // bad_alloc, a builder failure) fails this query's own future; the
+  // worker thread — and every other queued future — is unaffected.
+  try {
+    request->promise.set_value(RunGoverned(*request));
+  } catch (...) {
+    failed_queries_.fetch_add(1, std::memory_order_relaxed);
+    request->promise.set_exception(std::current_exception());
+  }
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
 std::future<EngineResult> ServingSession::Submit(GateId lineage,
                                                  Evidence evidence) {
+  return Submit(lineage, std::move(evidence), QueryOptions{});
+}
+
+std::future<EngineResult> ServingSession::Submit(GateId lineage,
+                                                 Evidence evidence,
+                                                 const QueryOptions& query) {
   auto request = std::make_shared<Request>();
   request->root = lineage;
   request->evidence = std::move(evidence);
+  request->budget = MakeBudget(query);
+  request->cancel = query.cancel;
   std::future<EngineResult> result = request->promise.get_future();
+
+  // Queue-time-aware admission: if the queries already queued will, by
+  // the EWMA service-time estimate, outlast this query's deadline, shed
+  // it now with a typed rejection — O(1) at the door beats a guaranteed
+  // kDeadlineExceeded after minutes in line. Only sheds on a warm
+  // estimate (EWMA > 0) and only for governed queries with a deadline.
+  if (request->budget.has_deadline()) {
+    const uint64_t ewma = ewma_service_ns_.load(std::memory_order_relaxed);
+    const uint64_t depth = in_flight_.load(std::memory_order_relaxed);
+    const unsigned workers = std::max(1u, scheduler_.num_threads());
+    if (ewma > 0 && depth > 0) {
+      const auto est_wait =
+          std::chrono::nanoseconds(ewma * (depth / workers));
+      if (std::chrono::steady_clock::now() + est_wait >
+          request->budget.deadline) {
+        request->promise.set_value(
+            MakeStatusResult("serving", EngineStatus::kRejected));
+        return result;
+      }
+    }
+  }
+
   if (!options_.coalesce) {
-    bool accepted = scheduler_.Submit([this, request] {
-      request->promise.set_value(RunOne(request->root, request->evidence));
-    });
+    // Load shedding at the intake: past shed_capacity the query is
+    // rejected (typed, immediate) instead of the submitter blocking.
+    if (options_.shed_capacity > 0 &&
+        in_flight_.load(std::memory_order_relaxed) >= options_.shed_capacity) {
+      request->promise.set_value(
+          MakeStatusResult("serving", EngineStatus::kRejected));
+      return result;
+    }
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    bool accepted = scheduler_.Submit([this, request] { Fulfil(request); });
     if (!accepted) FailRequest(request);
     return result;
   }
   bool schedule_drain = false;
   {
     std::unique_lock<std::mutex> lock(pending_mu_);
+    if (options_.shed_capacity > 0 &&
+        pending_.size() >= options_.shed_capacity) {
+      lock.unlock();
+      request->promise.set_value(
+          MakeStatusResult("serving", EngineStatus::kRejected));
+      return result;
+    }
     // Backpressure: the coalescing buffer honours the same bound as the
     // scheduler intake, so memory stays bounded under overload. Worker
     // threads never block here — they are the consumers that shrink
@@ -72,6 +162,7 @@ std::future<EngineResult> ServingSession::Submit(GateId lineage,
         return pending_.size() < options_.queue_capacity;
       });
     }
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
     pending_.push_back(std::move(request));
     if (!drain_scheduled_) {
       drain_scheduled_ = true;
@@ -110,8 +201,15 @@ void ServingSession::DrainPending() {
 
   // Group the batch by evidence (groups are what a shared pass can
   // answer together; grouping also keeps the fan-out deterministic).
+  // Governed requests stay out of the groups: each carries its own
+  // budget, which a shared pass cannot honour per member.
   std::vector<std::vector<std::shared_ptr<Request>>> groups;
   for (auto& request : batch) {
+    if (!request->budget.unlimited()) {
+      std::shared_ptr<Request> r = std::move(request);
+      if (!scheduler_.Spawn([this, r] { Fulfil(r); })) FailRequest(r);
+      continue;
+    }
     bool placed = false;
     for (auto& group : groups) {
       if (group.front()->evidence == request->evidence) {
@@ -134,10 +232,19 @@ void ServingSession::DrainPending() {
         roots.reserve(shared_group->size());
         for (const auto& request : *shared_group)
           roots.push_back(request->root);
-        std::vector<EngineResult> results = engine_.EstimateBatch(
-            *circuit_, roots, *registry_, shared_group->front()->evidence);
-        for (size_t i = 0; i < shared_group->size(); ++i)
-          (*shared_group)[i]->promise.set_value(results[i]);
+        try {
+          std::vector<EngineResult> results = engine_.EstimateBatch(
+              *circuit_, roots, *registry_, shared_group->front()->evidence);
+          for (size_t i = 0; i < shared_group->size(); ++i)
+            (*shared_group)[i]->promise.set_value(results[i]);
+        } catch (...) {
+          // Contain the throw to this group's futures: every other
+          // queued query (and the worker itself) is unaffected.
+          for (const auto& request : *shared_group)
+            request->promise.set_exception(std::current_exception());
+        }
+        in_flight_.fetch_sub(shared_group->size(),
+                             std::memory_order_relaxed);
       });
       if (!accepted)
         for (const auto& request : *shared_group) FailRequest(request);
@@ -147,15 +254,13 @@ void ServingSession::DrainPending() {
     // worker's deque (idle workers steal their share).
     for (auto& request : group) {
       std::shared_ptr<Request> r = std::move(request);
-      bool accepted = scheduler_.Spawn([this, r] {
-        r->promise.set_value(RunOne(r->root, r->evidence));
-      });
-      if (!accepted) FailRequest(r);
+      if (!scheduler_.Spawn([this, r] { Fulfil(r); })) FailRequest(r);
     }
   }
 }
 
 void ServingSession::FailRequest(const std::shared_ptr<Request>& request) {
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
   request->promise.set_exception(std::make_exception_ptr(
       std::runtime_error("ServingSession: shutdown began before the query "
                          "could be scheduled")));
@@ -177,6 +282,13 @@ EngineResult ServingSession::Evaluate(GateId lineage,
   return RunOne(lineage, evidence);
 }
 
+EngineResult ServingSession::Evaluate(GateId lineage, const Evidence& evidence,
+                                      const QueryOptions& query) {
+  const QueryBudget budget = MakeBudget(query);
+  if (budget.unlimited()) return RunOne(lineage, evidence);
+  return engine_.Estimate(*circuit_, lineage, *registry_, evidence, budget);
+}
+
 void ServingSession::Prewarm(GateId lineage) {
   engine_.Prewarm(*circuit_, lineage);
 }
@@ -193,10 +305,25 @@ const ConcurrentPlanCache& ServingSession::plan_cache() const {
 
 EpochedServingSession::EpochedServingSession(
     const incremental::EpochManager& epochs, const ServingOptions& options)
-    : epochs_(&epochs), scheduler_(SchedulerOptions(options)) {}
+    : epochs_(&epochs),
+      default_deadline_ms_(options.default_deadline_ms),
+      scheduler_(SchedulerOptions(options)) {}
+
+QueryBudget EpochedServingSession::MakeBudget(
+    const QueryOptions& query) const {
+  QueryBudget budget;
+  const double deadline_ms =
+      query.deadline_ms > 0 ? query.deadline_ms : default_deadline_ms_;
+  if (deadline_ms > 0) budget = QueryBudget::WithDeadlineMs(deadline_ms);
+  budget.max_table_cells = query.max_table_cells;
+  budget.max_samples = query.max_samples;
+  budget.cancel = query.cancel.get();
+  return budget;
+}
 
 EngineResult EpochedServingSession::RunOne(size_t query_index,
-                                           const Evidence& evidence) const {
+                                           const Evidence& evidence,
+                                           const QueryBudget& budget) const {
   // One acquire load pins the whole epoch for this query: circuit,
   // registry, plans, and roots are all read through `snap`, and the
   // shared_ptr keeps the epoch alive even if the writer supersedes it
@@ -204,31 +331,74 @@ EngineResult EpochedServingSession::RunOne(size_t query_index,
   std::shared_ptr<const incremental::SessionSnapshot> snap =
       epochs_->Current();
   if (snap == nullptr) {
-    throw std::runtime_error(
-        "EpochedServingSession: no epoch published yet");
+    // No epoch published yet: a sequencing mistake on the caller's
+    // side, answered (not thrown) so one early query cannot take a
+    // worker down.
+    return MakeStatusResult("epoched_jt", EngineStatus::kInvalidArgument);
   }
   if (query_index >= snap->query_roots.size()) {
-    throw std::out_of_range(
-        "EpochedServingSession: query index not registered in this epoch");
+    // An index the epoch does not carry (racing deregistration, stale
+    // handle): a normal answer, not a crash.
+    return MakeStatusResult("epoched_jt", EngineStatus::kInvalidArgument);
   }
   const GateId root = snap->query_roots[query_index];
-  const JunctionTreePlan* plan = snap->plans->GetOrBuild(*snap->circuit, root);
   EngineResult result;
-  plan->FillStats(&result.stats);
-  result.value =
-      plan->Execute(*snap->registry, evidence, TaskScheduler::CurrentScratch());
   result.engine = "epoched_jt";
+  if (budget.unlimited()) {
+    const JunctionTreePlan* plan =
+        snap->plans->GetOrBuild(*snap->circuit, root);
+    plan->FillStats(&result.stats);
+    result.value = plan->Execute(*snap->registry, evidence,
+                                 TaskScheduler::CurrentScratch());
+    return result;
+  }
+  if (budget.cancelled()) {
+    return MakeStatusResult("epoched_jt", EngineStatus::kCancelled);
+  }
+  if (budget.past_deadline()) {
+    return MakeStatusResult("epoched_jt", EngineStatus::kDeadlineExceeded);
+  }
+  const JunctionTreePlan* plan =
+      snap->plans->GetOrBuild(*snap->circuit, root, &budget);
+  plan->FillStats(&result.stats);
+  if (plan->build_status() != EngineStatus::kOk) {
+    result.status = plan->build_status();
+    result.error_bound = 1.0;
+    return result;
+  }
+  double value = 0.0;
+  EngineStatus st =
+      plan->ExecuteGoverned(*snap->registry, evidence,
+                            TaskScheduler::CurrentScratch(), budget, &value);
+  if (st != EngineStatus::kOk) {
+    result.status = st;
+    result.error_bound = 1.0;
+    return result;
+  }
+  result.value = value;
   return result;
 }
 
 std::future<EngineResult> EpochedServingSession::Submit(size_t query_index,
                                                         Evidence evidence) {
+  return SubmitImpl(query_index, std::move(evidence), QueryBudget{}, nullptr);
+}
+
+std::future<EngineResult> EpochedServingSession::Submit(
+    size_t query_index, Evidence evidence, const QueryOptions& query) {
+  return SubmitImpl(query_index, std::move(evidence), MakeBudget(query),
+                    query.cancel);
+}
+
+std::future<EngineResult> EpochedServingSession::SubmitImpl(
+    size_t query_index, Evidence evidence, QueryBudget budget,
+    std::shared_ptr<const CancelToken> cancel) {
   auto promise = std::make_shared<std::promise<EngineResult>>();
   std::future<EngineResult> result = promise->get_future();
-  auto task = [this, promise, query_index,
-               evidence = std::move(evidence)]() mutable {
+  auto task = [this, promise, query_index, evidence = std::move(evidence),
+               budget, cancel = std::move(cancel)]() mutable {
     try {
-      promise->set_value(RunOne(query_index, evidence));
+      promise->set_value(RunOne(query_index, evidence, budget));
     } catch (...) {
       promise->set_exception(std::current_exception());
     }
@@ -243,7 +413,13 @@ std::future<EngineResult> EpochedServingSession::Submit(size_t query_index,
 
 EngineResult EpochedServingSession::Evaluate(size_t query_index,
                                              const Evidence& evidence) {
-  return RunOne(query_index, evidence);
+  return RunOne(query_index, evidence, QueryBudget{});
+}
+
+EngineResult EpochedServingSession::Evaluate(size_t query_index,
+                                             const Evidence& evidence,
+                                             const QueryOptions& query) {
+  return RunOne(query_index, evidence, MakeBudget(query));
 }
 
 void EpochedServingSession::Drain() { scheduler_.Drain(); }

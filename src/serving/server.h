@@ -1,8 +1,10 @@
 #ifndef TUD_SERVING_SERVER_H_
 #define TUD_SERVING_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -13,6 +15,7 @@
 #include "incremental/epoch.h"
 #include "inference/engine.h"
 #include "serving/scheduler.h"
+#include "util/budget.h"
 
 namespace tud {
 
@@ -47,6 +50,35 @@ struct ServingOptions {
   /// Seed decompositions from circuit construction order (see
   /// JunctionTreePlan::Build).
   bool seed_topological = false;
+  /// Default per-query deadline in milliseconds, applied to queries
+  /// whose QueryOptions carry none. 0 = no default deadline.
+  double default_deadline_ms = 0;
+  /// Admission control: with a nonzero shed capacity, a submission that
+  /// finds this many queries already queued is *shed* — its future
+  /// resolves immediately to a kRejected EngineResult — instead of
+  /// blocking the submitter (the overload answer a serving process
+  /// wants: typed rejection, bounded latency). 0 keeps the legacy
+  /// blocking backpressure.
+  size_t shed_capacity = 0;
+};
+
+/// Per-query resource governance for Submit/Evaluate. Default
+/// constructed = ungoverned (beyond the session's default deadline).
+struct QueryOptions {
+  /// Wall-clock deadline in ms from submission; 0 = the session's
+  /// default_deadline_ms (which may itself be "none").
+  double deadline_ms = 0;
+  /// Table-cell cap (junction-tree message cells); 0 = no cap. A query
+  /// whose plan would exceed it returns kResourceExhausted before any
+  /// arena is allocated.
+  uint64_t max_table_cells = 0;
+  /// Sample cap for sampling-based engines; 0 = no cap.
+  uint32_t max_samples = 0;
+  /// Cooperative cancellation: the caller keeps (a copy of) the token
+  /// and may Cancel() at any time — queued work resolves kCancelled
+  /// when claimed, in-flight work at its next bag-granularity check.
+  /// The shared_ptr keeps the token alive until the query resolves.
+  std::shared_ptr<const CancelToken> cancel;
 };
 
 /// The concurrent serving front-end of the evaluation pipeline: one
@@ -98,10 +130,28 @@ class ServingSession {
   /// shutting down the future resolves to a std::runtime_error.
   std::future<EngineResult> Submit(GateId lineage, Evidence evidence = {});
 
+  /// As above with per-query governance: the deadline covers queue time
+  /// plus execution (a query claimed after its deadline resolves
+  /// kDeadlineExceeded without running), caps and cancellation are
+  /// checked at bag granularity inside the engine, and admission
+  /// control may shed the query up front with kRejected — when the
+  /// queue is at shed_capacity, or when the EWMA service-time estimate
+  /// says the queries already ahead of it will outlast its deadline
+  /// (queue-time-aware admission: reject in O(1) rather than time out
+  /// in O(queue)). A governed future therefore always resolves within
+  /// the deadline plus one bag's slack.
+  std::future<EngineResult> Submit(GateId lineage, Evidence evidence,
+                                   const QueryOptions& query);
+
   /// Synchronous evaluation on the calling thread, through the same
   /// plan cache (the single-thread baseline, and an escape hatch for
   /// callers that want no queueing).
   EngineResult Evaluate(GateId lineage, const Evidence& evidence = {});
+
+  /// Synchronous governed evaluation (no queue, so no admission
+  /// control: the budget's caps/deadline/token apply directly).
+  EngineResult Evaluate(GateId lineage, const Evidence& evidence,
+                        const QueryOptions& query);
 
   /// Compiles the plan for `lineage` now, so serving traffic never pays
   /// its cold Build.
@@ -116,20 +166,39 @@ class ServingSession {
   TaskScheduler& scheduler() { return scheduler_; }
   unsigned num_threads() const { return scheduler_.num_threads(); }
 
+  /// Queries that threw out of the engine (each failed only its own
+  /// future; the worker survived). Counts both throws contained at the
+  /// serving layer (Fulfil's catch) and tasks that threw out of the
+  /// scheduler's own per-task containment.
+  uint64_t failed_tasks() const {
+    return failed_queries_.load(std::memory_order_relaxed) +
+           scheduler_.stats().failed;
+  }
+
  private:
   struct Request {
     GateId root;
     Evidence evidence;
     std::promise<EngineResult> promise;
+    QueryBudget budget;  ///< Unlimited unless submitted with options.
+    std::shared_ptr<const CancelToken> cancel;  ///< Keeps budget.cancel alive.
   };
 
   EngineResult RunOne(GateId root, const Evidence& evidence);
+  EngineResult RunGoverned(const Request& request);
+  /// Resolves (QueryOptions, session defaults) into a concrete budget,
+  /// stamping the deadline now — queue time counts against it.
+  QueryBudget MakeBudget(const QueryOptions& query) const;
+  /// Executes one request on a worker: governed or legacy path, with
+  /// per-task exception containment (a throw fails this future only).
+  void Fulfil(const std::shared_ptr<Request>& request);
   /// The drain task: moves out pending requests, groups them by
   /// evidence, and fans the groups out across the pool.
   void DrainPending();
   /// Resolves the request's future to a shutdown error (the scheduler
-  /// rejected the work because shutdown has begun).
-  static void FailRequest(const std::shared_ptr<Request>& request);
+  /// rejected the work because shutdown has begun) and releases its
+  /// in-flight slot.
+  void FailRequest(const std::shared_ptr<Request>& request);
   /// Fails every queued request and clears drain_scheduled_ — the
   /// recovery path when scheduling a drain task is rejected.
   void FailAllPending();
@@ -144,6 +213,16 @@ class ServingSession {
   std::condition_variable pending_not_full_;
   std::vector<std::shared_ptr<Request>> pending_;
   bool drain_scheduled_ = false;
+  /// EWMA of per-query service time in nanoseconds (relaxed atomics:
+  /// the admission estimate tolerates staleness). Seeded at 0 so an
+  /// idle session never sheds on a cold estimate.
+  std::atomic<uint64_t> ewma_service_ns_{0};
+  /// Queries queued or in flight (admission's queue-depth input; the
+  /// scheduler's own outstanding count also covers drain bookkeeping
+  /// tasks, which would inflate the estimate).
+  std::atomic<uint64_t> in_flight_{0};
+  /// Engine throws contained by Fulfil (see failed_tasks()).
+  std::atomic<uint64_t> failed_queries_{0};
 
   /// Last member: destroyed (drained + joined) first, while the engine
   /// and circuit its tasks use are still alive.
@@ -182,12 +261,23 @@ class EpochedServingSession {
   /// Enqueues one query against the then-current epoch (the snapshot is
   /// grabbed by the worker when the query runs). Thread-safe; blocks
   /// only under backpressure. If the session is shutting down the
-  /// future resolves to a std::runtime_error.
+  /// future resolves to a std::runtime_error. A query index not
+  /// registered in the epoch it runs against (or no epoch published
+  /// yet) resolves to a kInvalidArgument result, not an exception — a
+  /// racing deregistration is a normal answer, not a crash.
   std::future<EngineResult> Submit(size_t query_index, Evidence evidence = {});
+
+  /// As above with per-query governance (deadline stamped at submit, so
+  /// queue time counts; caps and cancellation checked at bag
+  /// granularity inside the governed plan execution).
+  std::future<EngineResult> Submit(size_t query_index, Evidence evidence,
+                                   const QueryOptions& query);
 
   /// Synchronous evaluation on the calling thread against the current
   /// epoch.
   EngineResult Evaluate(size_t query_index, const Evidence& evidence = {});
+  EngineResult Evaluate(size_t query_index, const Evidence& evidence,
+                        const QueryOptions& query);
 
   /// Blocks until every submitted query has resolved.
   void Drain();
@@ -196,9 +286,15 @@ class EpochedServingSession {
   unsigned num_threads() const { return scheduler_.num_threads(); }
 
  private:
-  EngineResult RunOne(size_t query_index, const Evidence& evidence) const;
+  EngineResult RunOne(size_t query_index, const Evidence& evidence,
+                      const QueryBudget& budget) const;
+  QueryBudget MakeBudget(const QueryOptions& query) const;
+  std::future<EngineResult> SubmitImpl(
+      size_t query_index, Evidence evidence, QueryBudget budget,
+      std::shared_ptr<const CancelToken> cancel);
 
   const incremental::EpochManager* epochs_;
+  double default_deadline_ms_;
   /// Last member: destroyed (drained + joined) first.
   TaskScheduler scheduler_;
 };

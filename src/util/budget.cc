@@ -1,0 +1,23 @@
+#include "util/budget.h"
+
+namespace tud {
+
+const char* EngineStatusName(EngineStatus status) {
+  switch (status) {
+    case EngineStatus::kOk:
+      return "ok";
+    case EngineStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case EngineStatus::kResourceExhausted:
+      return "resource_exhausted";
+    case EngineStatus::kCancelled:
+      return "cancelled";
+    case EngineStatus::kInvalidArgument:
+      return "invalid_argument";
+    case EngineStatus::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+}  // namespace tud

@@ -1,0 +1,113 @@
+#include "util/fault_injection.h"
+
+#ifdef TUD_FAULT_INJECTION
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace tud {
+namespace fault {
+namespace {
+
+// The configuration itself is read on hot paths from many threads, so
+// the scalar knobs are mirrored into atomics; Configure/Reset swap them
+// under a mutex. Probabilities are pre-scaled to a 32-bit threshold so
+// the per-call check is one RNG step and one compare.
+std::mutex g_config_mu;
+std::atomic<uint32_t> g_alloc_threshold{0};   // fail if rng32 < threshold
+std::atomic<uint32_t> g_cancel_threshold{0};  // cancel if rng32 < threshold
+std::atomic<uint32_t> g_delay_us{0};
+std::atomic<uint64_t> g_seed{1};
+std::atomic<uint64_t> g_alloc_failures{0};
+
+uint32_t ScaleProbability(double p) {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return 0xFFFFFFFFu;
+  return static_cast<uint32_t>(p * 4294967296.0);
+}
+
+// Per-thread splitmix64 stream, reseeded lazily when the global seed
+// epoch changes so Configure() gives deterministic-per-thread streams.
+struct ThreadRng {
+  uint64_t state = 0;
+  uint64_t epoch = 0;
+
+  uint32_t Next(uint64_t seed_epoch) {
+    if (epoch != seed_epoch) {
+      epoch = seed_epoch;
+      state = seed_epoch ^
+              (std::hash<std::thread::id>{}(std::this_thread::get_id()) |
+               uint64_t{1});
+    }
+    state += 0x9E3779B97F4A7C15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<uint32_t>((z ^ (z >> 31)) >> 32);
+  }
+};
+
+ThreadRng& Rng() {
+  thread_local ThreadRng rng;
+  return rng;
+}
+
+}  // namespace
+
+void Configure(const Config& config) {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  g_alloc_threshold.store(ScaleProbability(config.alloc_failure_probability),
+                          std::memory_order_relaxed);
+  g_cancel_threshold.store(ScaleProbability(config.cancel_probability),
+                           std::memory_order_relaxed);
+  g_delay_us.store(config.per_bag_delay_us, std::memory_order_relaxed);
+  g_seed.store(config.seed == 0 ? 1 : config.seed, std::memory_order_relaxed);
+  g_alloc_failures.store(0, std::memory_order_relaxed);
+}
+
+void Reset() { Configure(Config{}); }
+
+bool ShouldFailAllocation() {
+  uint32_t threshold = g_alloc_threshold.load(std::memory_order_relaxed);
+  if (threshold == 0) return false;
+  if (Rng().Next(g_seed.load(std::memory_order_relaxed)) >= threshold) {
+    return false;
+  }
+  g_alloc_failures.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void MaybeDelayBag() {
+  uint32_t us = g_delay_us.load(std::memory_order_relaxed);
+  if (us == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+bool ShouldForceCancel() {
+  uint32_t threshold = g_cancel_threshold.load(std::memory_order_relaxed);
+  if (threshold == 0) return false;
+  return Rng().Next(g_seed.load(std::memory_order_relaxed)) < threshold;
+}
+
+uint64_t AllocationFailures() {
+  return g_alloc_failures.load(std::memory_order_relaxed);
+}
+
+}  // namespace fault
+}  // namespace tud
+
+#else  // !TUD_FAULT_INJECTION
+
+// Everything is inline no-ops in the header; this TU is intentionally
+// empty so the build graph stays identical across configurations.
+namespace tud {
+namespace fault {
+namespace {
+[[maybe_unused]] constexpr int kUnused = 0;
+}  // namespace
+}  // namespace fault
+}  // namespace tud
+
+#endif  // TUD_FAULT_INJECTION

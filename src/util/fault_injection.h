@@ -1,0 +1,89 @@
+#ifndef TUD_UTIL_FAULT_INJECTION_H_
+#define TUD_UTIL_FAULT_INJECTION_H_
+
+/// Fault-injection hooks for stress-testing the serving and inference
+/// layers: probabilistic allocation failure (thrown as std::bad_alloc
+/// from the arena-acquisition sites), forced per-bag delays (to widen
+/// race windows in the scheduler / epoch manager), and forced
+/// cancellation points (so cooperative-cancellation paths fire even in
+/// tests that never touch a CancelToken).
+///
+/// The hooks are compiled to empty inlines unless the build defines
+/// TUD_FAULT_INJECTION (CMake: -DTUD_FAULT_INJECTION=ON). Release
+/// builds therefore pay nothing — not even a branch.
+
+#include <cstdint>
+
+namespace tud {
+namespace fault {
+
+#ifdef TUD_FAULT_INJECTION
+
+inline constexpr bool kEnabled = true;
+
+/// Probabilities are in [0, 1]; 0 disables the corresponding fault.
+struct Config {
+  double alloc_failure_probability = 0.0;
+  double cancel_probability = 0.0;
+  uint32_t per_bag_delay_us = 0;
+  uint64_t seed = 1;
+};
+
+/// Installs `config` process-wide and resets the fault counters.
+void Configure(const Config& config);
+
+/// Restores the all-faults-off default configuration.
+void Reset();
+
+/// True if the next guarded allocation should fail. Increments the
+/// allocation-failure counter when it fires.
+bool ShouldFailAllocation();
+
+/// Sleeps for the configured per-bag delay, if any.
+void MaybeDelayBag();
+
+/// True if a cooperative cancellation point should trip this time.
+bool ShouldForceCancel();
+
+/// Number of allocations failed since the last Configure/Reset.
+uint64_t AllocationFailures();
+
+/// RAII scope: installs `config` on construction, Reset() on
+/// destruction. Keeps tests exception-safe.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const Config& config) { Configure(config); }
+  ~ScopedFaultInjection() { Reset(); }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+#else  // !TUD_FAULT_INJECTION
+
+inline constexpr bool kEnabled = false;
+
+struct Config {
+  double alloc_failure_probability = 0.0;
+  double cancel_probability = 0.0;
+  uint32_t per_bag_delay_us = 0;
+  uint64_t seed = 1;
+};
+
+inline void Configure(const Config&) {}
+inline void Reset() {}
+inline bool ShouldFailAllocation() { return false; }
+inline void MaybeDelayBag() {}
+inline bool ShouldForceCancel() { return false; }
+inline uint64_t AllocationFailures() { return 0; }
+
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const Config&) {}
+};
+
+#endif  // TUD_FAULT_INJECTION
+
+}  // namespace fault
+}  // namespace tud
+
+#endif  // TUD_UTIL_FAULT_INJECTION_H_
