@@ -19,6 +19,15 @@
 //                                            scratch (fresh session,
 //                                            fresh decomposition,
 //                                            lineage, plan) + query
+//   persist/wal_append/<spec>                durable UpdateProbability:
+//                                            encode + CRC + write(2) +
+//                                            apply, per mutation
+//   persist/recovery_replay/<spec>           Recover(): checkpoint load
+//                                            + WAL replay, per replayed
+//                                            record
+//   persist/checkpoint_write/<spec>          full-state checkpoint
+//                                            (serialize + CRC + write +
+//                                            fsync + rename + rotate)
 //
 // The prob_update rows carry a speedup_vs_rebuild counter; the repair
 // rows carry the repair/rebuild counters that pin the structural path.
@@ -32,11 +41,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "harness.h"
 #include "incremental/incremental_session.h"
+#include "persist/durable_session.h"
 #include "inference/junction_tree.h"
 #include "queries/query_session.h"
 #include "uncertain/c_instance.h"
@@ -251,6 +263,130 @@ void BenchStructuralInserts(const workloads::InstanceSpec& spec,
   PrintRow(results->back());
 }
 
+/// Durability costs over one spec: the WAL append tax on a probability
+/// update, recovery (checkpoint load + replay) throughput, and the
+/// full-state checkpoint write. The instance is loaded *through* the
+/// durable path (every fact an InsertFact record), so recovery replays
+/// realistic structural records too.
+void BenchPersistence(const workloads::InstanceSpec& spec, size_t num_updates,
+                      std::vector<bench::BenchResult>* results) {
+  namespace fs = std::filesystem;
+  const auto [source, target] = workloads::CanonicalEndpoints(spec);
+  TidInstance tid = workloads::MakeInstance(spec);
+
+  const std::string dir =
+      (fs::temp_directory_path() / ("tud_bench_persist_" + spec.Name()))
+          .string();
+  fs::remove_all(dir);
+
+  const persist::PersistOptions options;
+  std::unique_ptr<persist::DurableSession> durable;
+  if (persist::DurableSession::Create(dir, tid.instance().schema(), options,
+                                      &durable) != EngineStatus::kOk) {
+    std::fprintf(stderr, "persist bench: Create failed\n");
+    std::abort();
+  }
+  for (FactId f = 0; f < tid.NumFacts(); ++f) {
+    const Fact& fact = tid.instance().fact(f);
+    if (durable->InsertFact(fact.relation, fact.args, tid.probability(f)) !=
+        EngineStatus::kOk) {
+      std::abort();
+    }
+  }
+  if (durable->RegisterReachability(0, source, target) != EngineStatus::kOk)
+    std::abort();
+  double sink = durable->Probability(0).value;  // Warm plan + delta state.
+  const size_t num_events = durable->session().pcc().events().size();
+
+  // --- WAL append: the durable update stream (validate + encode + CRC
+  // + write + apply per op), against a log that started at the load.
+  double append_seconds;
+  {
+    Rng rng(107);
+    const auto start = clock_type::now();
+    for (size_t i = 0; i < num_updates; ++i) {
+      if (durable->UpdateProbability(
+              static_cast<EventId>(rng.UniformDouble() *
+                                   static_cast<double>(num_events)),
+              rng.UniformDouble()) != EngineStatus::kOk) {
+        std::abort();
+      }
+    }
+    append_seconds = SecondsSince(start);
+  }
+  if (durable->Sync() != EngineStatus::kOk) std::abort();
+  const uint64_t wal_bytes = static_cast<uint64_t>(
+      fs::file_size(dir + "/wal-" + std::to_string(durable->checkpoint_seq()) +
+                    ".log"));
+  sink += durable->Probability(0).value;
+  durable.reset();
+
+  bench::BenchResult append =
+      Row("persist/wal_append/" + spec.Name(), append_seconds, num_updates);
+  append.counters = {
+      {"wal_bytes_per_record",
+       static_cast<double>(wal_bytes) /
+           static_cast<double>(num_updates + tid.NumFacts() + 1)},
+  };
+  results->push_back(append);
+  PrintRow(results->back());
+
+  // --- Recovery: load the (empty-state) checkpoint and replay the
+  // whole log — inserts, the registration, and the update stream.
+  const int kRecoverRounds = 3;
+  persist::RecoveryStats stats;
+  double recover_seconds;
+  {
+    const auto start = clock_type::now();
+    for (int round = 0; round < kRecoverRounds; ++round) {
+      std::unique_ptr<persist::DurableSession> recovered;
+      if (persist::DurableSession::Recover(dir, options, &recovered,
+                                           &stats) != EngineStatus::kOk) {
+        std::fprintf(stderr, "persist bench: Recover failed\n");
+        std::abort();
+      }
+      if (round + 1 == kRecoverRounds) durable = std::move(recovered);
+    }
+    recover_seconds = SecondsSince(start);
+  }
+  sink += durable->Probability(0).value;
+  bench::BenchResult recover =
+      Row("persist/recovery_replay/" + spec.Name(), recover_seconds,
+          kRecoverRounds * stats.records_replayed);
+  recover.counters = {
+      {"records_replayed", static_cast<double>(stats.records_replayed)},
+  };
+  results->push_back(recover);
+  PrintRow(results->back());
+
+  // --- Checkpoint write: full-state serialization + fsync + rename +
+  // WAL rotation, on the recovered session.
+  const size_t kCheckpointOps = 8;
+  double checkpoint_seconds;
+  {
+    const auto start = clock_type::now();
+    for (size_t i = 0; i < kCheckpointOps; ++i) {
+      if (durable->Checkpoint() != EngineStatus::kOk) std::abort();
+    }
+    checkpoint_seconds = SecondsSince(start);
+  }
+  const uint64_t ckpt_bytes = static_cast<uint64_t>(fs::file_size(
+      dir + "/checkpoint-" + std::to_string(durable->checkpoint_seq()) +
+      ".ckpt"));
+  if (!std::isfinite(sink)) std::abort();
+  durable.reset();
+  fs::remove_all(dir);
+
+  bench::BenchResult checkpoint =
+      Row("persist/checkpoint_write/" + spec.Name(), checkpoint_seconds,
+          kCheckpointOps);
+  checkpoint.counters = {
+      {"checkpoint_bytes", static_cast<double>(ckpt_bytes)},
+  };
+  results->push_back(checkpoint);
+  PrintRow(results->back());
+}
+
 int Main(int argc, char** argv) {
   const size_t num_updates =
       argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 2000;
@@ -273,6 +409,7 @@ int Main(int argc, char** argv) {
     }
     BenchProbabilityUpdates(*spec, num_updates, &results);
     BenchStructuralInserts(*spec, num_inserts, &results);
+    BenchPersistence(*spec, num_updates, &results);
   }
 
   if (!bench::Harness::WriteJson(results, out)) {

@@ -124,6 +124,30 @@ GateId BoolCircuit::AddNaryInPlace(GateKind op, std::vector<GateId>& inputs) {
   return id;
 }
 
+GateId BoolCircuit::RestoreGate(GateKind kind, bool const_value,
+                                EventId event, std::vector<GateId> inputs) {
+  GateId id = AddGate(kind, const_value, event, std::move(inputs));
+  switch (kind) {
+    case GateKind::kConst: {
+      GateId& cached = const_value ? true_gate_ : false_gate_;
+      if (cached == kInvalidGate) cached = id;
+      break;
+    }
+    case GateKind::kVar:
+      var_cache_.emplace(event, id);
+      num_events_ = std::max(num_events_, static_cast<size_t>(event) + 1);
+      break;
+    case GateKind::kNot:
+    case GateKind::kAnd:
+    case GateKind::kOr:
+      // emplace keeps the first id on a duplicate key, matching what the
+      // original construction's cache held.
+      cache_.emplace(HashKey{kind, event, inputs_[id]}, id);
+      break;
+  }
+  return id;
+}
+
 GateId BoolCircuit::AddAnd(std::vector<GateId> inputs) {
   return AddNaryInPlace(GateKind::kAnd, inputs);
 }

@@ -71,6 +71,16 @@ class BoolCircuit {
   /// Recursively adds a propositional formula; returns its root gate.
   GateId AddFormula(const BoolFormula& formula);
 
+  /// Persistence restore: appends the gate with id NumGates() with
+  /// exactly the given raw shape — no folding, no deduplication — and
+  /// re-derives the construction caches (structural-hash cache, var
+  /// cache, const-gate slots, NumEvents), so hash-consing after a
+  /// restore behaves identically to the original construction. Gates
+  /// must be restored in id order; the caller (the checkpoint loader)
+  /// is responsible for validating inputs < id first.
+  GateId RestoreGate(GateKind kind, bool const_value, EventId event,
+                     std::vector<GateId> inputs);
+
   size_t NumGates() const { return kinds_.size(); }
   GateKind kind(GateId g) const { return kinds_[g]; }
   bool const_value(GateId g) const;

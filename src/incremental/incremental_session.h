@@ -151,6 +151,14 @@ class IncrementalSession {
   EngineResult Probability(QueryId query, const Evidence& evidence,
                            const QueryBudget& budget);
 
+  /// Persistence restore: re-records a deletion tombstone without
+  /// re-driving the event (the restored registry already holds the
+  /// probability-0 overwrite). Used only by checkpoint recovery.
+  void RestoreTombstone(EventId event, bool value) {
+    patch_.Tombstone(event, value);
+    stats_.tombstoned_facts = patch_.num_tombstones();
+  }
+
   /// Builds an immutable SessionSnapshot of the current state (deep
   /// copies of circuit and registry, a fresh per-epoch plan cache
   /// prewarmed with every registered root) and publishes it through
@@ -160,6 +168,12 @@ class IncrementalSession {
   const IncrementalStats& stats() const { return stats_; }
   const CircuitPatch& patch() const { return patch_; }
   QuerySession& session() { return session_; }
+  /// The repair-slack anchor (see IncrementalOptions). Persisted by the
+  /// durability layer: replayed structural updates must take the same
+  /// repair-vs-rebuild decisions as the live session did, or the
+  /// recovered circuit diverges gate-for-gate from the logged one.
+  int searched_width() const { return searched_width_; }
+  void set_searched_width(int width) { searched_width_ = width; }
   /// The live-path plan cache (per-epoch snapshot caches are separate).
   ConcurrentPlanCache& plan_cache() { return plan_cache_; }
 

@@ -1,0 +1,362 @@
+#include "persist/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_set>
+
+#include "persist/codec.h"
+#include "util/fault_injection.h"
+
+namespace tud {
+namespace persist {
+
+namespace {
+
+constexpr char kCkptMagic[8] = {'T', 'U', 'D', 'C', 'K', 'P', 'T', '1'};
+constexpr uint32_t kCkptVersion = 1;
+constexpr size_t kCkptHeaderSize = 24;  // magic + version + len + crc.
+constexpr uint64_t kMaxPayloadLen = 1ull << 32;
+
+void EncodeTerm(ByteWriter& w, const Term& t) {
+  w.U8(t.is_var ? 1 : 0);
+  w.U32(t.var);
+  w.U32(t.constant);
+}
+
+Term DecodeTerm(ByteReader& r) {
+  Term t;
+  t.is_var = r.U8() != 0;
+  t.var = r.U32();
+  t.constant = r.U32();
+  return t;
+}
+
+std::vector<uint8_t> EncodePayload(const CheckpointState& state) {
+  ByteWriter w;
+  w.U64(state.seq);
+  w.U64(state.wal_lsn);
+
+  w.U32(static_cast<uint32_t>(state.schema.NumRelations()));
+  for (RelationId r = 0; r < state.schema.NumRelations(); ++r) {
+    w.Str(state.schema.name(r));
+    w.U32(state.schema.arity(r));
+  }
+
+  w.U32(static_cast<uint32_t>(state.events.size()));
+  for (const auto& [name, probability] : state.events) {
+    w.Str(name);
+    w.F64(probability);
+  }
+
+  w.U32(static_cast<uint32_t>(state.gates.size()));
+  for (const CheckpointState::Gate& g : state.gates) {
+    w.U8(static_cast<uint8_t>(g.kind));
+    w.U8(g.const_value ? 1 : 0);
+    w.U32(g.var);
+    w.VecU32(g.inputs);
+  }
+
+  w.U32(static_cast<uint32_t>(state.facts.size()));
+  for (const CheckpointState::FactRow& f : state.facts) {
+    w.U32(f.relation);
+    w.VecU32(f.args);
+    w.U32(f.annotation);
+  }
+
+  w.U8(state.has_decomposition ? 1 : 0);
+  if (state.has_decomposition) {
+    w.U32(static_cast<uint32_t>(state.ntd_kinds.size()));
+    for (size_t n = 0; n < state.ntd_kinds.size(); ++n) {
+      w.U8(static_cast<uint8_t>(state.ntd_kinds[n]));
+      w.U32(state.ntd_vertices[n]);
+      w.VecU32(state.ntd_bags[n]);
+      w.VecU32(state.ntd_children[n]);
+    }
+    w.U32(static_cast<uint32_t>(state.facts_at_node.size()));
+    for (const std::vector<FactId>& facts : state.facts_at_node) {
+      w.VecU32(facts);
+    }
+    w.U32(static_cast<uint32_t>(state.width));
+    w.VecU32(state.elimination_order);
+  }
+
+  w.U32(static_cast<uint32_t>(state.searched_width));
+
+  w.U32(static_cast<uint32_t>(state.tombstones.size()));
+  for (const auto& [event, value] : state.tombstones) {
+    w.U32(event);
+    w.U8(value ? 1 : 0);
+  }
+
+  w.U32(static_cast<uint32_t>(state.queries.size()));
+  for (const CheckpointState::QueryRow& q : state.queries) {
+    w.U8(q.kind);
+    if (q.kind == 0) {
+      w.U32(static_cast<uint32_t>(q.cq.NumAtoms()));
+      for (const QueryAtom& atom : q.cq.atoms()) {
+        w.U32(atom.relation);
+        w.U32(static_cast<uint32_t>(atom.terms.size()));
+        for (const Term& t : atom.terms) EncodeTerm(w, t);
+      }
+    } else {
+      w.U32(q.relation);
+      w.U32(q.source);
+      w.U32(q.target);
+    }
+    w.U32(q.root);
+  }
+
+  return std::move(w.bytes());
+}
+
+bool DecodePayload(const uint8_t* data, size_t size, CheckpointState* out) {
+  ByteReader r(data, size);
+  *out = CheckpointState{};
+  out->seq = r.U64();
+  out->wal_lsn = r.U64();
+
+  const uint32_t num_relations = r.U32();
+  if (!r.ok() || num_relations > size) return false;
+  for (uint32_t i = 0; i < num_relations; ++i) {
+    std::string name = r.Str();
+    const uint32_t arity = r.U32();
+    // Duplicate names would abort inside AddRelation / Register — turn
+    // them into a decode failure instead (corrupt data never aborts).
+    if (!r.ok() || name.empty() || out->schema.Find(name).has_value()) {
+      return false;
+    }
+    out->schema.AddRelation(std::move(name), arity);
+  }
+
+  const uint32_t num_events = r.U32();
+  if (!r.ok() || num_events > size) return false;
+  out->events.reserve(num_events);
+  std::unordered_set<std::string> event_names;
+  for (uint32_t i = 0; i < num_events; ++i) {
+    std::string name = r.Str();
+    const double probability = r.F64();
+    if (!r.ok() || name.empty() ||
+        !(probability >= 0.0 && probability <= 1.0) ||
+        !event_names.insert(name).second) {
+      return false;
+    }
+    out->events.emplace_back(std::move(name), probability);
+  }
+
+  const uint32_t num_gates = r.U32();
+  if (!r.ok() || num_gates > size) return false;
+  out->gates.reserve(num_gates);
+  for (uint32_t g = 0; g < num_gates; ++g) {
+    CheckpointState::Gate gate;
+    const uint8_t kind = r.U8();
+    if (kind > static_cast<uint8_t>(GateKind::kOr)) return false;
+    gate.kind = static_cast<GateKind>(kind);
+    gate.const_value = r.U8() != 0;
+    gate.var = r.U32();
+    gate.inputs = r.VecU32();
+    if (!r.ok()) return false;
+    // Topological invariant — the restore path's safety contract.
+    for (GateId in : gate.inputs) {
+      if (in >= g) return false;
+    }
+    if (gate.kind == GateKind::kVar &&
+        (gate.var == kInvalidEvent || gate.var >= num_events)) {
+      return false;
+    }
+    out->gates.push_back(std::move(gate));
+  }
+
+  const uint32_t num_facts = r.U32();
+  if (!r.ok() || num_facts > size) return false;
+  out->facts.reserve(num_facts);
+  for (uint32_t f = 0; f < num_facts; ++f) {
+    CheckpointState::FactRow fact;
+    fact.relation = r.U32();
+    fact.args = r.VecU32();
+    fact.annotation = r.U32();
+    if (!r.ok() || fact.relation >= num_relations ||
+        fact.args.size() != out->schema.arity(fact.relation) ||
+        fact.annotation >= num_gates) {
+      return false;
+    }
+    out->facts.push_back(std::move(fact));
+  }
+
+  out->has_decomposition = r.U8() != 0;
+  if (out->has_decomposition) {
+    const uint32_t num_nodes = r.U32();
+    if (!r.ok() || num_nodes == 0 || num_nodes > size) return false;
+    out->ntd_kinds.reserve(num_nodes);
+    for (uint32_t n = 0; n < num_nodes; ++n) {
+      const uint8_t kind = r.U8();
+      if (kind > static_cast<uint8_t>(NiceNodeKind::kJoin)) return false;
+      out->ntd_kinds.push_back(static_cast<NiceNodeKind>(kind));
+      out->ntd_vertices.push_back(r.U32());
+      out->ntd_bags.push_back(r.VecU32());
+      std::vector<NiceNodeId> children = r.VecU32();
+      if (!r.ok()) return false;
+      for (NiceNodeId c : children) {
+        if (c >= n) return false;
+      }
+      out->ntd_children.push_back(std::move(children));
+    }
+    const uint32_t num_assign = r.U32();
+    if (!r.ok() || num_assign != num_nodes) return false;
+    out->facts_at_node.reserve(num_assign);
+    for (uint32_t n = 0; n < num_assign; ++n) {
+      std::vector<FactId> facts = r.VecU32();
+      if (!r.ok()) return false;
+      for (FactId f : facts) {
+        if (f >= num_facts) return false;
+      }
+      out->facts_at_node.push_back(std::move(facts));
+    }
+    out->width = static_cast<int32_t>(r.U32());
+    out->elimination_order = r.VecU32();
+    if (!r.ok()) return false;
+  }
+
+  out->searched_width = static_cast<int32_t>(r.U32());
+
+  const uint32_t num_tombstones = r.U32();
+  if (!r.ok() || num_tombstones > size) return false;
+  for (uint32_t i = 0; i < num_tombstones; ++i) {
+    const EventId event = r.U32();
+    const bool value = r.U8() != 0;
+    if (!r.ok() || event >= num_events) return false;
+    out->tombstones.emplace_back(event, value);
+  }
+
+  const uint32_t num_queries = r.U32();
+  if (!r.ok() || num_queries > size) return false;
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    CheckpointState::QueryRow q;
+    q.kind = r.U8();
+    if (q.kind > 1) return false;
+    if (q.kind == 0) {
+      const uint32_t num_atoms = r.U32();
+      // The lineage DP TUD_CHECKs its complexity limits (≤ 16 atoms);
+      // re-registering a decoded query must never reach that abort.
+      if (!r.ok() || num_atoms > 16) return false;
+      for (uint32_t a = 0; a < num_atoms; ++a) {
+        const RelationId relation = r.U32();
+        const uint32_t num_terms = r.U32();
+        if (!r.ok() || num_terms > 64) return false;
+        std::vector<Term> terms;
+        terms.reserve(num_terms);
+        for (uint32_t t = 0; t < num_terms; ++t) terms.push_back(DecodeTerm(r));
+        if (!r.ok() || relation >= num_relations) return false;
+        q.cq.AddAtom(relation, std::move(terms));
+      }
+    } else {
+      q.relation = r.U32();
+      q.source = r.U32();
+      q.target = r.U32();
+      if (!r.ok() || q.relation >= num_relations) return false;
+    }
+    q.root = r.U32();
+    if (!r.ok() || q.root >= num_gates) return false;
+    out->queries.push_back(std::move(q));
+  }
+
+  return r.done();
+}
+
+}  // namespace
+
+EngineStatus WriteCheckpoint(const std::string& path,
+                             const CheckpointState& state) {
+  std::vector<uint8_t> payload = EncodePayload(state);
+
+  ByteWriter image;
+  for (char c : kCkptMagic) image.U8(static_cast<uint8_t>(c));
+  image.U32(kCkptVersion);
+  image.U64(payload.size());
+  image.U32(Crc32c(payload));
+  image.bytes().insert(image.bytes().end(), payload.begin(), payload.end());
+
+  // Injected silent corruption: damage the payload after its checksum
+  // was taken, so only ReadCheckpoint's CRC verification can object.
+  const int64_t flip = fault::MaybeFlipBit(payload.size());
+  if (flip >= 0) {
+    image.bytes()[kCkptHeaderSize + static_cast<size_t>(flip / 8)] ^=
+        static_cast<uint8_t>(1u << (flip % 8));
+  }
+
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) return EngineStatus::kIoError;
+
+  if (fault::ShouldFailWrite()) {
+    // Torn checkpoint write: leave a prefix in the .tmp file (a crash
+    // mid-write). The file is never renamed, so it is invisible to
+    // recovery — the atomicity contract under test.
+    (void)!::write(fd, image.bytes().data(), image.size() / 2);
+    ::close(fd);
+    return EngineStatus::kIoError;
+  }
+
+  const ssize_t n = ::write(fd, image.bytes().data(), image.size());
+  if (n != static_cast<ssize_t>(image.size())) {
+    ::close(fd);
+    return EngineStatus::kIoError;
+  }
+  if (fault::ShouldFailFlush() || ::fsync(fd) != 0) {
+    ::close(fd);
+    return EngineStatus::kIoError;
+  }
+  ::close(fd);
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) return EngineStatus::kIoError;
+  return EngineStatus::kOk;
+}
+
+EngineStatus ReadCheckpoint(const std::string& path, CheckpointState* out) {
+  std::vector<uint8_t> bytes;
+  {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return EngineStatus::kIoError;
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size < 0) {
+      std::fclose(f);
+      return EngineStatus::kIoError;
+    }
+    bytes.resize(static_cast<size_t>(size));
+    if (!bytes.empty() &&
+        std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+      std::fclose(f);
+      return EngineStatus::kIoError;
+    }
+    std::fclose(f);
+  }
+
+  if (bytes.size() < kCkptHeaderSize) return EngineStatus::kIoError;
+  ByteReader header(bytes.data(), kCkptHeaderSize);
+  char magic[8];
+  for (char& c : magic) c = static_cast<char>(header.U8());
+  const uint32_t version = header.U32();
+  const uint64_t payload_len = header.U64();
+  const uint32_t payload_crc = header.U32();
+  if (std::memcmp(magic, kCkptMagic, sizeof(kCkptMagic)) != 0 ||
+      version != kCkptVersion || payload_len > kMaxPayloadLen ||
+      bytes.size() - kCkptHeaderSize != payload_len) {
+    return EngineStatus::kIoError;
+  }
+  const uint8_t* payload = bytes.data() + kCkptHeaderSize;
+  if (Crc32c(payload, payload_len) != payload_crc) {
+    return EngineStatus::kIoError;
+  }
+  if (!DecodePayload(payload, payload_len, out)) {
+    return EngineStatus::kIoError;
+  }
+  return EngineStatus::kOk;
+}
+
+}  // namespace persist
+}  // namespace tud

@@ -1,0 +1,110 @@
+#ifndef TUD_PERSIST_CHECKPOINT_H_
+#define TUD_PERSIST_CHECKPOINT_H_
+
+/// Checkpoint (snapshot) format of the durability layer: one versioned,
+/// CRC32C-checksummed image of everything a DurableSession needs to
+/// rebuild its in-memory state without replaying the full log —
+/// schema, event registry, the annotation circuit *gate-for-gate*
+/// (ids preserved, so replayed mutations hash-cons identically), facts,
+/// the instance decomposition exactly as the live session last repaired
+/// it, the repair-slack anchor, deletion tombstones, registered query
+/// definitions with their expected roots, and the WAL watermark (the
+/// LSN up to which the image already reflects the log).
+///
+/// The decomposition is serialized in full — not just its elimination
+/// order — because recovery must be *bit-identical*: covered-bag
+/// repairs mutate facts_at_node without changing the order, and a
+/// re-derivation from the order alone would assign facts differently,
+/// making replayed structural updates emit different gates than the
+/// live session did.
+///
+/// File layout: "TUDCKPT1" magic, format version (u32),
+/// payload length (u64), crc32c(payload) (u32), payload. Writers
+/// produce the image at `path + ".tmp"`, fsync, then rename — a
+/// checkpoint is either fully visible or absent, never torn.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuits/bool_circuit.h"
+#include "events/event_registry.h"
+#include "queries/conjunctive_query.h"
+#include "relational/schema.h"
+#include "treedec/nice_decomposition.h"
+#include "util/budget.h"
+
+namespace tud {
+namespace persist {
+
+/// Decoded checkpoint image. Plain data; DurableSession builds one from
+/// its live state and rebuilds live state from one.
+struct CheckpointState {
+  uint64_t seq = 0;      ///< Checkpoint sequence number (monotonic).
+  uint64_t wal_lsn = 0;  ///< Watermark: records with lsn < this are
+                         ///< already reflected in the image.
+
+  Schema schema;
+  /// Registry content, in EventId order (ids are dense, so position i
+  /// restores event i).
+  std::vector<std::pair<std::string, double>> events;
+
+  struct Gate {
+    GateKind kind = GateKind::kConst;
+    bool const_value = false;
+    EventId var = kInvalidEvent;
+    std::vector<GateId> inputs;
+  };
+  std::vector<Gate> gates;  ///< In GateId order.
+
+  struct FactRow {
+    RelationId relation = 0;
+    std::vector<Value> args;
+    GateId annotation = kInvalidGate;
+  };
+  std::vector<FactRow> facts;  ///< In FactId order.
+
+  /// The session decomposition, present iff the live session had built
+  /// one. Serialized raw (all four nice-node arrays plus the fact
+  /// assignment) for exactness.
+  bool has_decomposition = false;
+  std::vector<NiceNodeKind> ntd_kinds;
+  std::vector<VertexId> ntd_vertices;
+  std::vector<std::vector<VertexId>> ntd_bags;
+  std::vector<std::vector<NiceNodeId>> ntd_children;
+  std::vector<std::vector<FactId>> facts_at_node;
+  int width = -1;
+  std::vector<VertexId> elimination_order;
+
+  int searched_width = -1;  ///< IncrementalSession repair-slack anchor.
+  std::vector<std::pair<EventId, bool>> tombstones;
+
+  struct QueryRow {
+    uint8_t kind = 0;  ///< 0 = CQ, 1 = reachability.
+    ConjunctiveQuery cq;
+    RelationId relation = 0;
+    Value source = 0;
+    Value target = 0;
+    GateId root = kInvalidGate;  ///< Expected root after re-registration.
+  };
+  std::vector<QueryRow> queries;  ///< In QueryId order.
+};
+
+/// Serializes `state` to `path` atomically (tmp + fsync + rename).
+/// Returns kOk or kIoError; on kIoError no (possibly partial) file is
+/// left at `path` — at worst a stale ".tmp" that later writers
+/// overwrite.
+EngineStatus WriteCheckpoint(const std::string& path,
+                             const CheckpointState& state);
+
+/// Loads and verifies a checkpoint. Any damage — bad magic, unknown
+/// version, checksum mismatch, short file, decode overrun, internal
+/// inconsistency (gate inputs ≥ gate id, annotation out of range) —
+/// returns kIoError and leaves `out` unspecified. Never aborts.
+EngineStatus ReadCheckpoint(const std::string& path, CheckpointState* out);
+
+}  // namespace persist
+}  // namespace tud
+
+#endif  // TUD_PERSIST_CHECKPOINT_H_

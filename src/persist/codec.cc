@@ -1,0 +1,42 @@
+#include "persist/codec.h"
+
+namespace tud {
+namespace persist {
+
+namespace {
+
+/// Reflected CRC32C table, generated once at startup (256 * 4 bytes;
+/// the generation loop is ~1us and keeps the source table-free).
+struct Crc32cTable {
+  uint32_t entry[256];
+
+  Crc32cTable() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected.
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      entry[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const uint8_t* data, size_t size) {
+  const Crc32cTable& table = Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table.entry[(crc ^ data[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace persist
+}  // namespace tud

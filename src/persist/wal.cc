@@ -1,0 +1,361 @@
+#include "persist/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "persist/codec.h"
+#include "util/fault_injection.h"
+
+namespace tud {
+namespace persist {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'T', 'U', 'D', 'W', 'A', 'L', '0', '1'};
+constexpr size_t kWalHeaderSize = 24;  // magic + base_lsn + crc + reserved.
+constexpr size_t kFrameHeaderSize = 8;  // payload_len + payload_crc.
+/// Frame lengths above this are rejected as corruption: no legitimate
+/// record (a single mutation) comes anywhere near it.
+constexpr uint32_t kMaxPayloadLen = 1u << 28;
+
+std::vector<uint8_t> EncodeWalHeader(uint64_t base_lsn) {
+  ByteWriter w;
+  for (char c : kWalMagic) w.U8(static_cast<uint8_t>(c));
+  w.U64(base_lsn);
+  w.U32(Crc32c(w.bytes()));
+  w.U32(0);  // reserved
+  return std::move(w.bytes());
+}
+
+void EncodeTerm(ByteWriter& w, const Term& t) {
+  w.U8(t.is_var ? 1 : 0);
+  w.U32(t.var);
+  w.U32(t.constant);
+}
+
+bool DecodeTerm(ByteReader& r, Term* t) {
+  t->is_var = r.U8() != 0;
+  t->var = r.U32();
+  t->constant = r.U32();
+  return r.ok();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeWalRecord(const WalRecord& record) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(record.type));
+  switch (record.type) {
+    case WalRecordType::kRegisterEvent:
+      w.Str(record.name);
+      w.F64(record.probability);
+      w.U32(record.event);
+      break;
+    case WalRecordType::kSetProbability:
+    case WalRecordType::kUpdateProbability:
+      w.U32(record.event);
+      w.F64(record.probability);
+      break;
+    case WalRecordType::kInsertFact:
+      w.U32(record.relation);
+      w.VecU32(record.args);
+      w.F64(record.probability);
+      w.U32(record.fact);
+      w.U32(record.event);
+      w.U32(record.root);
+      break;
+    case WalRecordType::kDeleteFact:
+      w.U32(record.fact);
+      break;
+    case WalRecordType::kEpochPublish:
+      w.U64(record.epoch);
+      break;
+    case WalRecordType::kRegisterCq: {
+      w.U32(static_cast<uint32_t>(record.cq.NumAtoms()));
+      for (const QueryAtom& atom : record.cq.atoms()) {
+        w.U32(atom.relation);
+        w.U32(static_cast<uint32_t>(atom.terms.size()));
+        for (const Term& t : atom.terms) EncodeTerm(w, t);
+      }
+      w.U32(record.root);
+      break;
+    }
+    case WalRecordType::kRegisterReachability:
+      w.U32(record.relation);
+      w.U32(record.source);
+      w.U32(record.target);
+      w.U32(record.root);
+      break;
+  }
+  return std::move(w.bytes());
+}
+
+bool DecodeWalRecord(const uint8_t* data, size_t size, WalRecord* out) {
+  ByteReader r(data, size);
+  const uint8_t type = r.U8();
+  if (!r.ok()) return false;
+  if (type < static_cast<uint8_t>(WalRecordType::kRegisterEvent) ||
+      type > static_cast<uint8_t>(WalRecordType::kRegisterReachability)) {
+    return false;
+  }
+  *out = WalRecord{};
+  out->type = static_cast<WalRecordType>(type);
+  switch (out->type) {
+    case WalRecordType::kRegisterEvent:
+      out->name = r.Str();
+      out->probability = r.F64();
+      out->event = r.U32();
+      break;
+    case WalRecordType::kSetProbability:
+    case WalRecordType::kUpdateProbability:
+      out->event = r.U32();
+      out->probability = r.F64();
+      break;
+    case WalRecordType::kInsertFact:
+      out->relation = r.U32();
+      out->args = r.VecU32();
+      out->probability = r.F64();
+      out->fact = r.U32();
+      out->event = r.U32();
+      out->root = r.U32();
+      break;
+    case WalRecordType::kDeleteFact:
+      out->fact = r.U32();
+      break;
+    case WalRecordType::kEpochPublish:
+      out->epoch = r.U64();
+      break;
+    case WalRecordType::kRegisterCq: {
+      const uint32_t num_atoms = r.U32();
+      // Mirror the lineage DP's complexity limits so replaying a decoded
+      // query can never reach a TUD_CHECK abort.
+      if (!r.ok() || num_atoms > 16) return false;
+      for (uint32_t a = 0; a < num_atoms; ++a) {
+        const RelationId relation = r.U32();
+        const uint32_t num_terms = r.U32();
+        if (!r.ok() || num_terms > 64) return false;
+        std::vector<Term> terms;
+        terms.reserve(num_terms);
+        for (uint32_t t = 0; t < num_terms; ++t) {
+          Term term;
+          if (!DecodeTerm(r, &term)) return false;
+          terms.push_back(term);
+        }
+        out->cq.AddAtom(relation, std::move(terms));
+      }
+      out->root = r.U32();
+      break;
+    }
+    case WalRecordType::kRegisterReachability:
+      out->relation = r.U32();
+      out->source = r.U32();
+      out->target = r.U32();
+      out->root = r.U32();
+      break;
+  }
+  return r.done();
+}
+
+// ---------------------------------------------------------------------------
+// WalWriter
+
+WalWriter::WalWriter(int fd, std::string path, uint64_t next_lsn,
+                     const WalOptions& options)
+    : fd_(fd), path_(std::move(path)), next_lsn_(next_lsn),
+      options_(options) {}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+EngineStatus WalWriter::Create(const std::string& path, uint64_t base_lsn,
+                               const WalOptions& options,
+                               std::unique_ptr<WalWriter>* out) {
+  const int fd =
+      ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) return EngineStatus::kIoError;
+  const std::vector<uint8_t> header = EncodeWalHeader(base_lsn);
+  const ssize_t n = ::write(fd, header.data(), header.size());
+  if (n != static_cast<ssize_t>(header.size()) || ::fsync(fd) != 0) {
+    ::close(fd);
+    return EngineStatus::kIoError;
+  }
+  out->reset(new WalWriter(fd, path, base_lsn, options));
+  return EngineStatus::kOk;
+}
+
+EngineStatus WalWriter::OpenForAppend(const std::string& path,
+                                      uint64_t next_lsn,
+                                      const WalOptions& options,
+                                      std::unique_ptr<WalWriter>* out) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0) return EngineStatus::kIoError;
+  out->reset(new WalWriter(fd, path, next_lsn, options));
+  return EngineStatus::kOk;
+}
+
+EngineStatus WalWriter::Append(const WalRecord& record) {
+  if (broken_ || fd_ < 0) return EngineStatus::kIoError;
+  const std::vector<uint8_t> payload = EncodeWalRecord(record);
+  if (payload.size() > kMaxPayloadLen) return EngineStatus::kIoError;
+
+  ByteWriter frame;
+  frame.U32(static_cast<uint32_t>(payload.size()));
+  frame.U32(Crc32c(payload));
+  frame.bytes().insert(frame.bytes().end(), payload.begin(), payload.end());
+
+  // Injected silent corruption: flip one bit of the *payload* region
+  // after its checksum was computed, so the bytes hit disk "successfully"
+  // and only the reader's CRC check can catch the damage.
+  const int64_t flip = fault::MaybeFlipBit(payload.size());
+  if (flip >= 0) {
+    frame.bytes()[kFrameHeaderSize + static_cast<size_t>(flip / 8)] ^=
+        static_cast<uint8_t>(1u << (flip % 8));
+  }
+
+  // Injected torn write: leave a strict prefix of the frame on disk and
+  // report failure — modelling a crash mid-append, which is why the
+  // writer does NOT clean up the prefix (a crashed process couldn't).
+  if (fault::ShouldFailWrite()) {
+    const size_t torn = frame.size() > 1 ? frame.size() / 2 : 0;
+    if (torn > 0) {
+      (void)!::write(fd_, frame.bytes().data(), torn);
+    }
+    broken_ = true;
+    return EngineStatus::kIoError;
+  }
+
+  const ssize_t n = ::write(fd_, frame.bytes().data(), frame.size());
+  if (n != static_cast<ssize_t>(frame.size())) {
+    broken_ = true;  // Short or failed write: on-disk suffix untrusted.
+    return EngineStatus::kIoError;
+  }
+  ++next_lsn_;
+  if (options_.sync_each_append) return Sync();
+  return EngineStatus::kOk;
+}
+
+EngineStatus WalWriter::Sync() {
+  if (broken_ || fd_ < 0) return EngineStatus::kIoError;
+  if (fault::ShouldFailFlush() || ::fsync(fd_) != 0) {
+    broken_ = true;  // Failed fsync leaves the on-disk state unknown.
+    return EngineStatus::kIoError;
+  }
+  return EngineStatus::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// ReadWal
+
+WalReadResult ReadWal(const std::string& path) {
+  WalReadResult result;
+  std::vector<uint8_t> bytes;
+  {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      result.status = EngineStatus::kIoError;
+      return result;
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size < 0) {
+      std::fclose(f);
+      result.status = EngineStatus::kIoError;
+      return result;
+    }
+    bytes.resize(static_cast<size_t>(size));
+    if (!bytes.empty() &&
+        std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+      std::fclose(f);
+      result.status = EngineStatus::kIoError;
+      return result;
+    }
+    std::fclose(f);
+  }
+
+  result.file_size = bytes.size();
+
+  // Header. A file shorter than the header can only be a rotation torn
+  // mid-create; the caller decides whether a checkpoint makes that
+  // recoverable. Full-size headers must verify exactly.
+  if (bytes.size() < kWalHeaderSize) {
+    result.status = EngineStatus::kIoError;
+    result.bad_header = true;
+    result.torn_bytes = bytes.size();
+    return result;
+  }
+  {
+    ByteReader r(bytes.data(), kWalHeaderSize);
+    char magic[8];
+    for (char& c : magic) c = static_cast<char>(r.U8());
+    const uint64_t base_lsn = r.U64();
+    const uint32_t crc = r.U32();
+    if (std::memcmp(magic, kWalMagic, sizeof(kWalMagic)) != 0 ||
+        crc != Crc32c(bytes.data(), 16)) {
+      result.status = EngineStatus::kIoError;
+      result.bad_header = true;
+      return result;
+    }
+    result.base_lsn = base_lsn;
+  }
+
+  size_t pos = kWalHeaderSize;
+  result.valid_bytes = pos;
+  uint64_t lsn = result.base_lsn;
+  while (pos < bytes.size()) {
+    const size_t remaining = bytes.size() - pos;
+    if (remaining < kFrameHeaderSize) {
+      // Partial frame header at EOF: torn tail (records are written
+      // with a single write(2), so only the final record can be short).
+      result.torn_bytes = remaining;
+      return result;
+    }
+    ByteReader fh(bytes.data() + pos, kFrameHeaderSize);
+    const uint32_t payload_len = fh.U32();
+    const uint32_t payload_crc = fh.U32();
+    if (payload_len > kMaxPayloadLen) {
+      // A torn write cannot change already-written header bytes, so an
+      // insane length is corruption, not tearing.
+      result.status = EngineStatus::kIoError;
+      return result;
+    }
+    if (remaining - kFrameHeaderSize < payload_len) {
+      // Full frame header, short payload at EOF: torn tail.
+      result.torn_bytes = remaining;
+      return result;
+    }
+    const uint8_t* payload = bytes.data() + pos + kFrameHeaderSize;
+    if (Crc32c(payload, payload_len) != payload_crc) {
+      result.status = EngineStatus::kIoError;
+      return result;
+    }
+    WalRecord record;
+    if (!DecodeWalRecord(payload, payload_len, &record)) {
+      result.status = EngineStatus::kIoError;
+      return result;
+    }
+    record.lsn = lsn++;
+    result.records.push_back(std::move(record));
+    pos += kFrameHeaderSize + payload_len;
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+EngineStatus TruncateToValidPrefix(const std::string& path,
+                                   uint64_t valid_bytes) {
+  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+    return EngineStatus::kIoError;
+  }
+  return EngineStatus::kOk;
+}
+
+}  // namespace persist
+}  // namespace tud

@@ -1,0 +1,171 @@
+#ifndef TUD_PERSIST_WAL_H_
+#define TUD_PERSIST_WAL_H_
+
+/// Binary write-ahead log for the incremental serving state. The log is
+/// the source of truth for every mutation a DurableSession accepts:
+/// records are appended — and optionally fsynced — *before* the
+/// mutation is applied in memory, so a crash at any instant loses at
+/// most mutations the caller was never told succeeded.
+///
+/// File layout (all integers little-endian):
+///
+///   header:  "TUDWAL01" (8B magic)  base_lsn (u64)
+///            crc32c(magic + base_lsn) (u32)  reserved (u32, zero)
+///   record:  payload_len (u32)  crc32c(payload) (u32)  payload
+///
+/// Records are LSN-addressed: the i-th record of a file has
+/// lsn = base_lsn + i. After a checkpoint the WAL is rotated to a new
+/// file whose base_lsn is the checkpoint watermark, which is what makes
+/// replay idempotent — a reader simply skips records with
+/// lsn < watermark, even if an old WAL tail duplicates them.
+///
+/// Torn tails vs corruption: every record is appended with a single
+/// write(2), so a crash can only leave a *prefix* of the final record —
+/// either a partial 8-byte frame header or a full header with a short
+/// payload. Readers treat exactly those two shapes at EOF as a torn
+/// tail: the prefix is dropped (and the file truncated on recovery) and
+/// the log up to it is recovered with kOk. Anything else — a checksum
+/// mismatch, a frame length that fits but decodes to garbage — cannot
+/// be produced by tearing and is reported as kIoError, never silently
+/// repaired.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "events/event_registry.h"
+#include "circuits/bool_circuit.h"
+#include "queries/conjunctive_query.h"
+#include "relational/instance.h"
+#include "util/budget.h"
+
+namespace tud {
+namespace persist {
+
+enum class WalRecordType : uint8_t {
+  kRegisterEvent = 1,
+  kSetProbability = 2,
+  kUpdateProbability = 3,
+  kInsertFact = 4,
+  kDeleteFact = 5,
+  kEpochPublish = 6,
+  kRegisterCq = 7,
+  kRegisterReachability = 8,
+};
+
+/// One logged mutation. The id fields (`event`, `fact`, `root`) record
+/// what the *live* session allocated when the mutation was applied;
+/// replay re-derives them deterministically and treats any divergence
+/// as corruption (kIoError) rather than continuing on a state that no
+/// longer matches the log.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kRegisterEvent;
+  uint64_t lsn = 0;  ///< Assigned by the writer; filled in by readers.
+
+  std::string name;            ///< kRegisterEvent.
+  double probability = 0.0;    ///< kRegisterEvent / kSet / kUpdate / kInsert.
+  EventId event = kInvalidEvent;
+  RelationId relation = 0;     ///< kInsertFact / kRegisterReachability.
+  std::vector<Value> args;     ///< kInsertFact.
+  FactId fact = kInvalidFact;  ///< kInsertFact / kDeleteFact.
+  GateId root = kInvalidGate;  ///< kInsertFact annotation; kRegister* root.
+  Value source = 0;            ///< kRegisterReachability.
+  Value target = 0;            ///< kRegisterReachability.
+  ConjunctiveQuery cq;         ///< kRegisterCq.
+  uint64_t epoch = 0;          ///< kEpochPublish.
+};
+
+/// Encodes a record payload (type byte + fields; no frame header).
+std::vector<uint8_t> EncodeWalRecord(const WalRecord& record);
+
+/// Decodes a payload previously produced by EncodeWalRecord. Returns
+/// false on any malformed byte stream (never aborts).
+bool DecodeWalRecord(const uint8_t* data, size_t size, WalRecord* out);
+
+struct WalOptions {
+  /// fsync after every append. Off by default: the DurableSession syncs
+  /// at checkpoint barriers and callers can opt into per-append
+  /// durability when the workload warrants the cost.
+  bool sync_each_append = false;
+};
+
+/// Appender. All methods return kOk or kIoError; after any I/O failure
+/// the writer is *broken* — every later append fails too — because the
+/// on-disk suffix is no longer trusted. (An injected write fault
+/// deliberately leaves the torn prefix on disk, modelling a crash
+/// mid-write; recovery must cope, and the crash-point tests check it
+/// does.)
+class WalWriter {
+ public:
+  /// Creates (truncating) `path` with the given base LSN.
+  static EngineStatus Create(const std::string& path, uint64_t base_lsn,
+                             const WalOptions& options,
+                             std::unique_ptr<WalWriter>* out);
+
+  /// Opens `path` for appending after recovery has validated (and
+  /// truncated) it; `next_lsn` must be base_lsn + number of valid
+  /// records already present.
+  static EngineStatus OpenForAppend(const std::string& path,
+                                    uint64_t next_lsn,
+                                    const WalOptions& options,
+                                    std::unique_ptr<WalWriter>* out);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record; on kOk the record's LSN was next_lsn().
+  EngineStatus Append(const WalRecord& record);
+
+  /// fsyncs the file. Idempotent; cheap if nothing was written.
+  EngineStatus Sync();
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  bool broken() const { return broken_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(int fd, std::string path, uint64_t next_lsn,
+            const WalOptions& options);
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t next_lsn_ = 0;
+  WalOptions options_;
+  bool broken_ = false;
+};
+
+/// Everything a scan of one WAL file yields. `status` is kOk when the
+/// file is well-formed up to at most a torn tail (whose length is
+/// reported in torn_bytes), kIoError on mid-log corruption — in which
+/// case `records` holds the valid prefix for diagnostics but recovery
+/// must not proceed from it silently.
+struct WalReadResult {
+  EngineStatus status = EngineStatus::kOk;
+  std::vector<WalRecord> records;
+  uint64_t base_lsn = 0;
+  uint64_t valid_bytes = 0;  ///< Offset just past the last valid record.
+  uint64_t torn_bytes = 0;   ///< Trailing bytes dropped as a torn tail.
+  uint64_t file_size = 0;
+  /// The file header itself was missing/short/invalid. A file shorter
+  /// than the header can only be a rotation torn mid-create; recovery
+  /// treats exactly that shape (bad_header && file_size < header size)
+  /// as recoverable when a checkpoint pins the expected base LSN.
+  bool bad_header = false;
+};
+
+/// Scans a whole WAL file. Pure read: never modifies the file (the
+/// recovery path truncates torn tails separately, via
+/// TruncateToValidPrefix).
+WalReadResult ReadWal(const std::string& path);
+
+/// Truncates `path` to `valid_bytes`, discarding a torn tail found by
+/// ReadWal. Returns kOk / kIoError.
+EngineStatus TruncateToValidPrefix(const std::string& path,
+                                   uint64_t valid_bytes);
+
+}  // namespace persist
+}  // namespace tud
+
+#endif  // TUD_PERSIST_WAL_H_

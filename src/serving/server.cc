@@ -59,6 +59,15 @@ QueryBudget ServingSession::MakeBudget(const QueryOptions& query) const {
   return budget;
 }
 
+namespace {
+
+/// EWMA step with alpha = 1/8, seeded by the first sample.
+uint64_t EwmaStep(uint64_t old_value, uint64_t sample) {
+  return old_value == 0 ? sample : old_value - old_value / 8 + sample / 8;
+}
+
+}  // namespace
+
 EngineResult ServingSession::RunGoverned(const Request& request) {
   const auto start = std::chrono::steady_clock::now();
   EngineResult result =
@@ -67,17 +76,39 @@ EngineResult ServingSession::RunGoverned(const Request& request) {
                              request.evidence)
           : engine_.Estimate(*circuit_, request.root, *registry_,
                              request.evidence, request.budget);
-  // EWMA of service time (alpha = 1/8): the admission estimate's
-  // notion of "how long does one query ahead of me cost".
   const uint64_t sample_ns = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
-  uint64_t old_ewma = ewma_service_ns_.load(std::memory_order_relaxed);
-  const uint64_t next =
-      old_ewma == 0 ? sample_ns : old_ewma - old_ewma / 8 + sample_ns / 8;
-  ewma_service_ns_.store(next, std::memory_order_relaxed);
+  // Calibrate the cost model: the plan is cached by now (Estimate built
+  // it), so its cell count converts the service-time sample into a
+  // rate — nanoseconds per 1024 cells — that transfers across plans of
+  // different sizes, unlike a flat per-query mean.
+  const JunctionTreePlan* plan = engine_.plan_cache()->Lookup(request.root);
+  const uint64_t cells =
+      plan == nullptr ? 0 : static_cast<uint64_t>(plan->total_cells());
+  if (cells > 0) {
+    const uint64_t rate_sample = sample_ns * 1024 / cells;
+    ewma_ns_per_kilocell_.store(
+        EwmaStep(ewma_ns_per_kilocell_.load(std::memory_order_relaxed),
+                 rate_sample),
+        std::memory_order_relaxed);
+    ewma_cells_.store(
+        EwmaStep(ewma_cells_.load(std::memory_order_relaxed), cells),
+        std::memory_order_relaxed);
+  }
   return result;
+}
+
+bool ServingSession::ShouldShed(uint64_t backlog_cells,
+                                uint64_t ns_per_kilocell, unsigned workers,
+                                int64_t headroom_ns) {
+  if (ns_per_kilocell == 0 || backlog_cells == 0) return false;
+  if (headroom_ns <= 0) return true;
+  const double est_wait_ns = static_cast<double>(backlog_cells) /
+                             static_cast<double>(std::max(1u, workers)) *
+                             static_cast<double>(ns_per_kilocell) / 1024.0;
+  return est_wait_ns > static_cast<double>(headroom_ns);
 }
 
 void ServingSession::Fulfil(const std::shared_ptr<Request>& request) {
@@ -90,6 +121,7 @@ void ServingSession::Fulfil(const std::shared_ptr<Request>& request) {
     failed_queries_.fetch_add(1, std::memory_order_relaxed);
     request->promise.set_exception(std::current_exception());
   }
+  backlog_cells_.fetch_sub(request->charged_cells, std::memory_order_relaxed);
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
 }
 
@@ -108,24 +140,34 @@ std::future<EngineResult> ServingSession::Submit(GateId lineage,
   request->cancel = query.cancel;
   std::future<EngineResult> result = request->promise.get_future();
 
-  // Queue-time-aware admission: if the queries already queued will, by
-  // the EWMA service-time estimate, outlast this query's deadline, shed
-  // it now with a typed rejection — O(1) at the door beats a guaranteed
-  // kDeadlineExceeded after minutes in line. Only sheds on a warm
-  // estimate (EWMA > 0) and only for governed queries with a deadline.
+  // Price the request in table cells: a cached plan gives the exact
+  // count; a cold root is charged the EWMA of observed plan sizes (0 on
+  // a cold session — the query is then invisible to admission, which
+  // errs on the admit side by design).
+  {
+    const JunctionTreePlan* plan = engine_.plan_cache()->Lookup(lineage);
+    request->charged_cells =
+        plan == nullptr ? ewma_cells_.load(std::memory_order_relaxed)
+                        : static_cast<uint64_t>(plan->total_cells());
+  }
+
+  // Queue-time-aware admission: if draining the cell backlog already
+  // queued will, by the calibrated ns-per-kilocell rate, outlast this
+  // query's deadline, shed it now with a typed rejection — O(1) at the
+  // door beats a guaranteed kDeadlineExceeded after minutes in line.
+  // Only sheds on a warm model and only for governed queries with a
+  // deadline (ShouldShed's contract).
   if (request->budget.has_deadline()) {
-    const uint64_t ewma = ewma_service_ns_.load(std::memory_order_relaxed);
-    const uint64_t depth = in_flight_.load(std::memory_order_relaxed);
-    const unsigned workers = std::max(1u, scheduler_.num_threads());
-    if (ewma > 0 && depth > 0) {
-      const auto est_wait =
-          std::chrono::nanoseconds(ewma * (depth / workers));
-      if (std::chrono::steady_clock::now() + est_wait >
-          request->budget.deadline) {
-        request->promise.set_value(
-            MakeStatusResult("serving", EngineStatus::kRejected));
-        return result;
-      }
+    const int64_t headroom_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            request->budget.deadline - std::chrono::steady_clock::now())
+            .count();
+    if (ShouldShed(backlog_cells_.load(std::memory_order_relaxed),
+                   ewma_ns_per_kilocell_.load(std::memory_order_relaxed),
+                   scheduler_.num_threads(), headroom_ns)) {
+      request->promise.set_value(
+          MakeStatusResult("serving", EngineStatus::kRejected));
+      return result;
     }
   }
 
@@ -139,6 +181,8 @@ std::future<EngineResult> ServingSession::Submit(GateId lineage,
       return result;
     }
     in_flight_.fetch_add(1, std::memory_order_relaxed);
+    backlog_cells_.fetch_add(request->charged_cells,
+                             std::memory_order_relaxed);
     bool accepted = scheduler_.Submit([this, request] { Fulfil(request); });
     if (!accepted) FailRequest(request);
     return result;
@@ -163,6 +207,8 @@ std::future<EngineResult> ServingSession::Submit(GateId lineage,
       });
     }
     in_flight_.fetch_add(1, std::memory_order_relaxed);
+    backlog_cells_.fetch_add(request->charged_cells,
+                             std::memory_order_relaxed);
     pending_.push_back(std::move(request));
     if (!drain_scheduled_) {
       drain_scheduled_ = true;
@@ -243,6 +289,10 @@ void ServingSession::DrainPending() {
           for (const auto& request : *shared_group)
             request->promise.set_exception(std::current_exception());
         }
+        uint64_t group_cells = 0;
+        for (const auto& request : *shared_group)
+          group_cells += request->charged_cells;
+        backlog_cells_.fetch_sub(group_cells, std::memory_order_relaxed);
         in_flight_.fetch_sub(shared_group->size(),
                              std::memory_order_relaxed);
       });
@@ -260,6 +310,7 @@ void ServingSession::DrainPending() {
 }
 
 void ServingSession::FailRequest(const std::shared_ptr<Request>& request) {
+  backlog_cells_.fetch_sub(request->charged_cells, std::memory_order_relaxed);
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
   request->promise.set_exception(std::make_exception_ptr(
       std::runtime_error("ServingSession: shutdown began before the query "

@@ -135,11 +135,15 @@ class ServingSession {
   /// kDeadlineExceeded without running), caps and cancellation are
   /// checked at bag granularity inside the engine, and admission
   /// control may shed the query up front with kRejected — when the
-  /// queue is at shed_capacity, or when the EWMA service-time estimate
-  /// says the queries already ahead of it will outlast its deadline
-  /// (queue-time-aware admission: reject in O(1) rather than time out
-  /// in O(queue)). A governed future therefore always resolves within
-  /// the deadline plus one bag's slack.
+  /// queue is at shed_capacity, or when the cost model says the backlog
+  /// already ahead of it will outlast its deadline (queue-time-aware
+  /// admission: reject in O(1) rather than time out in O(queue)). The
+  /// backlog is priced in junction-tree table cells, each queued query
+  /// charged its own cached plan's total_cells() (the EWMA of observed
+  /// plan sizes for a root not compiled yet), against a calibrated
+  /// ns-per-cell rate — so one queued 2^20-cell monster counts for what
+  /// it costs, not for one "average query". A governed future therefore
+  /// always resolves within the deadline plus one bag's slack.
   std::future<EngineResult> Submit(GateId lineage, Evidence evidence,
                                    const QueryOptions& query);
 
@@ -175,6 +179,15 @@ class ServingSession {
            scheduler_.stats().failed;
   }
 
+  /// The pure admission decision, exposed for unit tests: with a
+  /// calibrated rate of `ns_per_kilocell` (EWMA nanoseconds per 1024
+  /// table cells), sheds when draining `backlog_cells` across `workers`
+  /// workers is estimated to outlast `headroom_ns` (time left until the
+  /// candidate's deadline). Never sheds on a cold rate or an empty
+  /// backlog; always sheds on a spent deadline with a warm backlog.
+  static bool ShouldShed(uint64_t backlog_cells, uint64_t ns_per_kilocell,
+                         unsigned workers, int64_t headroom_ns);
+
  private:
   struct Request {
     GateId root;
@@ -182,6 +195,11 @@ class ServingSession {
     std::promise<EngineResult> promise;
     QueryBudget budget;  ///< Unlimited unless submitted with options.
     std::shared_ptr<const CancelToken> cancel;  ///< Keeps budget.cancel alive.
+    /// Table cells this request was priced at on admission; subtracted
+    /// from the backlog when the request resolves (must match what was
+    /// added, so it is stored rather than recomputed — the plan cache
+    /// may have warmed in between).
+    uint64_t charged_cells = 0;
   };
 
   EngineResult RunOne(GateId root, const Evidence& evidence);
@@ -213,11 +231,18 @@ class ServingSession {
   std::condition_variable pending_not_full_;
   std::vector<std::shared_ptr<Request>> pending_;
   bool drain_scheduled_ = false;
-  /// EWMA of per-query service time in nanoseconds (relaxed atomics:
-  /// the admission estimate tolerates staleness). Seeded at 0 so an
-  /// idle session never sheds on a cold estimate.
-  std::atomic<uint64_t> ewma_service_ns_{0};
-  /// Queries queued or in flight (admission's queue-depth input; the
+  /// Admission cost model (relaxed atomics: the estimate tolerates
+  /// staleness; all three are seeded at 0 so an idle session never
+  /// sheds on a cold model). The rate is measured in nanoseconds per
+  /// 1024 table cells — per-plan sizing: a query is charged its own
+  /// plan's total_cells(), not a fleet-average service time.
+  std::atomic<uint64_t> ewma_ns_per_kilocell_{0};
+  /// EWMA of observed per-query plan size in cells: the admission
+  /// charge for a root whose plan is not cached yet.
+  std::atomic<uint64_t> ewma_cells_{0};
+  /// Σ charged_cells of queries queued or in flight.
+  std::atomic<uint64_t> backlog_cells_{0};
+  /// Queries queued or in flight (shed_capacity's depth input; the
   /// scheduler's own outstanding count also covers drain bookkeeping
   /// tasks, which would inflate the estimate).
   std::atomic<uint64_t> in_flight_{0};

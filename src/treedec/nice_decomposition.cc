@@ -19,6 +19,21 @@ NiceNodeId NiceTreeDecomposition::AddNode(NiceNodeKind kind, VertexId vertex,
   return id;
 }
 
+NiceTreeDecomposition NiceTreeDecomposition::FromParts(
+    std::vector<NiceNodeKind> kinds, std::vector<VertexId> vertices,
+    std::vector<std::vector<VertexId>> bags,
+    std::vector<std::vector<NiceNodeId>> children) {
+  TUD_CHECK_EQ(kinds.size(), vertices.size());
+  TUD_CHECK_EQ(kinds.size(), bags.size());
+  TUD_CHECK_EQ(kinds.size(), children.size());
+  NiceTreeDecomposition ntd;
+  ntd.kinds_ = std::move(kinds);
+  ntd.vertices_ = std::move(vertices);
+  ntd.bags_ = std::move(bags);
+  ntd.children_ = std::move(children);
+  return ntd;
+}
+
 NiceNodeId NiceTreeDecomposition::MorphTo(NiceNodeId from,
                                           std::vector<VertexId> from_bag,
                                           const std::vector<VertexId>& to_bag) {

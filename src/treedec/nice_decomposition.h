@@ -67,6 +67,20 @@ class NiceTreeDecomposition {
   /// root bag empty.
   bool IsWellFormed() const;
 
+  /// Raw per-node vertex slot, defined for every node (meaningful only
+  /// for introduce/forget; construction scratch otherwise). The
+  /// persistence layer serializes this so a restored decomposition is
+  /// byte-for-byte the one that was checkpointed.
+  VertexId raw_vertex(NiceNodeId n) const { return vertices_[n]; }
+
+  /// Persistence restore: rebuilds a decomposition from its four
+  /// parallel arrays. The caller validates the result (IsWellFormed)
+  /// before trusting it.
+  static NiceTreeDecomposition FromParts(
+      std::vector<NiceNodeKind> kinds, std::vector<VertexId> vertices,
+      std::vector<std::vector<VertexId>> bags,
+      std::vector<std::vector<NiceNodeId>> children);
+
   std::string ToString() const;
 
  private:

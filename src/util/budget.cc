@@ -16,6 +16,8 @@ const char* EngineStatusName(EngineStatus status) {
       return "invalid_argument";
     case EngineStatus::kRejected:
       return "rejected";
+    case EngineStatus::kIoError:
+      return "io_error";
   }
   return "unknown";
 }

@@ -31,6 +31,8 @@ enum class EngineStatus : uint8_t {
   kCancelled,          // CancelToken fired (or a forced-cancel fault)
   kInvalidArgument,    // malformed request: bad root, unknown event, ...
   kRejected,           // shed by serving-layer admission control
+  kIoError,            // persistence failure: write/fsync error, checksum
+                       // mismatch, unreadable WAL/checkpoint
 };
 
 const char* EngineStatusName(EngineStatus status);

@@ -19,8 +19,14 @@ std::mutex g_config_mu;
 std::atomic<uint32_t> g_alloc_threshold{0};   // fail if rng32 < threshold
 std::atomic<uint32_t> g_cancel_threshold{0};  // cancel if rng32 < threshold
 std::atomic<uint32_t> g_delay_us{0};
+std::atomic<uint32_t> g_write_threshold{0};
+std::atomic<uint32_t> g_flush_threshold{0};
+std::atomic<uint32_t> g_bit_flip_threshold{0};
 std::atomic<uint64_t> g_seed{1};
 std::atomic<uint64_t> g_alloc_failures{0};
+std::atomic<uint64_t> g_write_failures{0};
+std::atomic<uint64_t> g_flush_failures{0};
+std::atomic<uint64_t> g_bit_flips{0};
 
 uint32_t ScaleProbability(double p) {
   if (p <= 0.0) return 0;
@@ -63,8 +69,17 @@ void Configure(const Config& config) {
   g_cancel_threshold.store(ScaleProbability(config.cancel_probability),
                            std::memory_order_relaxed);
   g_delay_us.store(config.per_bag_delay_us, std::memory_order_relaxed);
+  g_write_threshold.store(ScaleProbability(config.io_write_failure_probability),
+                          std::memory_order_relaxed);
+  g_flush_threshold.store(ScaleProbability(config.io_flush_failure_probability),
+                          std::memory_order_relaxed);
+  g_bit_flip_threshold.store(ScaleProbability(config.io_bit_flip_probability),
+                             std::memory_order_relaxed);
   g_seed.store(config.seed == 0 ? 1 : config.seed, std::memory_order_relaxed);
   g_alloc_failures.store(0, std::memory_order_relaxed);
+  g_write_failures.store(0, std::memory_order_relaxed);
+  g_flush_failures.store(0, std::memory_order_relaxed);
+  g_bit_flips.store(0, std::memory_order_relaxed);
 }
 
 void Reset() { Configure(Config{}); }
@@ -91,9 +106,48 @@ bool ShouldForceCancel() {
   return Rng().Next(g_seed.load(std::memory_order_relaxed)) < threshold;
 }
 
+bool ShouldFailWrite() {
+  uint32_t threshold = g_write_threshold.load(std::memory_order_relaxed);
+  if (threshold == 0) return false;
+  if (Rng().Next(g_seed.load(std::memory_order_relaxed)) >= threshold) {
+    return false;
+  }
+  g_write_failures.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ShouldFailFlush() {
+  uint32_t threshold = g_flush_threshold.load(std::memory_order_relaxed);
+  if (threshold == 0) return false;
+  if (Rng().Next(g_seed.load(std::memory_order_relaxed)) >= threshold) {
+    return false;
+  }
+  g_flush_failures.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+int64_t MaybeFlipBit(uint64_t size) {
+  uint32_t threshold = g_bit_flip_threshold.load(std::memory_order_relaxed);
+  if (threshold == 0 || size == 0) return -1;
+  uint64_t seed = g_seed.load(std::memory_order_relaxed);
+  if (Rng().Next(seed) >= threshold) return -1;
+  g_bit_flips.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int64_t>(Rng().Next(seed) % (size * 8));
+}
+
 uint64_t AllocationFailures() {
   return g_alloc_failures.load(std::memory_order_relaxed);
 }
+
+uint64_t WriteFailures() {
+  return g_write_failures.load(std::memory_order_relaxed);
+}
+
+uint64_t FlushFailures() {
+  return g_flush_failures.load(std::memory_order_relaxed);
+}
+
+uint64_t BitFlips() { return g_bit_flips.load(std::memory_order_relaxed); }
 
 }  // namespace fault
 }  // namespace tud

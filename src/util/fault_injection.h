@@ -26,6 +26,15 @@ struct Config {
   double alloc_failure_probability = 0.0;
   double cancel_probability = 0.0;
   uint32_t per_bag_delay_us = 0;
+  /// I/O faults, consumed by the src/persist layer: a failed write
+  /// leaves a *short* (torn) prefix on disk — modelling a crash
+  /// mid-write, not a clean error — a failed flush reports fsync
+  /// failure with unknown on-disk state, and a bit flip silently
+  /// corrupts one bit of an encoded buffer before it is written (the
+  /// checksum path must catch it on read).
+  double io_write_failure_probability = 0.0;
+  double io_flush_failure_probability = 0.0;
+  double io_bit_flip_probability = 0.0;
   uint64_t seed = 1;
 };
 
@@ -45,8 +54,26 @@ void MaybeDelayBag();
 /// True if a cooperative cancellation point should trip this time.
 bool ShouldForceCancel();
 
+/// True if the next guarded file write should be torn short. Increments
+/// the write-failure counter when it fires.
+bool ShouldFailWrite();
+
+/// True if the next guarded flush/fsync should report failure.
+/// Increments the flush-failure counter when it fires.
+bool ShouldFailFlush();
+
+/// If a bit flip should be injected into a buffer of `size` bytes,
+/// returns the bit index in [0, size*8) to flip; returns a negative
+/// value otherwise. Increments the bit-flip counter when it fires.
+int64_t MaybeFlipBit(uint64_t size);
+
 /// Number of allocations failed since the last Configure/Reset.
 uint64_t AllocationFailures();
+
+/// I/O fault counters since the last Configure/Reset.
+uint64_t WriteFailures();
+uint64_t FlushFailures();
+uint64_t BitFlips();
 
 /// RAII scope: installs `config` on construction, Reset() on
 /// destruction. Keeps tests exception-safe.
@@ -66,6 +93,9 @@ struct Config {
   double alloc_failure_probability = 0.0;
   double cancel_probability = 0.0;
   uint32_t per_bag_delay_us = 0;
+  double io_write_failure_probability = 0.0;
+  double io_flush_failure_probability = 0.0;
+  double io_bit_flip_probability = 0.0;
   uint64_t seed = 1;
 };
 
@@ -74,7 +104,13 @@ inline void Reset() {}
 inline bool ShouldFailAllocation() { return false; }
 inline void MaybeDelayBag() {}
 inline bool ShouldForceCancel() { return false; }
+inline bool ShouldFailWrite() { return false; }
+inline bool ShouldFailFlush() { return false; }
+inline int64_t MaybeFlipBit(uint64_t) { return -1; }
 inline uint64_t AllocationFailures() { return 0; }
+inline uint64_t WriteFailures() { return 0; }
+inline uint64_t FlushFailures() { return 0; }
+inline uint64_t BitFlips() { return 0; }
 
 class ScopedFaultInjection {
  public:

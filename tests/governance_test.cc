@@ -475,9 +475,33 @@ TEST(ServingGovernanceTest, ShedCapacityRejectsTyped) {
   EXPECT_EQ(first.get().status, EngineStatus::kOk);
 }
 
-// Queue-time-aware admission: once the EWMA service-time estimate is
-// warm and queries are queued behind a pinned worker, a deadline the
-// queue will certainly outlast is rejected at the door in O(1).
+// The pure admission decision: backlog is priced in table cells
+// against a calibrated ns-per-kilocell rate, so one queued monster
+// plan weighs what it costs — not one fleet-average "query".
+TEST(ServingGovernanceTest, ShouldShedPricesBacklogPerPlan) {
+  // Cold rate or empty backlog: never shed (admit-on-doubt).
+  EXPECT_FALSE(ServingSession::ShouldShed(0, 1000, 4, 1));
+  EXPECT_FALSE(ServingSession::ShouldShed(uint64_t{1} << 20, 0, 4, 1));
+  // Spent deadline with a warm, nonempty backlog: always shed.
+  EXPECT_TRUE(ServingSession::ShouldShed(1, 1, 4, 0));
+  EXPECT_TRUE(ServingSession::ShouldShed(1, 1, 4, -5));
+  // 1024 cells at 1000 ns/kilocell on one worker ≈ 1000 ns of backlog.
+  EXPECT_FALSE(ServingSession::ShouldShed(1024, 1000, 1, 2000));
+  EXPECT_TRUE(ServingSession::ShouldShed(1024, 1000, 1, 500));
+  // The same backlog spread over 4 workers drains 4x faster.
+  EXPECT_FALSE(ServingSession::ShouldShed(1024, 1000, 4, 500));
+  // Per-plan sizing: a single 2^30-cell plan in the queue sheds a 1 ms
+  // deadline that 64 cells' worth of backlog would sail through.
+  EXPECT_TRUE(
+      ServingSession::ShouldShed(uint64_t{1} << 30, 1000, 8, 1'000'000));
+  EXPECT_FALSE(ServingSession::ShouldShed(64, 1000, 8, 1'000'000));
+  // workers = 0 is clamped, not divided by.
+  EXPECT_TRUE(ServingSession::ShouldShed(1024, 1000, 0, 500));
+}
+
+// Queue-time-aware admission end to end: once the cost model is warm
+// and queries are queued behind a pinned worker, a deadline the
+// backlog will certainly outlast is rejected at the door in O(1).
 TEST(ServingGovernanceTest, QueueAwareAdmissionRejectsInfeasibleDeadline) {
   LadderFixture f = MakeLadder();
   ServingOptions options;
